@@ -1,0 +1,59 @@
+"""E4 — Cm*: locality determines the utilization ceiling (§1.2.2).
+
+"Greater interprocessor distances translated into longer memory reference
+times and decreased processor utilization ... the effect of processor idle
+time put an upper limit on the number of processors that could cooperate
+on even highly parallel programs."
+
+Sweep the remote-reference fraction for intra-cluster and inter-cluster
+victims and compare against the closed-form prediction.
+"""
+
+from repro.analysis import Table
+from repro.machines import locality_sweep
+
+FRACTIONS = [0.0, 0.05, 0.1, 0.2, 0.35, 0.5]
+
+
+def run_experiment(fractions=FRACTIONS, n_clusters=4, cluster_size=4):
+    table = Table(
+        "E4  Cm* processor utilization vs remote-reference fraction "
+        "(paper §1.2.2)",
+        ["remote fraction", "util (intra-cluster)", "util (inter-cluster)",
+         "model (inter)"],
+        notes=[
+            f"{n_clusters} clusters x {cluster_size} processors; every "
+            "processor idles during its remote references",
+        ],
+    )
+    intra = locality_sweep(fractions, n_clusters=n_clusters,
+                           cluster_size=cluster_size,
+                           remote_kind="intracluster")
+    inter = locality_sweep(fractions, n_clusters=n_clusters,
+                           cluster_size=cluster_size,
+                           remote_kind="intercluster")
+    for (f, u_intra, _), (_, u_inter, model) in zip(intra, inter):
+        table.add_row(f, u_intra, u_inter, model)
+    return table
+
+
+def test_e04_shape(benchmark):
+    table = benchmark.pedantic(
+        run_experiment, args=([0.0, 0.1, 0.35],),
+        kwargs={"n_clusters": 2, "cluster_size": 2}, rounds=1, iterations=1,
+    )
+    intra = [float(x) for x in table.column("util (intra-cluster)")]
+    inter = [float(x) for x in table.column("util (inter-cluster)")]
+    # Utilization falls monotonically with the remote fraction...
+    assert intra[0] > intra[-1]
+    assert inter[0] > inter[-1]
+    # ...and distance makes it worse: inter-cluster always below intra.
+    assert all(i <= a + 1e-9 for a, i in zip(intra[1:], inter[1:]))
+    # Even a 35% inter-cluster mix cripples the processor.
+    assert inter[-1] < 0.45
+
+
+if __name__ == "__main__":
+    from harness import write_table
+
+    write_table(run_experiment(), "e04_cmstar_locality")

@@ -1,0 +1,62 @@
+"""E5 — the NYU Ultracomputer's combining FETCH-AND-ADD (§1.2.3).
+
+"If two packets collide ... the switch extracts the values x and y, forms
+a new packet ... Hence, one memory reference may involve as many as
+log2(n) additions, and implies substantial hardware complexity."
+
+The hot-spot experiment: every processor FETCH-AND-ADDs one shared cell
+simultaneously.  Without combining the hot memory port serializes all n
+requests; with combining the switches fold them into a tree, at the price
+of combine/split work in the network (the "substantial hardware
+complexity" — we count it).
+"""
+
+from repro.analysis import Table
+from repro.machines import run_hotspot
+
+STAGES = [2, 3, 4, 5, 6]
+
+
+def run_experiment(stage_counts=STAGES):
+    table = Table(
+        "E5  FETCH-AND-ADD hot spot: combining vs non-combining omega "
+        "network (paper §1.2.3)",
+        ["n procs", "combining", "hot-port arrivals", "max round trip",
+         "total time", "switch combines"],
+        notes=[
+            "every processor FETCH-AND-ADDs address 0 at t=0",
+            "hot-port arrivals / n = serialization factor (1.0 = no combining)",
+            "correctness (sum preserved, distinct old values) asserted per run",
+        ],
+    )
+    for stages in stage_counts:
+        for combining in (False, True):
+            result = run_hotspot(stages, combining=combining)
+            assert result.final_value == result.n_procs  # serializability
+            table.add_row(
+                result.n_procs, combining, result.memory_arrivals,
+                result.max_round_trip, result.total_time, result.combines,
+            )
+    return table
+
+
+def test_e05_shape(benchmark):
+    table = benchmark.pedantic(run_experiment, args=([3, 5],), rounds=1,
+                               iterations=1)
+    # Rows alternate (no combining, combining) per size.
+    n8_plain, n8_comb, n32_plain, n32_comb = table.rows
+    assert int(n8_plain[2]) == 8 and int(n32_plain[2]) == 32
+    assert int(n8_comb[2]) < 8 and int(n32_comb[2]) < 8  # tree collapse
+    # Latency growth from n=8 to n=32: ~4x without combining, far less with.
+    growth_plain = float(n32_plain[3]) / float(n8_plain[3])
+    growth_comb = float(n32_comb[3]) / float(n8_comb[3])
+    assert growth_plain > 2.5
+    assert growth_comb < growth_plain / 1.5
+    # Combining did real switch work.
+    assert int(n32_comb[5]) > 0
+
+
+if __name__ == "__main__":
+    from harness import write_table
+
+    write_table(run_experiment(), "e05_fetch_and_add")

@@ -1,0 +1,91 @@
+"""E7 — Figure 2-2: the trapezoidal-rule loop, compiled and executed.
+
+The paper compiles its ID program "which integrates a function f from a to
+b over n intervals of size h by the trapezoidal rule" into the loop schema
+of Figure 2-2 (D, D⁻¹, L, L⁻¹, switches, a reentrant graph).  This
+experiment compiles the same program with our front end, checks the
+numeric answer against scipy, and reports the graph's dynamic behaviour:
+instructions, critical path, and average parallelism as the interval
+count grows — the loop unfolding in tag space that justifies "given that
+the program being executed is sufficiently parallel" (§2.3).
+"""
+
+import math
+
+from repro.analysis import Table
+from repro.dataflow import Interpreter, MachineConfig, TaggedTokenMachine
+from repro.lang import compile_source
+from repro.workloads import TRAPEZOID
+
+INTERVALS = [4, 8, 16, 32, 64, 128]
+
+
+def integrate(n, a=0.0, b=1.0):
+    program = compile_source(TRAPEZOID, entry="trapezoid")
+    h = (b - a) / n
+    interp = Interpreter(program)
+    value = interp.run(a, b, n, h)
+    return value, interp
+
+
+def scipy_reference(n, a=0.0, b=1.0):
+    import numpy as np
+    from scipy.integrate import trapezoid
+
+    xs = np.linspace(a, b, n + 1)
+    return float(trapezoid(1 / (1 + xs * xs), xs))
+
+
+def run_experiment(interval_counts=INTERVALS):
+    table = Table(
+        "E7  Fig 2-2: trapezoidal rule on the dataflow machine "
+        "(paper §2.2.1)",
+        ["intervals", "result", "scipy", "error vs pi/4", "instructions",
+         "critical path", "avg parallelism"],
+        notes=[
+            "f(x) = 1/(1+x^2) on [0,1]; exact integral is pi/4",
+            "avg parallelism = instructions / critical path (unbounded PEs)",
+        ],
+    )
+    for n in interval_counts:
+        value, interp = integrate(n)
+        reference = scipy_reference(n)
+        assert abs(value - reference) < 1e-12, "engine disagrees with scipy"
+        table.add_row(
+            n, value, reference, abs(value - math.pi / 4),
+            interp.instructions_executed, interp.critical_path,
+            interp.average_parallelism(),
+        )
+    return table
+
+
+def run_on_machine(n=32, n_pes=4):
+    """The same program on the timed multi-PE machine."""
+    program = compile_source(TRAPEZOID, entry="trapezoid")
+    machine = TaggedTokenMachine(program, MachineConfig(n_pes=n_pes))
+    h = 1.0 / n
+    return machine.run(0.0, 1.0, n, h)
+
+
+def test_e07_shape(benchmark):
+    table = benchmark.pedantic(run_experiment, args=([4, 16, 64],),
+                               rounds=1, iterations=1)
+    errors = [float(x) for x in table.column("error vs pi/4")]
+    par = [float(x) for x in table.column("avg parallelism")]
+    # Quadrature converges as n grows; parallelism grows with the loop.
+    assert errors[0] > errors[-1]
+    assert errors[-1] < 1e-4
+    assert par[-1] > par[0]
+    assert par[-1] > 2.0
+
+
+def test_e07_timed_machine(benchmark):
+    result = benchmark.pedantic(run_on_machine, rounds=1, iterations=1)
+    assert abs(result.value - scipy_reference(32)) < 1e-12
+    assert result.time > 0
+
+
+if __name__ == "__main__":
+    from harness import write_table
+
+    write_table(run_experiment(), "e07_trapezoid")

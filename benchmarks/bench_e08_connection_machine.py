@@ -1,0 +1,84 @@
+"""E8 — the Connection Machine: communication dominates (§1.2.5).
+
+"It is clear that the speed of one bit ALU operations is irrelevant
+because it will be insignificant in comparison with the communication time
+- a processor will spend almost all (90%?, 99%?) of its time
+communicating."
+
+The SIMD model alternates bit-serial ALU phases with hypercube routing
+phases under the global-completion-flag barrier.  Random-graph traffic
+(the "applied artificial intelligence" workload the paper describes)
+drives the communication fraction into exactly the 90-99% band; the
+friendly nearest-neighbour pattern, and a 32x faster ALU, barely move it.
+"""
+
+from repro.analysis import Table
+from repro.machines import CMConfig, ConnectionMachineModel, IlliacIVModel
+
+
+def run_experiment(groups_log2=10, rounds=6):
+    table = Table(
+        "E8  Connection Machine: fraction of time spent communicating "
+        "(paper §1.2.5)",
+        ["pattern", "ALU bits/op", "groups", "comm fraction", "max link load",
+         "mean hops"],
+        notes=[
+            "SIMD rounds of (bit-serial ALU op, message round, global barrier)",
+            "the paper's estimate: 'almost all (90%?, 99%?) of its time'",
+        ],
+    )
+    for pattern in ("neighbor", "random"):
+        for word_bits in (32, 1):
+            config = CMConfig(groups_log2=groups_log2, word_bits=word_bits)
+            result = ConnectionMachineModel(config).run_graph_workload(
+                rounds=rounds, pattern=pattern
+            )
+            table.add_row(pattern, word_bits, config.n_groups,
+                          result.comm_fraction, result.max_link_load,
+                          result.mean_hops)
+    return table
+
+
+def illiac_table():
+    model = IlliacIVModel()
+    table = Table(
+        "E8b  Illiac IV: uniform-shift serialization (paper §1.2.5)",
+        ["transfer pattern", "shift instructions"],
+        notes=["one instruction moves every processor one step in one "
+               "direction; everyone waits for the farthest request"],
+    )
+    table.add_row("all east by 1", model.shifts_needed([(0, 1)] * 64))
+    table.add_row("half east, half west",
+                  model.shifts_needed([(0, 1)] * 32 + [(0, -1)] * 32))
+    table.add_row("one corner-to-corner (7,7)",
+                  model.shifts_needed([(0, 0)] * 63 + [(7, 7)]))
+    return table
+
+
+def test_e08_shape(benchmark):
+    table = benchmark.pedantic(run_experiment, kwargs={"groups_log2": 8},
+                               rounds=1, iterations=1)
+    fractions = {
+        (row[0], row[1]): float(row[3]) for row in table.rows
+    }
+    # Random graph traffic: inside the paper's 90-99% band.
+    assert fractions[("random", "32")] > 0.9
+    # A 32x faster ALU is irrelevant: fraction stays within a few percent.
+    assert fractions[("random", "1")] > 0.95
+    # Even neighbour traffic is communication-heavy on bit-serial links.
+    assert fractions[("neighbor", "32")] > 0.4
+
+
+def test_e08b_illiac(benchmark):
+    table = benchmark.pedantic(illiac_table, rounds=1, iterations=1)
+    shifts = [int(x) for x in table.column("shift instructions")]
+    assert shifts[0] == 1  # uniform shift is one instruction
+    assert shifts[1] == 2  # east+west serialize
+    assert shifts[2] == 14  # everyone waits out the long transfer
+
+
+if __name__ == "__main__":
+    from harness import write_table
+
+    write_table(run_experiment(), "e08_connection_machine")
+    write_table(illiac_table(), "e08b_illiac_iv")

@@ -1,0 +1,79 @@
+"""E9 — low-level context switching needs unboundedly many contexts (§1.1).
+
+"In the multiprocessor case, it will be necessary to have an unbounded
+number of tasks to achieve scalability. ... As memory elements are added,
+the depth of the communication network will grow.  Hence, the number of
+low-level contexts to be maintained will also have to increase to match
+the increase in memory latency time."
+
+A HEP-style multithreaded processor runs K contexts of the same kernel
+against a sweep of memory latencies.  For every latency there is a K that
+saturates the pipeline — but that K grows linearly with the latency, so
+no *fixed*-context processor survives scaling.
+"""
+
+from repro.analysis import Table, contexts_needed
+from repro.vonneumann import VNMachine, programs
+
+LATENCIES = [2, 5, 10, 20, 40]
+CONTEXTS = [1, 2, 4, 8, 16, 32]
+
+
+def run_point(n_contexts, latency, iterations=12):
+    machine = VNMachine(1, memory="dancehall", latency=latency, memory_time=1)
+    source = programs.compute_loop(iterations, loads_per_iter=1,
+                                   alu_ops_per_iter=1)
+    machine.add_multithreaded_processor(
+        [(source, {}) for _ in range(n_contexts)]
+    )
+    machine.run()
+    return machine.processors[0].utilization()
+
+
+def run_experiment(latencies=LATENCIES, context_counts=CONTEXTS,
+                   target=0.9):
+    table = Table(
+        "E9  Hardware contexts needed to cover memory latency "
+        "(paper §1.1, Issue 1)",
+        ["latency"] + [f"K={k}" for k in context_counts]
+        + ["K needed (measured)", "K needed (model)"],
+        notes=[
+            f"cell = pipeline utilization; 'needed' = smallest K with "
+            f"utilization >= {target}",
+            "kernel: 1 load + ~4 other cycles per iteration",
+        ],
+    )
+    for latency in latencies:
+        utils = [run_point(k, latency) for k in context_counts]
+        measured = next(
+            (k for k, u in zip(context_counts, utils) if u >= target), None
+        )
+        model = contexts_needed(5, 2 * latency + 1, target)
+        table.add_row(latency, *utils,
+                      measured if measured is not None else f">{context_counts[-1]}",
+                      model)
+    return table
+
+
+def test_e09_shape(benchmark):
+    table = benchmark.pedantic(
+        run_experiment, args=([2, 10, 40], [1, 4, 16, 32]), rounds=1,
+        iterations=1,
+    )
+    # Utilization grows with K at fixed latency.
+    for row in table.rows:
+        utils = [float(x) for x in row[1:5]]
+        assert utils == sorted(utils)
+    # The K needed to stay saturated grows with latency: the K that covers
+    # latency 2 no longer covers latency 40.
+    k1_util_low_latency = float(table.rows[0][1])
+    k1_util_high_latency = float(table.rows[2][1])
+    assert k1_util_low_latency > 3 * k1_util_high_latency
+    k32_high = float(table.rows[2][4])
+    assert k32_high > 0.8  # enough contexts always recovers utilization
+
+
+if __name__ == "__main__":
+    from harness import write_table
+
+    write_table(run_experiment(), "e09_context_depth")

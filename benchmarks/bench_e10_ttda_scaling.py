@@ -1,0 +1,94 @@
+"""E10 — scalability of the tagged-token machine (§2.3, §3).
+
+The payoff claim: with tagged tokens, associative matching and I-structure
+storage, adding PEs speeds programs up without reprogramming — the
+"thousand-fold parallelism grail" motivation of §3.  Matmul and wavefront
+sweep the PE count; the mapping-policy ablation (hash vs by-context)
+quantifies the locality/balance trade the mapping information of §2.2.2
+controls.
+"""
+
+from repro.analysis import Table, speedup
+from repro.dataflow import ByContextMapping, MachineConfig, TaggedTokenMachine
+from repro.workloads import compile_workload
+
+PE_COUNTS = [1, 2, 4, 8, 16]
+
+
+def run_point(workload, args, n_pes, mapping="hash"):
+    program, reference, _ = compile_workload(workload)
+    config = MachineConfig(n_pes=n_pes)
+    if mapping == "context":
+        config.mapping_factory = lambda n: ByContextMapping(n)
+    machine = TaggedTokenMachine(program, config)
+    result = machine.run(*args)
+    assert result.value == reference(*args)
+    return result
+
+
+def run_experiment(pe_counts=PE_COUNTS, matmul_n=5, wavefront_n=7):
+    table = Table(
+        "E10  Tagged-token machine scaling (paper §2.3, §3)",
+        ["PEs", "workload", "time", "speedup", "mean ALU util",
+         "network tokens"],
+        notes=["same program, same arguments; only the PE count changes"],
+    )
+    for workload, args in (("matmul", (matmul_n,)),
+                           ("wavefront", (wavefront_n,))):
+        base = None
+        for n_pes in pe_counts:
+            result = run_point(workload, args, n_pes)
+            if base is None:
+                base = result.time
+            table.add_row(
+                n_pes, workload, result.time, speedup(base, result.time),
+                result.mean_alu_utilization,
+                result.counters.get("tokens_network", 0),
+            )
+    return table
+
+
+def mapping_ablation(n_pes=8, matmul_n=5):
+    table = Table(
+        "E10b  Mapping policy ablation: hash vs by-context (paper §2.2.2)",
+        ["policy", "time", "network tokens", "local tokens"],
+        notes=["by-context trades load balance for locality"],
+    )
+    for policy in ("hash", "context"):
+        result = run_point("matmul", (matmul_n,), n_pes, mapping=policy)
+        table.add_row(policy, result.time,
+                      result.counters.get("tokens_network", 0),
+                      result.counters.get("tokens_local", 0))
+    return table
+
+
+def test_e10_shape(benchmark):
+    table = benchmark.pedantic(run_experiment, args=([1, 4, 8],),
+                               kwargs={"matmul_n": 4, "wavefront_n": 6},
+                               rounds=1, iterations=1)
+    matmul_rows = [r for r in table.rows if r[1] == "matmul"]
+    speedups = [float(r[3]) for r in matmul_rows]
+    assert speedups[0] == 1.0
+    assert speedups[1] > 1.5  # 4 PEs
+    assert speedups[2] > speedups[1]  # 8 PEs keeps helping
+    wavefront_rows = [r for r in table.rows if r[1] == "wavefront"]
+    assert float(wavefront_rows[-1][3]) > 1.3
+
+
+def test_e10b_mapping(benchmark):
+    table = benchmark.pedantic(mapping_ablation, kwargs={"matmul_n": 4},
+                               rounds=1, iterations=1)
+    hash_row, context_row = table.rows
+    # By-context keeps more tokens local than pure hashing.
+    hash_local_share = int(hash_row[3]) / (int(hash_row[2]) + int(hash_row[3]))
+    ctx_local_share = int(context_row[3]) / (
+        int(context_row[2]) + int(context_row[3])
+    )
+    assert ctx_local_share > hash_local_share
+
+
+if __name__ == "__main__":
+    from harness import write_table
+
+    write_table(run_experiment(), "e10_ttda_scaling")
+    write_table(mapping_ablation(), "e10b_mapping_ablation")

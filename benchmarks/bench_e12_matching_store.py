@@ -1,0 +1,76 @@
+"""E12 — the waiting–matching section tracks exposed parallelism (§2.2.3).
+
+"When a match is expected but not found, the token remains in the
+waiting-matching unit's associative memory until its partner arrives."
+The associative store is the hardware budget for exposed parallelism:
+the more iterations/calls in flight, the more first-operand tokens parked
+awaiting partners.  We sweep problem size and PE count and record mean and
+peak occupancy.
+"""
+
+from repro.analysis import Table
+from repro.dataflow import MachineConfig, TaggedTokenMachine
+from repro.workloads import compile_workload
+
+
+def run_point(workload, args, n_pes=4):
+    program, _, _ = compile_workload(workload)
+    machine = TaggedTokenMachine(program, MachineConfig(n_pes=n_pes))
+    result = machine.run(*args)
+    mean_occ, peak_occ = machine.matching_store_occupancy()
+    return result, mean_occ, peak_occ
+
+
+def run_experiment(sizes=(3, 4, 5, 6), n_pes=4):
+    table = Table(
+        "E12  Waiting-matching store occupancy vs exposed parallelism "
+        "(paper §2.2.3)",
+        ["matmul n", "instructions", "time", "mean waiting tokens",
+         "peak waiting tokens", "tokens parked"],
+        notes=[f"{n_pes} PEs; occupancy summed over the machine"],
+    )
+    for n in sizes:
+        result, mean_occ, peak_occ = run_point("matmul", (n,), n_pes)
+        table.add_row(n, result.instructions, result.time, mean_occ, peak_occ,
+                      result.counters.get("tokens_parked", 0))
+    return table
+
+
+def pe_sweep(n=5, pe_counts=(1, 2, 4, 8)):
+    table = Table(
+        "E12b  Occupancy concentration vs PE count",
+        ["PEs", "mean waiting tokens (machine)", "peak waiting tokens (one PE)"],
+        notes=["total exposed parallelism is a program property; per-PE "
+               "associative stores share the load as PEs are added"],
+    )
+    for n_pes in pe_counts:
+        _, mean_occ, peak_occ = run_point("matmul", (n,), n_pes)
+        table.add_row(n_pes, mean_occ, peak_occ)
+    return table
+
+
+def test_e12_shape(benchmark):
+    table = benchmark.pedantic(run_experiment, args=((3, 5),), rounds=1,
+                               iterations=1)
+    means = [float(x) for x in table.column("mean waiting tokens")]
+    peaks = [float(x) for x in table.column("peak waiting tokens")]
+    # Bigger problems expose more parallelism => more parked tokens.
+    assert means[-1] > means[0]
+    assert peaks[-1] >= peaks[0]
+
+
+def test_e12b_shape(benchmark):
+    table = benchmark.pedantic(pe_sweep, kwargs={"n": 4,
+                                                 "pe_counts": (1, 8)},
+                               rounds=1, iterations=1)
+    peaks = [float(x) for x in
+             table.column("peak waiting tokens (one PE)")]
+    # Spreading activities over 8 PEs lowers the worst single store.
+    assert peaks[1] < peaks[0]
+
+
+if __name__ == "__main__":
+    from harness import write_table
+
+    write_table(run_experiment(), "e12_matching_store")
+    write_table(pe_sweep(), "e12b_matching_store_pes")

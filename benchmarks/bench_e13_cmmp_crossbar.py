@@ -1,0 +1,70 @@
+"""E13 — C.mmp: the crossbar circumvents latency, at quadratic cost
+(§1.2.1).
+
+"The switch speed was comparable to the speed of a local memory reference,
+but the cost of building a larger switch which maintains the same
+performance level grows at least quadratically.  This reliance on
+technology doesn't solve the memory latency problem; it merely circumvents
+it."  Plus the semaphore observation: "the performance cost of this
+relative to, say, an ALU operation is rather high."
+"""
+
+from repro.analysis import Table
+from repro.machines import crossbar_scaling_table, semaphore_cost
+
+PORTS = [2, 4, 8, 16, 32]
+
+
+def run_experiment(port_counts=PORTS):
+    table = Table(
+        "E13  C.mmp crossbar: cost vs latency scaling (paper §1.2.1)",
+        ["ports", "crosspoints", "cost growth", "mean latency",
+         "latency growth", "mean utilization"],
+        notes=[
+            "cost growth / latency growth are relative to the smallest size",
+            "uniform disjoint-address workload (conflict-light)",
+        ],
+    )
+    rows = crossbar_scaling_table(port_counts)
+    base_cost = rows[0][1]
+    base_latency = rows[0][2]
+    for n, cost, latency, utilization in rows:
+        table.add_row(n, cost, cost / base_cost, latency,
+                      latency / base_latency, utilization)
+    return table
+
+
+def semaphore_table(n_procs=8):
+    cycles, alu, ratio = semaphore_cost(n_procs=n_procs)
+    table = Table(
+        "E13b  Hydra-style semaphore cost (paper §1.2.1)",
+        ["measurement", "value"],
+    )
+    table.add_row("cycles per lock-protected critical section", cycles)
+    table.add_row("cycles per ALU operation", alu)
+    table.add_row("ratio", ratio)
+    return table
+
+
+def test_e13_shape(benchmark):
+    table = benchmark.pedantic(run_experiment, args=([2, 8, 32],), rounds=1,
+                               iterations=1)
+    cost_growth = [float(x) for x in table.column("cost growth")]
+    latency_growth = [float(x) for x in table.column("latency growth")]
+    # 16x the ports -> 256x the crosspoints, but latency within ~3x.
+    assert cost_growth[-1] == 256.0
+    assert latency_growth[-1] < 4.0
+
+
+def test_e13b_shape(benchmark):
+    table = benchmark.pedantic(semaphore_table, kwargs={"n_procs": 4},
+                               rounds=1, iterations=1)
+    ratio = float(table.rows[-1][1])
+    assert ratio > 10
+
+
+if __name__ == "__main__":
+    from harness import write_table
+
+    write_table(run_experiment(), "e13_cmmp_crossbar")
+    write_table(semaphore_table(), "e13b_semaphore_cost")

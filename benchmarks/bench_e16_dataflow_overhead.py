@@ -1,0 +1,82 @@
+"""E16 (extension) — the price of the dataflow solution: overhead ops.
+
+The paper presents tagged-token dataflow as the cure for Issues 1 and 2;
+the contemporaneous critique of dataflow (which Arvind's group openly
+engaged) is its *instruction overhead*: switches, tag manipulation (D,
+D⁻¹, L, L⁻¹), gates and linkage are cycles a von Neumann machine does not
+execute.  This experiment quantifies that overhead across the workload
+library: the dynamic instruction mix by opcode class, and the fraction of
+executed instructions doing arithmetic the programmer asked for.
+
+This is the ablation DESIGN.md §5 calls "tagged matching vs static
+dataflow" viewed from the cost side; it keeps the reproduction honest.
+"""
+
+from repro.analysis import Table
+from repro.dataflow import Interpreter
+from repro.workloads import WORKLOADS, compile_workload
+
+
+def instruction_mix(name):
+    program, _, args = compile_workload(name)
+    interp = Interpreter(program)
+    interp.run(*args)
+    total = interp.counters["executed"]
+    classes = {
+        key[len("class_"):]: value
+        for key, value in interp.counters.as_dict().items()
+        if key.startswith("class_")
+    }
+    return total, classes
+
+
+def run_experiment(names=None):
+    names = sorted(WORKLOADS) if names is None else names
+    table = Table(
+        "E16  Dynamic instruction mix: the overhead of dataflow sequencing",
+        ["workload", "total", "pure %", "control %", "tag %", "linkage %",
+         "structure %", "useful fraction"],
+        notes=[
+            "pure = arithmetic/relational/logical; control = switch/gate/"
+            "constant/sink; tag = D, D⁻¹, L, L⁻¹",
+            "useful fraction = pure / total (a von Neumann loop has "
+            "overhead too: branches, address arithmetic)",
+        ],
+    )
+    for name in names:
+        total, classes = instruction_mix(name)
+        def pct(key):
+            return 100.0 * classes.get(key, 0) / total
+
+        table.add_row(
+            name, total, pct("pure"), pct("control"), pct("tag"),
+            pct("linkage"), pct("structure"),
+            classes.get("pure", 0) / total,
+        )
+    return table
+
+
+def test_e16_shape(benchmark):
+    table = benchmark.pedantic(
+        run_experiment, args=(["trapezoid", "matmul", "fib", "pipeline"],),
+        rounds=1, iterations=1,
+    )
+    useful = [float(x) for x in table.column("useful fraction")]
+    tag_pct = [float(x) for x in table.column("tag %")]
+    # The overhead is real: no workload is all-arithmetic, and loop-heavy
+    # code pays double-digit tag-manipulation percentages.
+    assert all(0.1 < u < 0.8 for u in useful)
+    loop_heavy = dict(zip(table.column("workload"), tag_pct))
+    assert float(loop_heavy["pipeline"]) > 10.0
+    # Recursion pays in linkage instead of tags.
+    mixes = dict(zip(table.column("workload"),
+                     zip(tag_pct, [float(x) for x in
+                                   table.column("linkage %")])))
+    fib_tag, fib_linkage = mixes["fib"]
+    assert fib_linkage > fib_tag
+
+
+if __name__ == "__main__":
+    from harness import write_table
+
+    write_table(run_experiment(), "e16_dataflow_overhead")

@@ -1,0 +1,72 @@
+"""E17 (extension) — ablating the unbounded associative store (§2.2.3).
+
+The paper's waiting-matching section is an associative memory where
+unmatched tokens wait indefinitely.  Real associative memories are small;
+when exposed parallelism exceeds capacity, tokens spill to a slower
+overflow store.  This ablation sweeps the per-PE capacity and shows the
+cliff: performance is flat while the store holds the working set of
+unmatched tokens, then degrades as probes start paying the overflow
+penalty — quantifying how much associative memory the paper's machine
+actually needs for a given workload.
+"""
+
+from repro.analysis import Table
+from repro.dataflow import MachineConfig, TaggedTokenMachine
+from repro.workloads import compile_workload
+
+CAPACITIES = [None, 128, 64, 32, 16, 8, 4]
+
+
+def run_point(capacity, n=5, n_pes=4, penalty=16.0):
+    program, reference, _ = compile_workload("matmul")
+    config = MachineConfig(n_pes=n_pes, wm_capacity=capacity,
+                           wm_overflow_penalty=penalty)
+    machine = TaggedTokenMachine(program, config)
+    result = machine.run(n)
+    assert result.value == reference(n)
+    return result, machine
+
+
+def run_experiment(capacities=CAPACITIES, n=5, n_pes=4):
+    table = Table(
+        "E17  Finite waiting-matching store: capacity ablation "
+        "(paper §2.2.3)",
+        ["capacity/PE", "time", "slowdown", "overflow probes",
+         "peak waiting (one PE)"],
+        notes=[
+            "overflow probe = a match attempt while the store is over "
+            "capacity (pays the spill penalty)",
+            f"matmul n={n} on {n_pes} PEs; penalty 16 cycles",
+        ],
+    )
+    base_time = None
+    for capacity in capacities:
+        result, machine = run_point(capacity, n=n, n_pes=n_pes)
+        if base_time is None:
+            base_time = result.time
+        _, peak = machine.matching_store_occupancy()
+        table.add_row(
+            "unbounded" if capacity is None else capacity,
+            result.time, result.time / base_time,
+            result.counters.get("wm_overflows", 0), peak,
+        )
+    return table
+
+
+def test_e17_shape(benchmark):
+    table = benchmark.pedantic(run_experiment, args=([None, 64, 8],),
+                               kwargs={"n": 4}, rounds=1, iterations=1)
+    slowdowns = [float(x) for x in table.column("slowdown")]
+    overflows = [int(x) for x in table.column("overflow probes")]
+    assert slowdowns[0] == 1.0
+    assert overflows[0] == 0
+    # A capacity above the working set is free; a tiny store is not.
+    assert slowdowns[-1] > slowdowns[1]
+    assert slowdowns[-1] > 1.15
+    assert overflows[-1] > overflows[1]
+
+
+if __name__ == "__main__":
+    from harness import write_table
+
+    write_table(run_experiment(), "e17_wm_capacity")

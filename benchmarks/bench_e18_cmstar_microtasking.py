@@ -1,0 +1,67 @@
+"""E18 (extension) — the experiment the paper asks for (§1.2.2).
+
+"Kmap, the communications controller, was actually a context-switching
+processor which could tolerate the long-latency remote memory references.
+Unfortunately, the processors (LSI-11s) could not perform similar
+low-level context switches during a remote reference.  *It would be
+interesting to speculate on the behavior of Cm\\* if micro-tasking
+processors had been used.*"
+
+We run that speculation: the Cm* locality sweep with HEP-style
+multithreaded computer modules (K contexts per processor).  Micro-tasking
+recovers most of the utilization lost to remote references — but only by
+multiplying contexts, which is exactly the unbounded-context treadmill of
+Issue 1 (see E9); and the recovered throughput then saturates the shared
+Kmaps/intercluster bus instead.
+"""
+
+from repro.analysis import Table
+from repro.machines import locality_sweep
+
+FRACTIONS = [0.0, 0.1, 0.2, 0.35, 0.5]
+CONTEXTS = [1, 2, 4, 8]
+
+
+def run_experiment(fractions=FRACTIONS, context_counts=CONTEXTS,
+                   n_clusters=2, cluster_size=2, n_refs=40):
+    table = Table(
+        "E18  Cm* with micro-tasking processors (the §1.2.2 speculation)",
+        ["remote fraction"] + [f"util K={k}" for k in context_counts],
+        notes=[
+            f"{n_clusters} clusters x {cluster_size} modules, "
+            "inter-cluster victims",
+            "K = hardware contexts per computer module (K=1 is the real Cm*)",
+        ],
+    )
+    columns = []
+    for k in context_counts:
+        rows = locality_sweep(
+            fractions, n_clusters=n_clusters, cluster_size=cluster_size,
+            n_refs=n_refs, remote_kind="intercluster", contexts=k,
+        )
+        columns.append([util for _, util, _ in rows])
+    for i, fraction in enumerate(fractions):
+        table.add_row(fraction, *[col[i] for col in columns])
+    return table
+
+
+def test_e18_shape(benchmark):
+    table = benchmark.pedantic(
+        run_experiment, args=([0.0, 0.1, 0.5], [1, 4]), rounds=1,
+        iterations=1,
+    )
+    k1 = [float(x) for x in table.column("util K=1")]
+    k4 = [float(x) for x in table.column("util K=4")]
+    # Micro-tasking recovers utilization while latency is the problem...
+    assert k4[0] > 1.5 * k1[0]
+    assert k4[1] > 1.5 * k1[1]
+    # ...but once remote traffic saturates the shared Kmaps/intercluster
+    # bus, extra contexts buy nothing: the bottleneck has moved.
+    assert k4[2] < 1.2 * k1[2]
+    assert k4[2] < k4[0]
+
+
+if __name__ == "__main__":
+    from harness import write_table
+
+    write_table(run_experiment(), "e18_cmstar_microtasking")

@@ -1,0 +1,26 @@
+"""Shared plumbing for the experiment benchmarks.
+
+Every experiment module exposes ``run_experiment(...) -> Table`` (or a
+small set of named runners).  The pytest-benchmark wrappers time a
+representative configuration and assert the *shape* of the result — who
+wins, by roughly what factor, where the crossover falls — mirroring the
+claim-by-claim records in EXPERIMENTS.md.
+
+Run any module directly (``python benchmarks/bench_e01_....py``) to print
+its full table and write it under ``benchmarks/results/``.
+"""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_table(table, name):
+    """Print a table and persist it under benchmarks/results/<name>.txt."""
+    text = str(table)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    print(text)
+    return path

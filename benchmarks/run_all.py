@@ -1,0 +1,63 @@
+"""Regenerate every experiment table under benchmarks/results/.
+
+Run:  python benchmarks/run_all.py
+"""
+
+import importlib
+import sys
+import time
+
+from harness import write_table
+
+EXPERIMENTS = [
+    ("bench_e01_latency_tolerance", [("run_experiment", "e01_latency_tolerance")]),
+    ("bench_e02_sync_granularity", [("run_experiment", "e02_sync_granularity")]),
+    ("bench_e03_cache_coherence",
+     [("run_experiment", "e03_cache_coherence"),
+      ("write_policy_table", "e03b_write_policy")]),
+    ("bench_e04_cmstar_locality", [("run_experiment", "e04_cmstar_locality")]),
+    ("bench_e05_fetch_and_add", [("run_experiment", "e05_fetch_and_add")]),
+    ("bench_e06_busywait_vs_istructure",
+     [("run_experiment", "e06_busywait_vs_istructure")]),
+    ("bench_e07_trapezoid", [("run_experiment", "e07_trapezoid")]),
+    ("bench_e08_connection_machine",
+     [("run_experiment", "e08_connection_machine"),
+      ("illiac_table", "e08b_illiac_iv")]),
+    ("bench_e09_context_depth", [("run_experiment", "e09_context_depth")]),
+    ("bench_e10_ttda_scaling",
+     [("run_experiment", "e10_ttda_scaling"),
+      ("mapping_ablation", "e10b_mapping_ablation")]),
+    ("bench_e11_istructure_cost", [("run_experiment", "e11_istructure_cost")]),
+    ("bench_e12_matching_store",
+     [("run_experiment", "e12_matching_store"),
+      ("pe_sweep", "e12b_matching_store_pes")]),
+    ("bench_e13_cmmp_crossbar",
+     [("run_experiment", "e13_cmmp_crossbar"),
+      ("semaphore_table", "e13b_semaphore_cost")]),
+    ("bench_e14_vliw",
+     [("run_width_sweep", "e14_vliw_width"),
+      ("run_latency_surprise", "e14b_vliw_latency_surprise")]),
+    ("bench_e15_emulation_facility",
+     [("run_experiment", "e15_emulation_facility")]),
+    ("bench_e16_dataflow_overhead",
+     [("run_experiment", "e16_dataflow_overhead")]),
+    ("bench_e17_wm_capacity", [("run_experiment", "e17_wm_capacity")]),
+    ("bench_e18_cmstar_microtasking",
+     [("run_experiment", "e18_cmstar_microtasking")]),
+    ("bench_e19_crossover", [("run_experiment", "e19_crossover")]),
+]
+
+
+def main():
+    for module_name, runners in EXPERIMENTS:
+        module = importlib.import_module(module_name)
+        for fn_name, out_name in runners:
+            start = time.time()
+            table = getattr(module, fn_name)()
+            write_table(table, out_name)
+            print(f"[{time.time() - start:6.1f}s] {out_name}\n",
+                  file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Issue 2 live: three ways to synchronize a producer and a consumer.
+
+The paper's §1.1 example — one routine filling a array, another reading
+it — under the three disciplines the paper discusses: a whole-array
+barrier, HEP-style per-element busy-waiting, and I-structure deferred
+reads.  Prints completion times, overlap, and the busy-wait traffic.
+
+Run:  python examples/producer_consumer.py
+"""
+
+from repro.dataflow import Interpreter, MachineConfig, TaggedTokenMachine
+from repro.lang import compile_source
+from repro.vonneumann import VNMachine, programs
+from repro.workloads import PIPELINE
+
+N = 24
+
+
+def whole_array():
+    machine = VNMachine(2, memory="dancehall", latency=2, memory_time=1,
+                        retry_backoff=4)
+    machine.add_processor(programs.producer_whole_array(100, N, 50))
+    machine.add_processor(programs.consumer_whole_array(100, N, 50, 99))
+    result = machine.run()
+    return result.time, result.counters.get("retries", 0), machine.peek(99)
+
+
+def per_element_busywait():
+    machine = VNMachine(2, memory="dancehall", latency=2, memory_time=1,
+                        retry_backoff=4)
+    machine.add_processor(programs.producer_per_element(100, N))
+    machine.add_processor(programs.consumer_per_element(100, N, 99))
+    result = machine.run()
+    return result.time, result.counters.get("retries", 0), machine.peek(99)
+
+
+def istructure():
+    program = compile_source(PIPELINE, entry="pipeline")
+    machine = TaggedTokenMachine(
+        program, MachineConfig(n_pes=4, network_latency=2)
+    )
+    result = machine.run(N)
+    deferred = sum(
+        pe.istructure.module.counters["reads_deferred"] for pe in machine.pes
+    )
+    return result.time, deferred, result.value
+
+
+def main():
+    expected = sum(k * k for k in range(N))
+    print(f"producing and consuming a {N}-element array "
+          f"(expected sum = {expected})\n")
+
+    t, retries, value = whole_array()
+    assert value == expected
+    print("whole-array flag (von Neumann)")
+    print(f"  time {t:7.0f}   busy-wait retries {retries:5d}   "
+          "overlap: none — consumer waits for the flag\n")
+
+    t, retries, value = per_element_busywait()
+    assert value == expected
+    print("per-element full/empty bits, HEP style (von Neumann)")
+    print(f"  time {t:7.0f}   busy-wait retries {retries:5d}   "
+          "overlap: yes — paid for in retry traffic\n")
+
+    t, deferred, value = istructure()
+    assert value == expected
+    print("per-element I-structures (tagged-token dataflow)")
+    print(f"  time {t:7.0f}   deferred reads    {deferred:5d}   "
+          "overlap: yes — each early read parks once, no retries\n")
+
+    print("The untimed interpreter shows the ideal overlap:")
+    interp = Interpreter(compile_source(PIPELINE, entry="pipeline"))
+    interp.run(N)
+    print(f"  critical path {interp.critical_path} steps for "
+          f"{interp.instructions_executed} instructions "
+          f"(avg parallelism {interp.average_parallelism():.1f})")
+
+
+if __name__ == "__main__":
+    main()

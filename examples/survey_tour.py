@@ -1,0 +1,90 @@
+"""A tour of §1.2: run every surveyed machine and print its verdict.
+
+One representative measurement per machine — C.mmp's quadratic crossbar,
+Cm*'s locality ceiling, the Ultracomputer's combining switches, the VLIW
+width plateau, and the Connection Machine's communication dominance —
+each annotated with the paper's sentence it reproduces.
+
+Run:  python examples/survey_tour.py
+"""
+
+from repro.dataflow import Interpreter
+from repro.machines import (
+    CMConfig,
+    ConnectionMachineModel,
+    VLIWModel,
+    crossbar_scaling_table,
+    locality_sweep,
+    run_hotspot,
+    semaphore_cost,
+)
+from repro.workloads import compile_workload
+
+
+def cmmp():
+    print("C.mmp (§1.2.1) — 'cost ... grows at least quadratically'")
+    rows = crossbar_scaling_table([2, 4, 8, 16], workload_iterations=12)
+    for n, cost, latency, util in rows:
+        print(f"  {n:>2} ports: {cost:>4} crosspoints, "
+              f"latency {latency:5.1f}, utilization {util:.2f}")
+    cycles, _, ratio = semaphore_cost(n_procs=4, increments=8)
+    print(f"  semaphore: {cycles:.1f} cycles per critical section "
+          f"({ratio:.0f}x an ALU op)\n")
+
+
+def cmstar():
+    print("Cm* (§1.2.2) — 'greater interprocessor distances translated "
+          "into ... decreased processor utilization'")
+    for fraction, util, _ in locality_sweep([0.0, 0.1, 0.3, 0.5],
+                                            n_clusters=2, cluster_size=2,
+                                            n_refs=30):
+        print(f"  {fraction * 100:4.0f}% remote refs -> utilization {util:.3f}")
+    print()
+
+
+def ultracomputer():
+    print("NYU Ultracomputer (§1.2.3) — combining FETCH-AND-ADD")
+    for combining in (False, True):
+        result = run_hotspot(5, combining=combining)
+        label = "with combining   " if combining else "without combining"
+        print(f"  {label}: {result.memory_arrivals:>3} hot-port arrivals "
+              f"for {result.n_procs} processors, "
+              f"worst round trip {result.max_round_trip:.0f}")
+    print()
+
+
+def vliw():
+    print("VLIW (§1.2.4) — 'small scale (4 to 8) parallelism'")
+    program, _, args = compile_workload("trapezoid")
+    interp = Interpreter(program)
+    interp.run(*args)
+    for width, cycles, speedup in VLIWModel().width_sweep(
+            interp, [1, 4, 8, 32]):
+        print(f"  width {width:>2}: {cycles:>5} cycles "
+              f"(speedup {speedup:.2f})")
+    print()
+
+
+def connection_machine():
+    print("Connection Machine (§1.2.5) — 'almost all (90%?, 99%?) of its "
+          "time communicating'")
+    model = ConnectionMachineModel(CMConfig(groups_log2=9))
+    for pattern in ("neighbor", "random"):
+        result = model.run_graph_workload(rounds=5, pattern=pattern)
+        print(f"  {pattern:>8} traffic: {result.comm_fraction * 100:5.1f}% "
+              "of time in communication")
+    print()
+
+
+def main():
+    cmmp()
+    cmstar()
+    ultracomputer()
+    vliw()
+    connection_machine()
+    print("Each machine fails one of the paper's two issues; "
+          "see benchmarks/ for the full experiments E1-E15.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""One source, three machines — and both sides of the argument.
+
+The same Id-like sources run on (1) the untimed U-interpreter, (2) the
+timed tagged-token multiprocessor, and (3) a stalling von Neumann
+uniprocessor via the sequential backend.  Two workloads are swept over
+network latency to show that Issue 1 is about *where the data lives*:
+
+* ``wavefront`` keeps its data in **memory** (an n x n array): the
+  uniprocessor stalls on every element and its time grows with latency,
+  while the dataflow machine hides the latency behind the diagonal
+  parallelism — the paper's headline effect;
+* ``count_primes`` keeps its working set in **registers**: the
+  uniprocessor barely notices latency, while the dataflow machine pays
+  network freight on every token — the locality cost of fine-grain
+  dataflow that Arvind's group spent the rest of the decade attacking.
+
+Run:  python examples/three_engines.py
+"""
+
+from repro.analysis import Table
+from repro.dataflow import Interpreter, MachineConfig, TaggedTokenMachine
+from repro.lang import compile_source
+from repro.vonneumann import run_sequential
+from repro.workloads import PRIMES, WAVEFRONT
+
+LATENCIES = (1, 4, 16, 64)
+
+
+def sweep(name, source, entry, args, n_pes=8):
+    program = compile_source(source, entry=entry)
+    interp = Interpreter(program)
+    answer = interp.run(*args)
+    print(f"{name}{args} = {answer}   "
+          f"(avg parallelism {interp.average_parallelism():.1f})")
+    table = Table(
+        f"{name}: same source on both machines",
+        ["latency", "von Neumann time", f"dataflow time ({n_pes} PEs)",
+         "dataflow advantage"],
+    )
+    for latency in LATENCIES:
+        vn_value, vn_result = run_sequential(source, args, entry=entry,
+                                             latency=latency)
+        machine = TaggedTokenMachine(
+            program, MachineConfig(n_pes=n_pes, network_latency=latency)
+        )
+        df_result = machine.run(*args)
+        assert vn_value == df_result.value == answer
+        table.add_row(latency, vn_result.time, df_result.time,
+                      vn_result.time / df_result.time)
+    print(table)
+    print()
+
+
+def main():
+    sweep("wavefront", WAVEFRONT, "wavefront", (8,))
+    print("Memory-resident data: the stalling processor pays the latency")
+    print("per element; the dataflow machine hides it (Issue 1, resolved).\n")
+
+    sweep("count_primes", PRIMES, "count_primes", (60,))
+    print("Register-resident data: the uniprocessor is latency-immune, and")
+    print("the dataflow machine ships every operand through the network -")
+    print("token freight is the price of fine-grain generality.  Both rows")
+    print("of this story are measured, not asserted.")
+
+
+if __name__ == "__main__":
+    main()

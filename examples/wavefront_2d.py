@@ -1,0 +1,54 @@
+"""Issue 2 on a 2-D array: the wavefront computation.
+
+This is exactly the scenario §1.1 worries about — "consider the case
+where the elements are not produced in a regular (i.e., row order or
+column order) way": element (i,j) needs (i-1,j) and (i,j-1), so the
+computation sweeps diagonally while the code is written as plain nested
+row loops.  I-structure presence bits let every row's producer and
+consumer run concurrently, deferring exactly the reads that arrive early.
+
+Run:  python examples/wavefront_2d.py
+"""
+
+from repro.dataflow import Interpreter, MachineConfig, TaggedTokenMachine
+from repro.graph import optimize_program
+from repro.lang import compile_source
+from repro.workloads import WAVEFRONT, wavefront_reference
+
+N = 10
+
+
+def main():
+    program = compile_source(WAVEFRONT, entry="wavefront")
+
+    print(f"== wavefront over a {N}x{N} I-structure ==")
+    interp = Interpreter(program)
+    value = interp.run(N)
+    expected = wavefront_reference(N)
+    print(f"w[n-1][n-1] = {value} (reference {expected})")
+    assert value == expected
+
+    deferred = interp.heap.counters["reads_deferred"]
+    immediate = interp.heap.counters["reads_immediate"]
+    print(f"\nreads that raced ahead of their writer : {deferred}")
+    print(f"reads that found the cell present      : {immediate}")
+    print("Every deferred read parked once on the cell's deferred list and")
+    print("was answered by the eventual write - no retries, no barriers.")
+
+    print("\nideal parallelism profile (diagonal sweep):")
+    print(f"  instructions    : {interp.instructions_executed}")
+    print(f"  critical path   : {interp.critical_path} steps")
+    print(f"  avg parallelism : {interp.average_parallelism():.2f}")
+
+    print("\ntimed machine, optimized graph:")
+    optimized = optimize_program(program)
+    for n_pes in (1, 4, 16):
+        machine = TaggedTokenMachine(optimized, MachineConfig(n_pes=n_pes))
+        result = machine.run(N)
+        assert result.value == expected
+        print(f"  {n_pes:>2} PEs: {result.time:7.0f} cycles "
+              f"(ALU util {result.mean_alu_utilization:.3f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""repro — a working reproduction of Arvind & Iannucci's *A Critique of
+Multiprocessing von Neumann Style* (MIT CSG Memo 226 / ISCA 1983).
+
+The package contains the machine the paper proposes — a tagged-token
+dataflow multiprocessor with I-structure storage — together with the
+von Neumann multiprocessors the paper critiques (C.mmp, Cm*, the NYU
+Ultracomputer, VLIW machines, the Connection Machine, and the HEP-style
+multithreaded processor), all as discrete-event simulations sharing one
+kernel, plus an Id-like language front end, workloads, and the experiment
+harness that turns each of the paper's qualitative claims into a
+measurable result.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the claim-by-claim reproduction record.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,28 @@
+"""Measurement, analytic models and reporting (S12 in DESIGN.md)."""
+
+from .metrics import (
+    contexts_needed,
+    efficiency,
+    harmonic_mean,
+    multithreaded_utilization,
+    speedup,
+    von_neumann_utilization,
+)
+from .report import Table
+from .scaling import latency_study, scaling_study
+from .sweep import crossover_point, geometric_range, sweep
+
+__all__ = [
+    "Table",
+    "contexts_needed",
+    "crossover_point",
+    "efficiency",
+    "geometric_range",
+    "harmonic_mean",
+    "latency_study",
+    "scaling_study",
+    "multithreaded_utilization",
+    "speedup",
+    "sweep",
+    "von_neumann_utilization",
+]

@@ -1,0 +1,69 @@
+"""Analytic models and derived metrics used to interpret simulations.
+
+These closed forms are the paper's implicit arithmetic: they predict what
+the simulators should show, and the benchmarks print measured-vs-model
+columns so divergence is visible.
+"""
+
+__all__ = [
+    "von_neumann_utilization",
+    "multithreaded_utilization",
+    "contexts_needed",
+    "speedup",
+    "efficiency",
+    "harmonic_mean",
+]
+
+
+def von_neumann_utilization(cpu_cycles_per_reference, round_trip_latency):
+    """Expected utilization of a single-context processor (Issue 1).
+
+    A processor that does ``r`` cycles of useful work per memory reference
+    and then stalls ``L`` cycles for it achieves ``r / (r + L)``.  As the
+    machine scales and L grows, utilization collapses — the paper's core
+    quantitative claim about von Neumann multiprocessors.
+    """
+    r = cpu_cycles_per_reference
+    return r / (r + round_trip_latency) if (r + round_trip_latency) > 0 else 0.0
+
+
+def multithreaded_utilization(n_contexts, cpu_cycles_per_reference,
+                              round_trip_latency):
+    """Expected utilization with K hardware contexts.
+
+    With K contexts each following the r-work / L-stall pattern, the
+    pipeline saturates once K * r >= r + L; below that it is K times the
+    single-context figure.  This is why "the number of low-level contexts
+    ... will have to increase to match the increase in memory latency"
+    (§1.1).
+    """
+    single = von_neumann_utilization(cpu_cycles_per_reference,
+                                     round_trip_latency)
+    return min(1.0, n_contexts * single)
+
+
+def contexts_needed(cpu_cycles_per_reference, round_trip_latency,
+                    target_utilization=0.9):
+    """Smallest K reaching ``target_utilization`` — grows linearly in L."""
+    import math
+
+    single = von_neumann_utilization(cpu_cycles_per_reference,
+                                     round_trip_latency)
+    if single <= 0:
+        return float("inf")
+    return max(1, math.ceil(target_utilization / single))
+
+
+def speedup(serial_time, parallel_time):
+    return serial_time / parallel_time if parallel_time > 0 else float("inf")
+
+
+def efficiency(serial_time, parallel_time, n_processors):
+    return speedup(serial_time, parallel_time) / n_processors
+
+
+def harmonic_mean(values):
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return len(values) / sum(1.0 / v for v in values)

@@ -1,0 +1,73 @@
+"""Result tables — the experiment harness's output format.
+
+Every benchmark renders its rows through :class:`Table` so EXPERIMENTS.md
+and the bench logs share one look: fixed-width aligned columns, a title
+line naming the experiment and the paper anchor, and optional notes.
+"""
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A titled, column-aligned results table."""
+
+    def __init__(self, title, columns, notes=None):
+        self.title = title
+        self.columns = list(columns)
+        self.rows = []
+        self.notes = list(notes) if notes else []
+
+    def add_row(self, *values):
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append([self._format(v) for v in values])
+        return self
+
+    def note(self, text):
+        self.notes.append(text)
+        return self
+
+    @staticmethod
+    def _format(value):
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            if value != value:  # NaN
+                return "-"
+            if abs(value) >= 1000 or (value != 0 and abs(value) < 0.01):
+                return f"{value:.3g}"
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    def __str__(self):
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(
+            column.ljust(widths[index])
+            for index, column in enumerate(self.columns)
+        )
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+            )
+        for note in self.notes:
+            lines.append(f"  * {note}")
+        return "\n".join(lines)
+
+    def to_csv(self):
+        out = [",".join(self.columns)]
+        out.extend(",".join(row) for row in self.rows)
+        return "\n".join(out)
+
+    def column(self, name):
+        """Raw (formatted) cells of one column, for assertions in tests."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]

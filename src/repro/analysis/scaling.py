@@ -1,0 +1,74 @@
+"""Prepackaged studies: PE-count and latency sweeps as one-call tables.
+
+These wrap the patterns every experiment repeats — run the same program
+while varying one machine parameter, and report time / speedup /
+utilization — so examples and downstream users don't re-write the loop.
+"""
+
+from .metrics import speedup
+from .report import Table
+
+__all__ = ["scaling_study", "latency_study"]
+
+
+def scaling_study(program, args, pe_counts, mapping="hash", title=None,
+                  **config_kwargs):
+    """Sweep the PE count; returns a :class:`Table`.
+
+    ``mapping`` is "hash" or "context" (see
+    :mod:`repro.dataflow.mapping`).  Extra keyword arguments flow into
+    :class:`~repro.dataflow.machine.MachineConfig`.
+    """
+    from ..dataflow import ByContextMapping, MachineConfig, TaggedTokenMachine
+
+    table = Table(
+        title or "Tagged-token machine scaling study",
+        ["PEs", "time", "speedup", "efficiency", "mean ALU util",
+         "network tokens"],
+        notes=[f"args = {args!r}, mapping = {mapping}"],
+    )
+    base_time = None
+    expected = None
+    for n_pes in pe_counts:
+        config = MachineConfig(n_pes=n_pes, **config_kwargs)
+        if mapping == "context":
+            config.mapping_factory = lambda n: ByContextMapping(n)
+        machine = TaggedTokenMachine(program, config)
+        result = machine.run(*args)
+        if expected is None:
+            expected = result.value
+        elif result.value != expected:
+            raise AssertionError(
+                f"nondeterministic result at {n_pes} PEs: "
+                f"{result.value!r} != {expected!r}"
+            )
+        if base_time is None:
+            base_time = result.time
+        s = speedup(base_time, result.time)
+        table.add_row(
+            n_pes, result.time, s, s / n_pes, result.mean_alu_utilization,
+            result.counters.get("tokens_network", 0),
+        )
+    return table
+
+
+def latency_study(program, args, latencies, n_pes=4, title=None,
+                  **config_kwargs):
+    """Sweep the network latency at a fixed PE count."""
+    from ..dataflow import MachineConfig, TaggedTokenMachine
+
+    table = Table(
+        title or "Latency tolerance study",
+        ["latency", "time", "slowdown", "mean ALU util"],
+        notes=[f"args = {args!r}, {n_pes} PEs"],
+    )
+    base_time = None
+    for latency in latencies:
+        config = MachineConfig(n_pes=n_pes, network_latency=latency,
+                               **config_kwargs)
+        result = TaggedTokenMachine(program, config).run(*args)
+        if base_time is None:
+            base_time = result.time
+        table.add_row(latency, result.time, result.time / base_time,
+                      result.mean_alu_utilization)
+    return table

@@ -1,0 +1,33 @@
+"""Parameter sweeps: the loop every experiment runs."""
+
+__all__ = ["sweep", "geometric_range", "crossover_point"]
+
+
+def sweep(values, run_fn):
+    """Run ``run_fn(value)`` for each value; returns [(value, result)]."""
+    return [(value, run_fn(value)) for value in values]
+
+
+def geometric_range(start, stop, factor=2):
+    """start, start*factor, ... up to and including the last <= stop."""
+    out = []
+    value = start
+    while value <= stop:
+        out.append(value)
+        value *= factor
+    return out
+
+
+def crossover_point(pairs_a, pairs_b):
+    """First x at which series B overtakes series A.
+
+    Both arguments are [(x, y)] with identical, ascending x.  Returns the
+    first x where ``y_b >= y_a``, or None if B never catches up — used to
+    locate the crossovers the paper's qualitative claims predict.
+    """
+    for (xa, ya), (xb, yb) in zip(pairs_a, pairs_b):
+        if xa != xb:
+            raise ValueError("series have mismatched x values")
+        if yb >= ya:
+            return xa
+    return None

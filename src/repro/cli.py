@@ -1,0 +1,189 @@
+"""Command-line interface: compile, inspect and run Id-like programs.
+
+::
+
+    python -m repro run program.id --args 0.0 1.0 32 0.03125
+    python -m repro run program.id --engine machine --pes 8 --latency 10
+    python -m repro graph program.id            # text listing (Fig 2-2 style)
+    python -m repro graph program.id --dot      # Graphviz DOT on stdout
+    python -m repro stats program.id            # structural statistics
+
+The entry procedure defaults to the first ``def`` in the file; override
+with ``--entry``.
+"""
+
+import argparse
+import json
+import sys
+
+from .dataflow import Interpreter, MachineConfig, TaggedTokenMachine
+from .graph import format_program, graph_statistics, optimize_program, to_dot
+from .lang import compile_source
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_value(text):
+    """Interpret a CLI argument as int, float, bool, or bare string."""
+    for caster in (int, float):
+        try:
+            return caster(text)
+        except ValueError:
+            continue
+    if text in ("true", "True"):
+        return True
+    if text in ("false", "False"):
+        return False
+    return text
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tagged-token dataflow tools (Arvind & Iannucci, 1983)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="compile and execute a program")
+    run.add_argument("file", help="Id-like source file")
+    run.add_argument("--entry", default=None, help="entry procedure name")
+    run.add_argument("--args", nargs="*", default=[],
+                     help="arguments for the entry procedure")
+    run.add_argument("--engine", choices=("interp", "machine", "vn"),
+                     default="interp",
+                     help="execution engine (vn = sequential von Neumann "
+                          "backend, integer programs only)")
+    run.add_argument("--pes", type=int, default=4,
+                     help="PE count (machine engine)")
+    run.add_argument("--latency", type=float, default=4.0,
+                     help="network latency in cycles (machine engine)")
+    run.add_argument("--json", action="store_true",
+                     help="emit machine-readable JSON")
+    run.add_argument("--optimize", action="store_true",
+                     help="run the peephole optimizer before executing")
+    run.add_argument("--profile", action="store_true",
+                     help="print the parallelism profile "
+                          "(interpreter engine only)")
+
+    graph = sub.add_parser("graph", help="print the compiled dataflow graph")
+    graph.add_argument("file")
+    graph.add_argument("--entry", default=None)
+    graph.add_argument("--dot", action="store_true",
+                       help="emit Graphviz DOT instead of a text listing")
+    graph.add_argument("--optimize", action="store_true")
+
+    stats = sub.add_parser("stats", help="structural statistics of the graph")
+    stats.add_argument("file")
+    stats.add_argument("--entry", default=None)
+    stats.add_argument("--optimize", action="store_true")
+    return parser
+
+
+def _load(path, entry, optimize=False):
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    program = compile_source(source, entry=entry)
+    if optimize:
+        program = optimize_program(program)
+    return program
+
+
+def _cmd_run(options, out):
+    args = [_parse_value(a) for a in options.args]
+    if options.engine == "vn":
+        from .vonneumann import run_sequential
+
+        with open(options.file, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        value, result = run_sequential(source, tuple(args),
+                                       entry=options.entry,
+                                       latency=options.latency)
+        payload = {
+            "result": value,
+            "engine": f"von Neumann uniprocessor [latency "
+                      f"{options.latency}]",
+            "time_cycles": result.time,
+            "instructions": result.instructions,
+            "utilization": round(result.mean_utilization, 4),
+        }
+        if options.json:
+            print(json.dumps(payload), file=out)
+        else:
+            print(f"result: {payload.pop('result')!r}", file=out)
+            for key, value in payload.items():
+                print(f"  {key}: {value}", file=out)
+        return 0
+    program = _load(options.file, options.entry, options.optimize)
+    if options.engine == "interp":
+        interp = Interpreter(program)
+        value = interp.run(*args)
+        payload = {
+            "result": value,
+            "engine": "interpreter",
+            "instructions": interp.instructions_executed,
+            "critical_path": interp.critical_path,
+            "average_parallelism": round(interp.average_parallelism(), 3),
+        }
+    else:
+        config = MachineConfig(n_pes=options.pes,
+                               network_latency=options.latency)
+        machine = TaggedTokenMachine(program, config)
+        result = machine.run(*args)
+        payload = {
+            "result": result.value,
+            "engine": f"machine[{options.pes} PEs, latency "
+                      f"{options.latency}]",
+            "time_cycles": result.time,
+            "instructions": result.instructions,
+            "mean_alu_utilization": round(result.mean_alu_utilization, 4),
+            "network_tokens": result.counters.get("tokens_network", 0),
+        }
+    if options.json:
+        print(json.dumps(payload), file=out)
+    else:
+        print(f"result: {payload.pop('result')!r}", file=out)
+        for key, value in payload.items():
+            print(f"  {key}: {value}", file=out)
+    if options.engine == "interp" and getattr(options, "profile", False):
+        print("parallelism profile (instructions ready per step):", file=out)
+        profile = interp.parallelism_profile
+        peak = max(profile.values())
+        for step in sorted(profile):
+            count = profile[step]
+            bar = "#" * max(1, round(40 * count / peak))
+            print(f"  t={step:<5} {bar} {count}", file=out)
+    return 0
+
+
+def _cmd_graph(options, out):
+    program = _load(options.file, options.entry, options.optimize)
+    if options.dot:
+        print(to_dot(program, title=options.file), file=out)
+    else:
+        print(format_program(program), file=out)
+    return 0
+
+
+def _cmd_stats(options, out):
+    program = _load(options.file, options.entry, options.optimize)
+    print(json.dumps(graph_statistics(program), indent=2, sort_keys=True),
+          file=out)
+    return 0
+
+
+def main(argv=None, out=None):
+    out = out if out is not None else sys.stdout
+    options = build_parser().parse_args(argv)
+    handler = {
+        "run": _cmd_run,
+        "graph": _cmd_graph,
+        "stats": _cmd_stats,
+    }[options.command]
+    try:
+        return handler(options, out)
+    except BrokenPipeError:  # e.g. piped into `head`
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Shared substrate: event kernel, statistics, deterministic RNG, errors."""
+
+from .errors import (
+    CompileError,
+    DeadlockError,
+    GraphError,
+    IStructureError,
+    MachineError,
+    NetworkError,
+    ReproError,
+    SimulationError,
+)
+from .rng import DeterministicRng, substream
+from .simulator import Event, Simulator
+from .stats import (
+    Counter,
+    Histogram,
+    SeriesRecorder,
+    TimeWeighted,
+    UtilizationTracker,
+    summarize,
+)
+
+__all__ = [
+    "CompileError",
+    "Counter",
+    "DeadlockError",
+    "DeterministicRng",
+    "Event",
+    "GraphError",
+    "Histogram",
+    "IStructureError",
+    "MachineError",
+    "NetworkError",
+    "ReproError",
+    "SeriesRecorder",
+    "SimulationError",
+    "Simulator",
+    "TimeWeighted",
+    "UtilizationTracker",
+    "substream",
+    "summarize",
+]

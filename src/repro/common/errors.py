@@ -1,0 +1,53 @@
+"""Exception hierarchy shared by every subsystem in :mod:`repro`.
+
+All library errors derive from :class:`ReproError` so that callers can
+catch everything this package raises with a single ``except`` clause while
+still being able to discriminate by subsystem.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was driven into an invalid state."""
+
+
+class GraphError(ReproError):
+    """A dataflow graph is malformed (dangling arc, bad arity, ...)."""
+
+
+class CompileError(ReproError):
+    """The Id-like front end rejected a source program."""
+
+    def __init__(self, message, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class MachineError(ReproError):
+    """A simulated machine (dataflow or von Neumann) hit a fatal condition."""
+
+
+class IStructureError(MachineError):
+    """Violation of the I-structure discipline (e.g. multiple writes)."""
+
+
+class NetworkError(ReproError):
+    """A packet network was misconfigured or a packet is undeliverable."""
+
+
+class DeadlockError(MachineError):
+    """Simulation reached quiescence with unfinished work outstanding."""
+
+    def __init__(self, message, pending=None):
+        super().__init__(message)
+        #: Optional description of the work items that can never complete.
+        self.pending = tuple(pending) if pending is not None else ()

@@ -1,0 +1,63 @@
+"""A single-server FIFO queue — the workhorse of every timed resource.
+
+Network links, crossbar output ports, memory modules, buses: all are
+modelled as a server that holds one item at a time for a service time and
+keeps arrivals in FIFO order.  Completion hands the item to a callback.
+"""
+
+from .stats import TimeWeighted, UtilizationTracker
+
+__all__ = ["FifoServer"]
+
+
+class FifoServer:
+    """One resource serving one item at a time, FIFO."""
+
+    def __init__(self, sim, service_time, name="server"):
+        self.sim = sim
+        self.service_time = service_time
+        self.name = name
+        self._queue = []
+        self._busy = False
+        self.queue_depth = TimeWeighted()
+        self.utilization = UtilizationTracker()
+        self.items_served = 0
+
+    def submit(self, item, on_done, service_time=None):
+        """Enqueue ``item``; call ``on_done(item)`` when service completes."""
+        self._queue.append((item, on_done, service_time))
+        self.queue_depth.update(self.sim.now, len(self._queue))
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self):
+        if not self._queue:
+            return
+        item, on_done, service_time = self._queue.pop(0)
+        self.queue_depth.update(self.sim.now, len(self._queue))
+        self._busy = True
+        self.utilization.begin(self.sim.now)
+        duration = self.service_time if service_time is None else service_time
+        self.sim.schedule(duration, self._complete, item, on_done)
+
+    def _complete(self, item, on_done):
+        self.utilization.end(self.sim.now)
+        self._busy = False
+        self.items_served += 1
+        on_done(item)
+        if not self._busy:  # on_done may have resubmitted synchronously
+            self._start_next()
+
+    @property
+    def queued(self):
+        return len(self._queue)
+
+    @property
+    def busy(self):
+        return self._busy
+
+    def __repr__(self):
+        return (
+            f"<FifoServer {self.name!r} queued={self.queued} busy={self._busy} "
+            f"served={self.items_served}>"
+        )

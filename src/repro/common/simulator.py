@@ -1,0 +1,178 @@
+"""A deterministic discrete-event simulation kernel.
+
+Every timed model in this reproduction — the tagged-token dataflow machine,
+the I-structure controllers, the packet networks, and the von Neumann
+multiprocessors — runs on this kernel.  The design goals are:
+
+* **Determinism.**  Events that are scheduled for the same instant fire in
+  the order they were scheduled (FIFO by a monotonically increasing sequence
+  number).  Two runs of the same configuration produce identical traces.
+* **Simplicity.**  Components schedule plain callables.  There is no
+  process/coroutine machinery; units that need multi-step behaviour keep
+  explicit state and reschedule themselves, which mirrors how the hardware
+  units in the paper are described (waiting-matching section, instruction
+  fetch, ALU, output section each as a pipeline stage with a service time).
+* **Introspection.**  The kernel counts events, exposes the current time,
+  and supports quiescence detection so machine models can detect
+  termination ("a program terminates when no enabled instructions are
+  left", §2.2.2) and deadlock.
+
+Time is a float measured in *cycles*; each model documents its own cycle
+convention.
+"""
+
+import heapq
+import itertools
+
+from .errors import SimulationError
+
+__all__ = ["Event", "Simulator"]
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created by :meth:`Simulator.schedule`; user code normally
+    only keeps them to call :meth:`cancel`.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time, seq, fn, args):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self):
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time} #{self.seq} {name} [{state}]>"
+
+
+class Simulator:
+    """The event queue and clock shared by all components of one model."""
+
+    def __init__(self):
+        self._queue = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._events_fired = 0
+        self._quiescence_hooks = []
+
+    # ------------------------------------------------------------------
+    # Clock and bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def now(self):
+        """Current simulated time in cycles."""
+        return self._now
+
+    @property
+    def events_fired(self):
+        """Total number of events executed so far."""
+        return self._events_fired
+
+    @property
+    def pending(self):
+        """Number of not-yet-cancelled events still in the queue."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay, fn, *args):
+        """Schedule ``fn(*args)`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time, fn, *args):
+        """Schedule ``fn(*args)`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        event = Event(float(time), next(self._seq), fn, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def add_quiescence_hook(self, hook):
+        """Register ``hook()`` to run when the event queue drains.
+
+        A hook may schedule new events (e.g. a machine model that injects
+        the next phase of a workload); the run then continues.  Hooks fire
+        in registration order.
+        """
+        self._quiescence_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self):
+        """Execute the single next event.  Returns False if none remain."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_fired += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, until=None, max_events=None):
+        """Run until the queue drains, ``until`` cycles pass, or the event
+        budget ``max_events`` is exhausted.
+
+        Returns the simulated time at which the run stopped.  Quiescence
+        hooks are given a chance to refill the queue whenever it drains.
+        """
+        fired = 0
+        while True:
+            if max_events is not None and fired >= max_events:
+                raise SimulationError(
+                    f"event budget exhausted ({max_events} events) at t={self._now}; "
+                    "possible livelock"
+                )
+            next_event = self._peek()
+            if next_event is None:
+                if self._run_quiescence_hooks():
+                    continue
+                return self._now
+            if until is not None and next_event.time > until:
+                self._now = float(until)
+                return self._now
+            self.step()
+            fired += 1
+
+    def _peek(self):
+        while self._queue:
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return event
+        return None
+
+    def _run_quiescence_hooks(self):
+        """Run hooks until one of them schedules work.  True if any did."""
+        for hook in self._quiescence_hooks:
+            hook()
+            if self._peek() is not None:
+                return True
+        return False
+
+    def __repr__(self):
+        return (
+            f"<Simulator t={self._now} pending={self.pending} "
+            f"fired={self._events_fired}>"
+        )

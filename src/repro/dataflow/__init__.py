@@ -1,0 +1,55 @@
+"""The tagged-token dataflow machine (S4/S5 in DESIGN.md).
+
+Static programs come from :mod:`repro.graph`; this package provides their
+dynamic semantics twice over:
+
+* :class:`Interpreter` — the untimed reference engine (unbounded
+  parallelism, ideal parallelism profiles);
+* :class:`TaggedTokenMachine` — the timed multi-PE machine of Figures 2-3
+  and 2-4, with waiting-matching stores, per-unit service times, a packet
+  network, and distributed I-structure controllers.
+"""
+
+from .exec_core import (
+    ProgramResult,
+    Send,
+    StructureAlloc,
+    StructureRead,
+    StructureWrite,
+    assemble_operands,
+    execute,
+)
+from .interpreter import Interpreter, run_program
+from .machine import MachineConfig, MachineResult, TaggedTokenMachine
+from .mapping import ByContextMapping, HashMapping, stable_tag_key
+from .pe import ProcessingElement
+from .tags import Tag
+from .token import Token, TokenKind
+from .trace import TraceLog
+from .values import Continuation, FunctionRef, StructureRef
+
+__all__ = [
+    "ByContextMapping",
+    "Continuation",
+    "FunctionRef",
+    "HashMapping",
+    "Interpreter",
+    "MachineConfig",
+    "MachineResult",
+    "ProcessingElement",
+    "TaggedTokenMachine",
+    "stable_tag_key",
+    "ProgramResult",
+    "Send",
+    "StructureAlloc",
+    "StructureRead",
+    "StructureWrite",
+    "StructureRef",
+    "Tag",
+    "Token",
+    "TokenKind",
+    "TraceLog",
+    "assemble_operands",
+    "execute",
+    "run_program",
+]

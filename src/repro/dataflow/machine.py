@@ -1,0 +1,242 @@
+"""The multi-PE Tagged-Token Dataflow Machine (Fig 2-3).
+
+``TaggedTokenMachine`` assembles N processing elements around a packet
+network, loads a compiled program, injects the argument tokens and the
+halt continuation, runs the event kernel to quiescence, and reports both
+the answer and the measurements (per-unit utilizations, matching-store
+occupancy, network latency, I-structure behaviour).
+
+Termination follows the paper's definition — "a program is said to
+terminate when no enabled instructions are left" (§2.2.2) — which in the
+simulation is quiescence of the event queue.  Quiescing *without* having
+produced a result is reported as deadlock, with the outstanding deferred
+reads and unmatched tokens listed.
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..common.errors import DeadlockError, MachineError
+from ..common.simulator import Simulator
+from ..common.stats import Counter
+from ..istructure.heap import StructureRef
+from ..network.ideal import IdealNetwork
+from .mapping import HashMapping
+from .pe import ProcessingElement
+from .tags import Tag
+from .trace import TraceLog
+from .token import Token, TokenKind
+from .values import Continuation
+
+__all__ = ["MachineConfig", "TaggedTokenMachine", "MachineResult"]
+
+
+@dataclass
+class MachineConfig:
+    """Service times (cycles) and structural knobs of the machine."""
+
+    n_pes: int = 4
+    wm_time: float = 1.0  # waiting-matching probe
+    #: Capacity of the waiting-matching associative memory, in tokens.
+    #: None = unbounded (the paper's idealization).  When the store is
+    #: over capacity, every probe pays ``wm_overflow_penalty`` extra
+    #: cycles, modelling the overflow-to-backing-store mechanism a real
+    #: finite associative memory needs.
+    wm_capacity: int = None
+    wm_overflow_penalty: float = 8.0
+    fetch_time: float = 1.0  # instruction fetch
+    alu_time: float = 1.0  # ALU operation
+    output_time: float = 1.0  # output section, per produced token
+    controller_time: float = 1.0  # PE controller service (allocation)
+    is_read_time: float = 1.0  # I-structure read (as a normal memory)
+    is_write_time: float = 2.0  # write: 2x, presence-bit prefetch (§2.1)
+    local_loopback: bool = True  # PE-local tokens bypass the network
+    trace: bool = False  # record a TraceLog of machine events
+    network_factory: Optional[Callable] = None  # (sim, n_ports) -> Network
+    mapping_factory: Optional[Callable] = None  # (n_pes) -> mapping policy
+    network_latency: float = 4.0  # used by the default IdealNetwork
+
+    def make_network(self, sim):
+        if self.network_factory is not None:
+            return self.network_factory(sim, self.n_pes)
+        return IdealNetwork(sim, self.n_pes, latency=self.network_latency)
+
+    def make_mapping(self):
+        if self.mapping_factory is not None:
+            return self.mapping_factory(self.n_pes)
+        return HashMapping(self.n_pes)
+
+
+@dataclass
+class MachineResult:
+    """Everything a run produces."""
+
+    value: object
+    time: float  # cycle at which RETURN consumed the halt continuation
+    drain_time: float  # cycle at which the machine fully quiesced
+    instructions: int
+    alu_utilizations: list = field(default_factory=list)
+    counters: dict = field(default_factory=dict)
+
+    @property
+    def mean_alu_utilization(self):
+        if not self.alu_utilizations:
+            return 0.0
+        return sum(self.alu_utilizations) / len(self.alu_utilizations)
+
+    @property
+    def mips_per_pe(self):
+        """Instructions per cycle per PE (the ALU-utilization figure of
+        merit of §1.2, in instruction terms)."""
+        if self.time <= 0 or not self.alu_utilizations:
+            return 0.0
+        return self.instructions / self.time / len(self.alu_utilizations)
+
+
+class TaggedTokenMachine:
+    """N processing elements + network + distributed I-structure storage."""
+
+    def __init__(self, program, config=None):
+        self.program = program
+        self.config = config if config is not None else MachineConfig()
+        self.sim = Simulator()
+        self.n_pes = self.config.n_pes
+        if self.n_pes < 1:
+            raise MachineError("machine needs at least one PE")
+        self.mapping = self.config.make_mapping()
+        self.network = self.config.make_network(self.sim)
+        if self.network.n_ports < self.n_pes:
+            raise MachineError(
+                f"network has {self.network.n_ports} ports but machine "
+                f"has {self.n_pes} PEs"
+            )
+        self.pes = [ProcessingElement(self, i, self.config) for i in range(self.n_pes)]
+        for pe in self.pes:
+            self.network.attach(pe.pe, self._network_delivery)
+        self.counters = Counter()
+        self.trace = TraceLog() if self.config.trace else None
+        self._next_sid = 0
+        self._result = None
+        self._result_time = None
+        self._finished = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Program execution
+    # ------------------------------------------------------------------
+    def run(self, *args, max_events=None, drain=True):
+        """Invoke the entry procedure on ``args``; returns MachineResult.
+
+        A machine instance is single-use: its clocks, stores and counters
+        describe exactly one invocation.
+        """
+        if self._started:
+            raise MachineError(
+                "TaggedTokenMachine instances are single-use; create a new one"
+            )
+        self._started = True
+        entry = self.program.entry_block()
+        if len(args) != entry.num_params:
+            raise MachineError(
+                f"entry block {entry.name!r} takes {entry.num_params} "
+                f"arguments, got {len(args)}"
+            )
+        for index, arg in enumerate(args):
+            for dest in entry.param_targets[index]:
+                tag = Tag(None, entry.name, dest.statement, 1)
+                self._inject(tag, dest.port, arg)
+        halt_tag = Tag(None, entry.name, entry.return_statement, 1)
+        self._inject(halt_tag, 1, Continuation.HALT)
+
+        self.sim.run(max_events=max_events)
+        if not self._finished:
+            raise DeadlockError(
+                "machine quiesced without a result; "
+                f"{self.pending_reads()} deferred read(s), "
+                f"{self.unmatched_tokens()} unmatched token(s)",
+                pending=[
+                    tag for pe in self.pes for tag in pe._match_store
+                ][:16],
+            )
+        merged = self.counters.as_dict()
+        for pe in self.pes:
+            for key, value in pe.counters.as_dict().items():
+                merged[key] = merged.get(key, 0) + value
+        return MachineResult(
+            value=self._result,
+            time=self._result_time,
+            drain_time=self.sim.now,
+            instructions=self.instructions_executed(),
+            alu_utilizations=[
+                pe.alu_utilization(until=self._result_time) for pe in self.pes
+            ],
+            counters=merged,
+        )
+
+    def _inject(self, tag, port, value):
+        instruction = self.program.instruction(tag.code_block, tag.statement)
+        token = Token(tag, port, value, TokenKind.NORMAL, nt=instruction.nt)
+        pe = self.mapping.pe_of(tag)
+        self.sim.schedule(0, self.pes[pe].receive, token.routed_to(pe))
+
+    def _trace_event(self, pe, kind, detail):
+        if self.trace is not None:
+            self.trace.record(self.sim.now, pe, kind, detail)
+
+    def _program_result(self, value):
+        if self._finished:
+            raise MachineError("program returned more than once")
+        self._result = value
+        self._result_time = self.sim.now
+        self._finished = True
+        self._trace_event("-", "result", repr(value))
+
+    # ------------------------------------------------------------------
+    # Interconnect
+    # ------------------------------------------------------------------
+    def _transmit(self, src_pe, token):
+        if token.pe == src_pe and self.config.local_loopback:
+            self.counters.add("tokens_local")
+            self.pes[src_pe].receive(token)
+        else:
+            self.counters.add("tokens_network")
+            self.network.send(src_pe, token.pe, token)
+
+    def _network_delivery(self, packet):
+        token = packet.payload
+        self.pes[packet.dst].receive(token)
+
+    # ------------------------------------------------------------------
+    # Distributed structure allocation: PE-local id generators that can
+    # never collide (PE k hands out sids congruent to k mod n_pes).
+    # ------------------------------------------------------------------
+    def allocate_structure(self, size, on_pe=0):
+        sid = self._next_sid * self.n_pes + on_pe
+        self._next_sid += 1
+        self.counters.add("structures_allocated")
+        return StructureRef(sid=sid, size=size)
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+    def instructions_executed(self):
+        return sum(pe.counters["instructions"] for pe in self.pes)
+
+    def pending_reads(self):
+        return sum(pe.istructure.pending_reads for pe in self.pes)
+
+    def unmatched_tokens(self):
+        return sum(pe._waiting_tokens() for pe in self.pes)
+
+    def matching_store_occupancy(self):
+        """Mean and peak waiting-token count across PEs (for E12)."""
+        end = self.sim.now
+        means = [pe.match_occupancy.mean(end_time=end) for pe in self.pes]
+        peaks = [pe.match_occupancy.max for pe in self.pes]
+        return sum(means), max(peaks) if peaks else 0
+
+    def __repr__(self):
+        return (
+            f"<TaggedTokenMachine pes={self.n_pes} t={self.sim.now} "
+            f"instructions={self.instructions_executed()}>"
+        )

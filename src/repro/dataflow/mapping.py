@@ -1,0 +1,73 @@
+"""Mapping activity names onto processing elements.
+
+"Activity names, then, define an unbounded namespace.  Names in this space
+are mapped dynamically into a finite namespace.  The activity name plus
+some mapping information uniquely define the runtime tag and processing
+element (PE) number" (§2.2.2).
+
+The hash used here is *stable*: it does not depend on Python's per-process
+string seeding, so a simulation is reproducible run to run.
+"""
+
+import zlib
+
+__all__ = ["stable_tag_key", "HashMapping", "ByContextMapping"]
+
+
+def _mix(h, value):
+    return (h * 1000003 ^ value) & 0xFFFFFFFF
+
+
+def stable_tag_key(tag):
+    """A deterministic 32-bit key for a tag (recursing through contexts)."""
+    h = 0x811C9DC5
+    while tag is not None:
+        h = _mix(h, zlib.crc32(tag.code_block.encode("utf-8")))
+        h = _mix(h, tag.statement)
+        h = _mix(h, tag.iteration)
+        tag = tag.context
+    return h
+
+
+class HashMapping:
+    """Spread individual activities across all PEs by hashing the full tag.
+
+    Maximizes load balance and exposes the most communication — the
+    configuration that stresses latency tolerance hardest.
+    """
+
+    def __init__(self, n_pes):
+        self.n_pes = n_pes
+
+    def pe_of(self, tag):
+        return stable_tag_key(tag) % self.n_pes
+
+    def __repr__(self):
+        return f"HashMapping(n_pes={self.n_pes})"
+
+
+class ByContextMapping:
+    """Keep each invocation context on one PE.
+
+    All activities of one procedure call or loop context execute on the
+    same PE, so only linkage (CALL/L) and structure traffic cross the
+    network.  Loop iterations are spread by folding the iteration number
+    in, giving the classic "unfold loops across PEs" behaviour.
+    """
+
+    def __init__(self, n_pes, spread_iterations=True):
+        self.n_pes = n_pes
+        self.spread_iterations = spread_iterations
+
+    def pe_of(self, tag):
+        context_key = stable_tag_key(tag.context) if tag.context else 0
+        h = _mix(context_key, zlib.crc32(tag.code_block.encode("utf-8")))
+        if self.spread_iterations:
+            h = _mix(h, tag.iteration)
+        return h % self.n_pes
+
+    def __repr__(self):
+        return (
+            f"ByContextMapping(n_pes={self.n_pes}, "
+            f"spread_iterations={self.spread_iterations})"
+        )

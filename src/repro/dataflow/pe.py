@@ -1,0 +1,244 @@
+"""One data flow processing element (Fig 2-4).
+
+The PE is a pipeline of four units, each modelled as a FIFO server with a
+configurable service time:
+
+* **waiting–matching section** — an associative store; d=0 tokens that
+  "require partners (nt >= 2)" probe it, and "when a match is expected but
+  not found, the token remains in the waiting-matching unit's associative
+  memory until its partner arrives";
+* **instruction fetch** — "looks up the operation code and other
+  information associated with the token-carried names" from program
+  memory; also "directly receives d=0 tokens which require no partners
+  (nt=1)";
+* **ALU** — executes the enabled instruction ("no other information is
+  needed to carry out the operation save that which is in this enabled
+  instruction packet");
+* **output section** — builds result tokens ("we build this output token
+  by computing a new tag, using the old tag along with information stored
+  in the instruction itself"), computes the destination PE via the mapping
+  policy, and hands remote tokens to the network.
+
+Each PE also hosts an I-structure controller (d=1 traffic) and a PE
+controller (d=2 traffic — here, structure allocation).
+"""
+
+from ..common.errors import MachineError
+from ..common.queueing import FifoServer
+from ..common.stats import Counter, TimeWeighted
+from ..graph.opcodes import OPCODE_CLASS
+from ..istructure.controller import IStructureController, ReadRequest, WriteRequest
+from ..istructure.heap import interleave_home
+from .exec_core import (
+    ProgramResult,
+    Send,
+    StructureAlloc,
+    StructureRead,
+    StructureWrite,
+    assemble_operands,
+    execute,
+)
+from .token import Token, TokenKind
+
+__all__ = ["ProcessingElement", "AllocRequest"]
+
+
+class AllocRequest:
+    """Payload of a d=2 token: allocate ``size`` cells, reply to ``replies``."""
+
+    __slots__ = ("size", "replies")
+
+    def __init__(self, size, replies):
+        self.size = size
+        self.replies = replies
+
+
+class ProcessingElement:
+    """One PE of the tagged-token machine."""
+
+    def __init__(self, machine, pe_number, config):
+        self.machine = machine
+        self.pe = pe_number
+        self.config = config
+        sim = machine.sim
+        name = f"pe{pe_number}"
+        self.waiting_matching = FifoServer(sim, config.wm_time, f"{name}.wm")
+        self.fetch = FifoServer(sim, config.fetch_time, f"{name}.fetch")
+        self.alu = FifoServer(sim, config.alu_time, f"{name}.alu")
+        self.output = FifoServer(sim, config.output_time, f"{name}.out")
+        self.controller = FifoServer(sim, config.controller_time, f"{name}.ctrl")
+        self.istructure = IStructureController(
+            sim,
+            deliver=self._istructure_reply,
+            name=f"{name}.isc",
+            read_cycles=config.is_read_time,
+            write_cycles=config.is_write_time,
+        )
+        self._match_store = {}
+        self.match_occupancy = TimeWeighted()
+        self.counters = Counter()
+
+    # ------------------------------------------------------------------
+    # Token arrival and classification (the "input" of Fig 2-4)
+    # ------------------------------------------------------------------
+    def receive(self, token):
+        """A token arrived at this PE (from the network or locally)."""
+        self.counters.add("tokens_received")
+        if token.kind is TokenKind.NORMAL:
+            if token.needs_partner:
+                service = self.config.wm_time
+                if (
+                    self.config.wm_capacity is not None
+                    and self._waiting_tokens() >= self.config.wm_capacity
+                ):
+                    # Finite associative memory: probes beyond capacity
+                    # spill to the (slow) overflow store.
+                    service += self.config.wm_overflow_penalty
+                    self.counters.add("wm_overflows")
+                self.waiting_matching.submit(token, self._match,
+                                             service_time=service)
+            else:
+                self.fetch.submit(((token.tag, {token.port: token.data})),
+                                  self._fetched)
+        elif token.kind is TokenKind.STRUCTURE:
+            self.istructure.submit(token.data)
+        elif token.kind is TokenKind.CONTROL:
+            self.controller.submit(token.data, self._control)
+        else:
+            raise MachineError(f"unclassifiable token {token!r}")
+
+    # ------------------------------------------------------------------
+    # Waiting-matching section
+    # ------------------------------------------------------------------
+    def _match(self, token):
+        slot = self._match_store.get(token.tag)
+        if slot is None:
+            slot = self._match_store[token.tag] = {}
+        if token.port in slot:
+            raise MachineError(
+                f"pe{self.pe}: duplicate token at {token.tag!r} "
+                f"port {token.port}"
+            )
+        slot[token.port] = token.data
+        if len(slot) == token.nt:
+            del self._match_store[token.tag]
+            self.counters.add("matches")
+            self.match_occupancy.update(
+                self.machine.sim.now, self._waiting_tokens()
+            )
+            self.machine._trace_event(self.pe, "match", repr(token.tag))
+            self.fetch.submit((token.tag, slot), self._fetched)
+        else:
+            self.counters.add("tokens_parked")
+            self.match_occupancy.update(
+                self.machine.sim.now, self._waiting_tokens()
+            )
+            self.machine._trace_event(
+                self.pe, "park", f"{token.tag!r} p{token.port}"
+            )
+
+    def _waiting_tokens(self):
+        return sum(len(slot) for slot in self._match_store.values())
+
+    # ------------------------------------------------------------------
+    # Instruction fetch and ALU
+    # ------------------------------------------------------------------
+    def _fetched(self, enabled):
+        tag, by_port = enabled
+        instruction = self.machine.program.instruction(tag.code_block, tag.statement)
+        self.alu.submit((instruction, tag, by_port), self._executed)
+
+    def _executed(self, work):
+        instruction, tag, by_port = work
+        operands = assemble_operands(instruction, by_port)
+        effects = execute(self.machine.program, instruction, tag, operands)
+        self.counters.add("instructions")
+        self.counters.add(f"class_{OPCODE_CLASS[instruction.opcode].value}")
+        self.machine._trace_event(
+            self.pe, "exec", f"{tag!r} {instruction.opcode.value}"
+        )
+        for effect in effects:
+            self._emit(effect, tag)
+
+    def _emit(self, effect, tag):
+        if isinstance(effect, Send):
+            instruction = self.machine.program.instruction(
+                effect.tag.code_block, effect.tag.statement
+            )
+            token = Token(effect.tag, effect.port, effect.value,
+                          TokenKind.NORMAL, nt=instruction.nt)
+            self.output.submit(token, self._route)
+        elif isinstance(effect, StructureRead):
+            for reply_tag, reply_port in effect.replies:
+                home = interleave_home(effect.ref, effect.index,
+                                       self.machine.n_pes)
+                request = ReadRequest(
+                    key=(effect.ref.sid, effect.index),
+                    reply=(reply_tag, reply_port),
+                )
+                token = Token(tag, 0, request, TokenKind.STRUCTURE, pe=home)
+                self.output.submit(token, self._route)
+        elif isinstance(effect, StructureWrite):
+            home = interleave_home(effect.ref, effect.index, self.machine.n_pes)
+            request = WriteRequest(
+                key=(effect.ref.sid, effect.index), value=effect.value
+            )
+            token = Token(tag, 0, request, TokenKind.STRUCTURE, pe=home)
+            self.output.submit(token, self._route)
+        elif isinstance(effect, StructureAlloc):
+            request = AllocRequest(effect.size, effect.replies)
+            token = Token(tag, 0, request, TokenKind.CONTROL, pe=self.pe)
+            self.output.submit(token, self._route)
+        elif isinstance(effect, ProgramResult):
+            self.machine._program_result(effect.value)
+        else:
+            raise MachineError(f"unknown effect {effect!r}")
+
+    # ------------------------------------------------------------------
+    # Output section: tag -> PE mapping and routing
+    # ------------------------------------------------------------------
+    def _route(self, token):
+        if token.pe is None:
+            token = token.routed_to(self.machine.mapping.pe_of(token.tag))
+        self.counters.add("tokens_sent")
+        self.machine._transmit(self.pe, token)
+
+    # ------------------------------------------------------------------
+    # PE controller (d=2): structure allocation
+    # ------------------------------------------------------------------
+    def _control(self, request):
+        if isinstance(request, AllocRequest):
+            ref = self.machine.allocate_structure(request.size, on_pe=self.pe)
+            self.machine._trace_event(self.pe, "alloc", repr(ref))
+            for reply_tag, reply_port in request.replies:
+                instruction = self.machine.program.instruction(
+                    reply_tag.code_block, reply_tag.statement
+                )
+                token = Token(reply_tag, reply_port, ref, TokenKind.NORMAL,
+                              nt=instruction.nt)
+                self.output.submit(token, self._route)
+        else:
+            raise MachineError(f"pe{self.pe}: unknown control request {request!r}")
+
+    # ------------------------------------------------------------------
+    # I-structure reply path
+    # ------------------------------------------------------------------
+    def _istructure_reply(self, reply, value):
+        reply_tag, reply_port = reply
+        instruction = self.machine.program.instruction(
+            reply_tag.code_block, reply_tag.statement
+        )
+        token = Token(reply_tag, reply_port, value, TokenKind.NORMAL,
+                      nt=instruction.nt)
+        self.output.submit(token, self._route)
+
+    # ------------------------------------------------------------------
+    def alu_utilization(self, until=None):
+        now = self.machine.sim.now if until is None else until
+        return self.alu.utilization.utilization(now)
+
+    def __repr__(self):
+        return (
+            f"<PE {self.pe} instructions={self.counters['instructions']} "
+            f"waiting={self._waiting_tokens()}>"
+        )

@@ -1,0 +1,65 @@
+"""Activity names and runtime tags (§2.2.2).
+
+An activity name has four parts — ``u`` (context), ``c`` (code block name),
+``s`` (statement number) and ``i`` (initiation/iteration number) — and "the
+context itself is specified by an activity name, thus making the definition
+recursive".  We represent that faithfully: :attr:`Tag.context` is either
+``None`` (the root context the entry procedure runs in) or another
+:class:`Tag`, namely the activity name of the invocation point (the CALL
+site or the loop's L site).  Because a Tag identifies an invocation
+uniquely and recursion deepens the chain, the namespace is unbounded,
+exactly as the paper requires of a scalable machine.
+
+Tags are immutable and hashable; the waiting-matching section pairs tokens
+by comparing them ("we can match up related tokens ... by comparing the
+tags that they carry").
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Tag"]
+
+
+@dataclass(frozen=True)
+class Tag:
+    """An activity name ``(u, c, s, i)``."""
+
+    context: Optional["Tag"]
+    code_block: str
+    statement: int
+    iteration: int = 1
+
+    # -- derivation helpers used by the tag-manipulation opcodes --------
+    def at_statement(self, statement):
+        """Same activity, different statement (ordinary result arcs)."""
+        return Tag(self.context, self.code_block, statement, self.iteration)
+
+    def next_iteration(self, statement):
+        """The D operator: advance to iteration i+1 at ``statement``."""
+        return Tag(self.context, self.code_block, statement, self.iteration + 1)
+
+    def reset_iteration(self, statement):
+        """The D⁻¹ operator: canonicalize to iteration 1 at ``statement``."""
+        return Tag(self.context, self.code_block, statement, 1)
+
+    def enter(self, site, target_block, statement):
+        """The L / CALL context push: a fresh context named after this
+        invocation point (this tag with ``statement`` replaced by the
+        site id), entering ``target_block`` at iteration 1."""
+        invocation = Tag(self.context, self.code_block, site, self.iteration)
+        return Tag(invocation, target_block, statement, 1)
+
+    @property
+    def depth(self):
+        """Nesting depth of the context chain (root = 0)."""
+        depth = 0
+        context = self.context
+        while context is not None:
+            depth += 1
+            context = context.context
+        return depth
+
+    def __repr__(self):
+        context = "·" if self.context is None else f"u{id(self.context) & 0xFFFF:04x}"
+        return f"⟨{context},{self.code_block},{self.statement},{self.iteration}⟩"

@@ -1,0 +1,54 @@
+"""The token: ``<d, PE, tag, nt, port, data>`` (§2.2.2).
+
+``d`` classifies the token — "Other paths through the processing element
+provide for the cases where an incoming token is destined for the
+I-Structure Storage (d=1), or is destined for the PE Controller (d=2)"
+(§2.2.3).  Normal data tokens are d=0.
+
+``PE`` is filled in by the output section from the tag via the machine's
+mapping policy; ``nt`` is the total operand count of the target
+instruction; ``port`` says which operand this token carries.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from .tags import Tag
+
+__all__ = ["Token", "TokenKind"]
+
+
+class TokenKind(enum.IntEnum):
+    """The ``d`` field."""
+
+    NORMAL = 0  # d=0: ordinary data token for the waiting-matching section
+    STRUCTURE = 1  # d=1: I-structure FETCH/STORE request
+    CONTROL = 2  # d=2: PE-controller traffic (allocation, management)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One token in flight."""
+
+    tag: Tag
+    port: int
+    data: object
+    kind: TokenKind = TokenKind.NORMAL
+    nt: int = 1
+    pe: Optional[int] = None
+
+    def routed_to(self, pe):
+        """Copy of the token with its PE field filled in."""
+        return Token(self.tag, self.port, self.data, self.kind, self.nt, pe)
+
+    @property
+    def needs_partner(self):
+        """True when the waiting-matching section must pair this token."""
+        return self.kind is TokenKind.NORMAL and self.nt >= 2
+
+    def __repr__(self):
+        return (
+            f"<d={int(self.kind)},PE={self.pe},{self.tag!r},"
+            f"nt={self.nt},p{self.port},{self.data!r}>"
+        )

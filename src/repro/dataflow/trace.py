@@ -1,0 +1,50 @@
+"""Execution tracing for the timed machine.
+
+Enable with ``MachineConfig(trace=True)``; the machine then records one
+event per significant action (instruction execution, token parking,
+matches, allocations, the final result) into a bounded ring buffer.
+Intended for debugging graphs and for teaching — the formatted trace
+reads like the paper's prose: tokens arriving, waiting, matching, firing.
+"""
+
+from collections import deque
+
+__all__ = ["TraceLog"]
+
+
+class TraceLog:
+    """A bounded ring buffer of (time, pe, kind, detail) events."""
+
+    def __init__(self, limit=100_000):
+        self.limit = limit
+        self._events = deque(maxlen=limit)
+        self.dropped = 0
+        self.recorded = 0
+
+    def record(self, time, pe, kind, detail):
+        if len(self._events) == self.limit:
+            self.dropped += 1
+        self.recorded += 1
+        self._events.append((time, pe, kind, detail))
+
+    @property
+    def events(self):
+        return list(self._events)
+
+    def by_kind(self, kind):
+        return [e for e in self._events if e[2] == kind]
+
+    def format(self, last=40):
+        """The trailing events, one line each."""
+        lines = []
+        for time, pe, kind, detail in list(self._events)[-last:]:
+            lines.append(f"t={time:<8g} pe{pe} {kind:<6} {detail}")
+        if self.dropped:
+            lines.append(f"... ({self.dropped} earlier events dropped)")
+        return "\n".join(lines)
+
+    def __len__(self):
+        return len(self._events)
+
+    def __repr__(self):
+        return f"<TraceLog events={len(self._events)} dropped={self.dropped}>"

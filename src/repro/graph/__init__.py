@@ -1,0 +1,48 @@
+"""Static dataflow-graph representation (S2 in DESIGN.md).
+
+Programs are collections of code blocks; code blocks are numbered lists of
+instructions whose forward arcs encode the graph.  See
+:mod:`repro.graph.opcodes` for the instruction set and
+:mod:`repro.graph.validate` for the well-formedness rules.
+"""
+
+from .builder import BlockBuilder, ProgramBuilder
+from .codeblock import CodeBlock, Program
+from .export import graph_statistics, to_dot, to_networkx
+from .optimize import optimize_program
+from .instruction import Destination, Instruction
+from .opcodes import (
+    OPCODE_CLASS,
+    PURE_BINARY,
+    PURE_UNARY,
+    Opcode,
+    OpcodeClass,
+    arity_of,
+    is_pure,
+)
+from .pretty import format_block, format_program
+from .validate import validate_block, validate_program
+
+__all__ = [
+    "BlockBuilder",
+    "CodeBlock",
+    "Destination",
+    "Instruction",
+    "OPCODE_CLASS",
+    "Opcode",
+    "OpcodeClass",
+    "PURE_BINARY",
+    "PURE_UNARY",
+    "Program",
+    "ProgramBuilder",
+    "arity_of",
+    "format_block",
+    "format_program",
+    "graph_statistics",
+    "is_pure",
+    "optimize_program",
+    "to_dot",
+    "to_networkx",
+    "validate_block",
+    "validate_program",
+]

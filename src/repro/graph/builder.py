@@ -1,0 +1,103 @@
+"""A small fluent API for constructing dataflow graphs by hand.
+
+The Id front end (:mod:`repro.lang`) produces graphs through this builder,
+and tests use it directly to write micro-graphs.  It is deliberately
+low-level: one :meth:`BlockBuilder.emit` per vertex, one
+:meth:`BlockBuilder.wire` per arc.
+"""
+
+from ..common.errors import GraphError
+from .codeblock import CodeBlock, Program
+from .instruction import Destination, Instruction
+from .opcodes import Opcode
+
+__all__ = ["BlockBuilder", "ProgramBuilder"]
+
+
+class BlockBuilder:
+    """Builds one :class:`~repro.graph.codeblock.CodeBlock`."""
+
+    def __init__(self, name, kind=CodeBlock.PROCEDURE, parent_block=None):
+        self.block = CodeBlock(name, kind=kind, parent_block=parent_block)
+
+    @property
+    def name(self):
+        return self.block.name
+
+    # ------------------------------------------------------------------
+    def emit(self, opcode, **kwargs):
+        """Append an instruction; returns its statement number."""
+        if not isinstance(opcode, Opcode):
+            raise GraphError(f"expected an Opcode, got {opcode!r}")
+        instruction = Instruction(opcode, **kwargs)
+        return self.block.add(instruction)
+
+    def wire(self, src, dst, port=0, side="true"):
+        """Add an arc from statement ``src`` to ``dst`` at ``port``.
+
+        ``side`` selects the true/false destination list and is only
+        meaningful when ``src`` is a ``SWITCH``.
+        """
+        instruction = self.block.instruction(src)
+        dest = Destination(dst, port)
+        if side == "true":
+            instruction.dests = instruction.dests + (dest,)
+        elif side == "false":
+            if instruction.opcode is not Opcode.SWITCH:
+                raise GraphError(
+                    f"false-side arc from non-SWITCH statement {src}"
+                )
+            instruction.dests_false = instruction.dests_false + (dest,)
+        else:
+            raise GraphError(f"unknown switch side {side!r}")
+        return self
+
+    def param(self, *targets):
+        """Declare the next parameter; targets are (statement, port) pairs."""
+        return self.block.add_param(
+            [t if isinstance(t, Destination) else Destination(*t) for t in targets]
+        )
+
+    def exit(self, *dests):
+        """Declare the next loop result (loop blocks only)."""
+        return self.block.add_exit(
+            [d if isinstance(d, Destination) else Destination(*d) for d in dests]
+        )
+
+    def instruction(self, statement):
+        return self.block.instruction(statement)
+
+
+class ProgramBuilder:
+    """Accumulates blocks into a validated :class:`Program`."""
+
+    def __init__(self, entry=None):
+        self._program = Program(entry=entry)
+        self._builders = {}
+
+    def procedure(self, name):
+        """Start (and register) a new procedure block builder."""
+        builder = BlockBuilder(name, kind=CodeBlock.PROCEDURE)
+        self._register(builder)
+        return builder
+
+    def loop(self, name, parent_block):
+        """Start (and register) a new loop block builder."""
+        builder = BlockBuilder(name, kind=CodeBlock.LOOP, parent_block=parent_block)
+        self._register(builder)
+        return builder
+
+    def _register(self, builder):
+        self._program.add_block(builder.block)
+        self._builders[builder.name] = builder
+
+    def builder(self, name):
+        return self._builders[name]
+
+    def build(self, validate=True):
+        """Return the finished program, validated unless told otherwise."""
+        if validate:
+            from .validate import validate_program
+
+            validate_program(self._program)
+        return self._program

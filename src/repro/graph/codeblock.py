@@ -1,0 +1,157 @@
+"""Code blocks and whole programs.
+
+"Each procedure and each loop has a unique code block name" (§2.2.2).  A
+:class:`CodeBlock` is the unit the machine's program memory is loaded with;
+a :class:`Program` is a named collection of code blocks with a designated
+entry procedure.
+
+Two kinds of block exist, mirroring the paper's loop schema (Fig 2-2):
+
+* **procedure** blocks receive their arguments from a ``CALL`` instruction
+  and deliver their result through a single ``RETURN`` instruction (all
+  conditional arms merge into it — merging is free in dataflow).
+* **loop** blocks are instantiated at exactly one textual site inside their
+  parent block.  ``L`` instructions in the parent inject the circulating
+  variables with a fresh loop context and iteration 1; ``D`` advances the
+  iteration number around the back edge; ``D⁻¹`` canonicalizes it to 1 on
+  the way out; ``L⁻¹`` restores the parent context and delivers the loop's
+  results to fixed destinations in the parent block.
+"""
+
+from ..common.errors import GraphError
+from .instruction import Destination, Instruction
+from .opcodes import Opcode
+
+__all__ = ["CodeBlock", "Program"]
+
+
+class CodeBlock:
+    """A numbered list of instructions plus its linkage interface."""
+
+    PROCEDURE = "procedure"
+    LOOP = "loop"
+
+    def __init__(self, name, kind=PROCEDURE, parent_block=None):
+        if kind not in (self.PROCEDURE, self.LOOP):
+            raise GraphError(f"unknown code block kind {kind!r}")
+        if kind == self.LOOP and parent_block is None:
+            raise GraphError(f"loop block {name!r} must name its parent block")
+        self.name = name
+        self.kind = kind
+        self.parent_block = parent_block
+        self.instructions = []
+        #: For procedures: param_targets[j] is the arc list argument j is
+        #: delivered to by CALL.  For loops: the arcs circulating variable j
+        #: is delivered to, both by L (entry) and by D (back edge, done via
+        #: D's own dests which must match).
+        self.param_targets = []
+        #: Loop blocks only: exit_dests[j] are arcs *in the parent block*
+        #: that receive loop result j via L⁻¹.
+        self.exit_dests = []
+        #: Procedure blocks only: the statement index of the RETURN
+        #: instruction (continuations are routed to its port 1).
+        self.return_statement = None
+
+    # ------------------------------------------------------------------
+    def add(self, instruction):
+        """Append ``instruction``, assigning it its statement number."""
+        if not isinstance(instruction, Instruction):
+            raise GraphError(f"expected Instruction, got {type(instruction)!r}")
+        instruction.statement = len(self.instructions)
+        self.instructions.append(instruction)
+        if instruction.opcode is Opcode.RETURN:
+            if self.return_statement is not None:
+                raise GraphError(
+                    f"code block {self.name!r} has more than one RETURN; "
+                    "merge conditional arms into a single RETURN instead"
+                )
+            self.return_statement = instruction.statement
+        return instruction.statement
+
+    def add_param(self, targets):
+        """Declare the next parameter, delivered to the ``targets`` arcs."""
+        targets = tuple(
+            t if isinstance(t, Destination) else Destination(*t) for t in targets
+        )
+        if not targets:
+            raise GraphError(f"parameter of {self.name!r} with no targets")
+        self.param_targets.append(targets)
+        return len(self.param_targets) - 1
+
+    def add_exit(self, dests):
+        """Declare the next loop result, delivered to parent-block arcs."""
+        if self.kind != self.LOOP:
+            raise GraphError(f"{self.name!r} is not a loop block")
+        dests = tuple(
+            d if isinstance(d, Destination) else Destination(*d) for d in dests
+        )
+        self.exit_dests.append(dests)
+        return len(self.exit_dests) - 1
+
+    # ------------------------------------------------------------------
+    @property
+    def num_params(self):
+        return len(self.param_targets)
+
+    def instruction(self, statement):
+        try:
+            return self.instructions[statement]
+        except IndexError:
+            raise GraphError(
+                f"code block {self.name!r} has no statement {statement}"
+            ) from None
+
+    def __len__(self):
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def __repr__(self):
+        return (
+            f"<CodeBlock {self.name!r} kind={self.kind} "
+            f"instructions={len(self.instructions)} params={self.num_params}>"
+        )
+
+
+class Program:
+    """A collection of code blocks with a designated entry procedure."""
+
+    def __init__(self, entry=None):
+        self.blocks = {}
+        self.entry = entry
+
+    def add_block(self, block):
+        if block.name in self.blocks:
+            raise GraphError(f"duplicate code block name {block.name!r}")
+        self.blocks[block.name] = block
+        if self.entry is None and block.kind == CodeBlock.PROCEDURE:
+            self.entry = block.name
+        return block
+
+    def block(self, name):
+        try:
+            return self.blocks[name]
+        except KeyError:
+            raise GraphError(f"no code block named {name!r}") from None
+
+    def entry_block(self):
+        if self.entry is None:
+            raise GraphError("program has no entry block")
+        return self.block(self.entry)
+
+    def instruction(self, block_name, statement):
+        return self.block(block_name).instruction(statement)
+
+    @property
+    def total_instructions(self):
+        return sum(len(b) for b in self.blocks.values())
+
+    def __contains__(self, name):
+        return name in self.blocks
+
+    def __repr__(self):
+        return (
+            f"<Program entry={self.entry!r} blocks={len(self.blocks)} "
+            f"instructions={self.total_instructions}>"
+        )

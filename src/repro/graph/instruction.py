@@ -1,0 +1,143 @@
+"""Static instruction and arc (destination) representation.
+
+A compiled code block is a numbered list of :class:`Instruction` objects;
+the arcs of the dataflow graph are stored forward, as each instruction's
+destination list, exactly as an instruction-fetch unit would hold them in
+program memory (§2.2.3: "we build this output token by computing a new tag,
+using the old tag along with information stored in the instruction
+itself").
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..common.errors import GraphError
+from .opcodes import Opcode, arity_of
+
+__all__ = ["Destination", "Instruction"]
+
+
+@dataclass(frozen=True)
+class Destination:
+    """A forward arc: deliver the result to ``statement`` at ``port``."""
+
+    statement: int
+    port: int = 0
+
+    def __post_init__(self):
+        if self.statement < 0:
+            raise GraphError(f"negative destination statement {self.statement}")
+        if self.port < 0:
+            raise GraphError(f"negative destination port {self.port}")
+
+    def __repr__(self):
+        return f"->{self.statement}.{self.port}"
+
+
+@dataclass
+class Instruction:
+    """One vertex of the dataflow graph.
+
+    Attributes
+    ----------
+    opcode:
+        What the instruction does.
+    dests:
+        Forward arcs for the (single) result value.  For ``SWITCH`` these
+        are the *true*-side arcs and :attr:`dests_false` holds the
+        *false*-side arcs.
+    nt:
+        Number of tokens required to enable the instruction (the ``nt``
+        field carried on every token, §2.2.2).  Derived from the opcode's
+        natural arity minus any immediate operand.
+    constant / constant_port:
+        Optional immediate operand folded into the instruction, the usual
+        trick for avoiding a CONSTANT vertex and trigger arc per literal.
+    literal:
+        The value emitted by a ``CONSTANT`` instruction.
+    target_block / site / arg_count:
+        Linkage fields.  ``CALL`` uses ``target_block`` (or, when ``None``,
+        takes the callee name from operand port 0) and ``arg_count``;
+        ``L`` uses ``target_block`` (the loop body block) and ``site`` (the
+        loop-site id shared by every L of one loop so they derive the same
+        loop context).
+    name:
+        Optional human-readable label used by the pretty-printer and error
+        messages (e.g. the source variable the value belongs to).
+    """
+
+    opcode: Opcode
+    dests: Tuple[Destination, ...] = ()
+    dests_false: Tuple[Destination, ...] = ()
+    constant: Optional[object] = None
+    constant_port: Optional[int] = None
+    literal: Optional[object] = None
+    target_block: Optional[str] = None
+    site: Optional[int] = None
+    arg_count: int = 0
+    param_index: Optional[int] = None
+    name: str = ""
+    statement: int = field(default=-1)  # assigned when added to a code block
+
+    def __post_init__(self):
+        self.dests = tuple(self.dests)
+        self.dests_false = tuple(self.dests_false)
+        if self.dests_false and self.opcode is not Opcode.SWITCH:
+            raise GraphError(f"{self.opcode} cannot have false-side destinations")
+        if (self.constant is None) != (self.constant_port is None):
+            raise GraphError("constant and constant_port must be set together")
+
+    # ------------------------------------------------------------------
+    @property
+    def nt(self):
+        """Tokens required to enable this instruction."""
+        if self.opcode is Opcode.CALL:
+            base = self.arg_count + (0 if self.target_block else 1)
+        else:
+            base = arity_of(self.opcode)
+        if self.constant_port is not None:
+            base -= 1
+        if base < 1:
+            raise GraphError(
+                f"instruction {self.statement} ({self.opcode.value}) needs at "
+                "least one token to be enabled"
+            )
+        return base
+
+    @property
+    def natural_arity(self):
+        """Operand count including any immediate."""
+        if self.opcode is Opcode.CALL:
+            return self.arg_count + (0 if self.target_block else 1)
+        return arity_of(self.opcode)
+
+    def input_ports(self):
+        """The ports that must be fed by tokens (immediate port excluded)."""
+        return tuple(
+            port
+            for port in range(self.natural_arity)
+            if port != self.constant_port
+        )
+
+    def all_destinations(self):
+        """Every forward arc, regardless of switch side."""
+        return self.dests + self.dests_false
+
+    def __repr__(self):
+        label = f" {self.name!r}" if self.name else ""
+        extra = ""
+        if self.constant_port is not None:
+            extra = f" const[{self.constant_port}]={self.constant!r}"
+        if self.literal is not None:
+            extra += f" literal={self.literal!r}"
+        if self.target_block is not None:
+            extra += f" ->block {self.target_block!r}"
+        dests = ",".join(map(repr, self.dests)) or "-"
+        if self.opcode is Opcode.SWITCH:
+            dests = (
+                "T:" + (",".join(map(repr, self.dests)) or "-")
+                + " F:" + (",".join(map(repr, self.dests_false)) or "-")
+            )
+        return (
+            f"<{self.statement}: {self.opcode.value}{label}{extra} {dests}>"
+        )

@@ -1,0 +1,287 @@
+"""Peephole optimization of compiled dataflow graphs.
+
+The front end deliberately emits naive graphs (one IDENT landing pad per
+parameter, one CONSTANT vertex per literal that could not be folded at
+parse time).  These passes clean them up the way the MIT compiler
+literature describes, without changing program meaning:
+
+* **constant folding** — a CONSTANT vertex whose every consumer is a
+  two-input operator with a free immediate slot (and no merge on that
+  port) disappears into the consumers' immediate fields;
+* **IDENT collapsing** — pass-through vertices are removed by rewiring
+  their producers straight to their consumers (parameter landing pads,
+  loop entry pads);
+* **dead code removal** — side-effect-free instructions whose output
+  feeds nothing are deleted, iterated to a fixpoint (an unused CONSTANT's
+  trigger arc disappears, possibly freeing its producer, and so on).
+
+``optimize_program`` clones the input; the original is never mutated.
+Every pass maintains the well-formedness invariants, and the result is
+re-validated before being returned.  Semantics preservation is checked
+property-style in ``tests/test_optimize.py`` (optimized and original
+programs must agree on random inputs).
+"""
+
+import copy
+
+from .codeblock import CodeBlock, Program
+from .instruction import Destination
+from .opcodes import Opcode, OpcodeClass, OPCODE_CLASS, PURE_BINARY
+from .validate import validate_program
+
+__all__ = ["optimize_program", "fold_constants", "collapse_idents",
+           "remove_dead_code"]
+
+#: Opcodes that must never be deleted even when their output is unused.
+_EFFECTFUL = frozenset(
+    {
+        Opcode.RETURN,  # delivers the result
+        Opcode.I_STORE,  # writes memory
+        Opcode.I_ALLOC,  # allocates (result may feed stores via others)
+        Opcode.L,  # starts loop activity in another block
+        Opcode.L_INV,  # delivers across blocks
+        Opcode.CALL,  # the callee may have effects
+        Opcode.D,  # loop back edge
+        Opcode.D_INV,
+    }
+)
+
+
+def _clone(program):
+    cloned = Program(entry=program.entry)
+    for block in program.blocks.values():
+        cloned.add_block(copy.deepcopy(block))
+    return cloned
+
+
+def optimize_program(program, passes=("fold", "idents", "dead")):
+    """Run the requested passes (in order, then iterate to fixpoint)."""
+    program = _clone(program)
+    table = {
+        "fold": fold_constants,
+        "idents": collapse_idents,
+        "dead": remove_dead_code,
+    }
+    changed = True
+    while changed:
+        changed = False
+        for name in passes:
+            changed = table[name](program) or changed
+    validate_program(program)
+    return program
+
+
+# ---------------------------------------------------------------------------
+# Shared plumbing
+# ---------------------------------------------------------------------------
+
+def _port_feeders(program, block):
+    """Map (statement, port) -> list of feeder descriptors.
+
+    A feeder is ("inst", src_block_name, src_statement, side) for an
+    instruction arc, or ("ext", kind) for arcs originating outside any
+    instruction (parameter deliveries, loop exits, continuations).
+    """
+    feeders = {}
+
+    def feed(dest, feeder):
+        feeders.setdefault((dest.statement, dest.port), []).append(feeder)
+
+    for targets in block.param_targets:
+        for dest in targets:
+            feed(dest, ("ext", "param"))
+    if block.return_statement is not None:
+        feeders.setdefault((block.return_statement, 1), []).append(
+            ("ext", "continuation")
+        )
+    for other in program.blocks.values():
+        if other.kind == CodeBlock.LOOP and other.parent_block == block.name:
+            for dests in other.exit_dests:
+                for dest in dests:
+                    feed(dest, ("ext", "loop-exit"))
+    for instruction in block:
+        if instruction.opcode in (Opcode.L, Opcode.L_INV):
+            continue
+        for dest in instruction.dests:
+            feed(dest, ("inst", block.name, instruction.statement, "true"))
+        for dest in instruction.dests_false:
+            feed(dest, ("inst", block.name, instruction.statement, "false"))
+    return feeders
+
+
+def _replace_arcs(block_like_dests, old_statement, new_dests, port_filter=None):
+    """Replace every arc to ``old_statement`` in a dest tuple."""
+    out = []
+    changed = False
+    for dest in block_like_dests:
+        if dest.statement == old_statement and (
+            port_filter is None or dest.port == port_filter
+        ):
+            out.extend(new_dests)
+            changed = True
+        else:
+            out.append(dest)
+    return tuple(out), changed
+
+
+def _rewire_into(program, block, old_statement, new_dests, port_filter=None):
+    """Redirect every arc targeting ``old_statement`` to ``new_dests``."""
+    for instruction in block:
+        instruction.dests, _ = _replace_arcs(
+            instruction.dests, old_statement, new_dests, port_filter
+        )
+        instruction.dests_false, _ = _replace_arcs(
+            instruction.dests_false, old_statement, new_dests, port_filter
+        )
+    block.param_targets = [
+        _replace_arcs(targets, old_statement, new_dests, port_filter)[0]
+        for targets in block.param_targets
+    ]
+    for other in program.blocks.values():
+        if other.kind == CodeBlock.LOOP and other.parent_block == block.name:
+            other.exit_dests = [
+                _replace_arcs(dests, old_statement, new_dests, port_filter)[0]
+                for dests in other.exit_dests
+            ]
+
+
+def _delete_statements(program, block, doomed):
+    """Remove ``doomed`` statements from ``block``, renumbering everything."""
+    if not doomed:
+        return
+    doomed = set(doomed)
+    mapping = {}
+    new_instructions = []
+    for instruction in block.instructions:
+        if instruction.statement in doomed:
+            continue
+        mapping[instruction.statement] = len(new_instructions)
+        new_instructions.append(instruction)
+
+    def remap(dests):
+        return tuple(
+            Destination(mapping[d.statement], d.port)
+            for d in dests
+            if d.statement not in doomed
+        )
+
+    for instruction in new_instructions:
+        instruction.dests = remap(instruction.dests)
+        instruction.dests_false = remap(instruction.dests_false)
+    for index, instruction in enumerate(new_instructions):
+        instruction.statement = index
+    block.instructions = new_instructions
+    block.param_targets = [remap(t) for t in block.param_targets]
+    if block.return_statement is not None:
+        block.return_statement = mapping.get(block.return_statement)
+    for other in program.blocks.values():
+        if other.kind == CodeBlock.LOOP and other.parent_block == block.name:
+            other.exit_dests = [remap(d) for d in other.exit_dests]
+
+
+# ---------------------------------------------------------------------------
+# Pass 1: fold CONSTANT vertices into consumer immediates
+# ---------------------------------------------------------------------------
+
+def fold_constants(program):
+    """Fold CONSTANT vertices into their consumers' immediate slots."""
+    changed = False
+    for block in program.blocks.values():
+        feeders = _port_feeders(program, block)
+        for instruction in list(block):
+            if instruction.opcode is not Opcode.CONSTANT:
+                continue
+            if instruction.dests_false:
+                continue
+            consumers = instruction.dests
+            if not consumers:
+                continue
+            # One immediate slot per consumer: a constant feeding two
+            # ports of the same instruction cannot fold.
+            if len({d.statement for d in consumers}) != len(consumers):
+                continue
+            if not all(
+                _can_absorb_immediate(block, feeders, dest)
+                for dest in consumers
+            ):
+                continue
+            for dest in consumers:
+                consumer = block.instruction(dest.statement)
+                consumer.constant = instruction.literal
+                consumer.constant_port = dest.port
+            instruction.dests = ()
+            changed = True
+    return changed
+
+
+def _can_absorb_immediate(block, feeders, dest):
+    consumer = block.instruction(dest.statement)
+    if consumer.opcode not in PURE_BINARY:
+        return False
+    if consumer.constant_port is not None:
+        return False
+    # The port must be fed only by this constant (no merge).
+    return len(feeders.get((dest.statement, dest.port), [])) == 1
+
+
+# ---------------------------------------------------------------------------
+# Pass 2: collapse IDENT pass-throughs
+# ---------------------------------------------------------------------------
+
+def collapse_idents(program):
+    """Remove IDENT vertices by rewiring producers to their consumers."""
+    changed = False
+    for block in program.blocks.values():
+        doomed = []
+        for instruction in list(block):
+            if instruction.opcode is not Opcode.IDENT:
+                continue
+            _rewire_into(program, block, instruction.statement,
+                         instruction.dests, port_filter=0)
+            instruction.dests = ()
+            doomed.append(instruction.statement)
+        if doomed:
+            _delete_statements(program, block, doomed)
+            changed = True
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# Pass 3: dead code elimination
+# ---------------------------------------------------------------------------
+
+def remove_dead_code(program):
+    """Delete effect-free instructions whose output feeds nothing."""
+    changed = False
+    for block in program.blocks.values():
+        while True:
+            doomed = [
+                instruction.statement
+                for instruction in block
+                if _is_dead(instruction)
+            ]
+            if not doomed:
+                break
+            # Drop arcs into the doomed statements, then delete them.
+            for statement in doomed:
+                _rewire_into(program, block, statement, ())
+            _delete_statements(program, block, doomed)
+            changed = True
+    return changed
+
+
+def _is_dead(instruction):
+    if instruction.opcode in _EFFECTFUL:
+        return False
+    if instruction.dests or instruction.dests_false:
+        return False
+    if instruction.opcode is Opcode.SWITCH:
+        return True  # both sides empty: pure routing to nowhere
+    return OPCODE_CLASS[instruction.opcode] in (
+        OpcodeClass.PURE, OpcodeClass.CONTROL,
+    )
+
+
+# I_FETCH with no consumers is also removable (reads have no effect), but
+# only when its request would never deadlock-diagnose anything; we keep it
+# conservative and leave structure reads in place.

@@ -1,0 +1,70 @@
+"""Human-readable dumps of compiled dataflow graphs.
+
+``format_program`` renders a program the way Figure 2-2 of the paper is
+drawn: one line per vertex with its operator, immediates and arcs, grouped
+by code block, with the loop schema operators (L, D, D⁻¹, L⁻¹) labelled.
+"""
+
+from .codeblock import CodeBlock
+from .opcodes import Opcode
+
+__all__ = ["format_program", "format_block"]
+
+_TAG_GLYPHS = {
+    Opcode.L: "L",
+    Opcode.L_INV: "L⁻¹",
+    Opcode.D: "D",
+    Opcode.D_INV: "D⁻¹",
+}
+
+
+def format_block(block):
+    """Render one code block as an indented text listing."""
+    lines = []
+    header = f"{block.kind} {block.name}"
+    if block.kind == CodeBlock.LOOP:
+        header += f" (in {block.parent_block})"
+    lines.append(header + ":")
+    for index, targets in enumerate(block.param_targets):
+        arcs = ", ".join(f"{d.statement}.{d.port}" for d in targets)
+        lines.append(f"  param[{index}] -> {arcs}")
+    for instruction in block:
+        lines.append("  " + _format_instruction(block, instruction))
+    for index, dests in enumerate(block.exit_dests):
+        arcs = ", ".join(f"{d.statement}.{d.port}" for d in dests)
+        lines.append(f"  exit[{index}] -> parent {arcs}")
+    return "\n".join(lines)
+
+
+def format_program(program):
+    """Render every block of the program, entry block first."""
+    ordering = [program.entry] + sorted(
+        name for name in program.blocks if name != program.entry
+    )
+    return "\n\n".join(format_block(program.block(name)) for name in ordering)
+
+
+def _format_instruction(block, instruction):
+    opcode = instruction.opcode
+    mnemonic = _TAG_GLYPHS.get(opcode, opcode.value.upper())
+    parts = [f"{instruction.statement:>3}: {mnemonic}"]
+    if instruction.name:
+        parts.append(f"({instruction.name})")
+    if instruction.literal is not None:
+        parts.append(f"#{instruction.literal!r}")
+    if instruction.constant_port is not None:
+        parts.append(f"imm[{instruction.constant_port}]={instruction.constant!r}")
+    if instruction.target_block:
+        parts.append(f"=> {instruction.target_block}")
+    if instruction.param_index is not None:
+        parts.append(f"var[{instruction.param_index}]")
+    if opcode is Opcode.SWITCH:
+        true_side = ", ".join(f"{d.statement}.{d.port}" for d in instruction.dests)
+        false_side = ", ".join(
+            f"{d.statement}.{d.port}" for d in instruction.dests_false
+        )
+        parts.append(f"T->[{true_side or '-'}] F->[{false_side or '-'}]")
+    elif instruction.dests:
+        arcs = ", ".join(f"{d.statement}.{d.port}" for d in instruction.dests)
+        parts.append(f"-> {arcs}")
+    return " ".join(parts)

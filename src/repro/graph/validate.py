@@ -1,0 +1,208 @@
+"""Well-formedness checks for compiled programs.
+
+A malformed graph fails here at load time rather than as a hung simulation
+("a program terminates when no enabled instructions are left" makes missing
+arcs indistinguishable from termination at run time, so we reject them
+statically).
+"""
+
+from ..common.errors import GraphError
+from .codeblock import CodeBlock
+from .opcodes import Opcode
+
+__all__ = ["validate_program", "validate_block"]
+
+
+def validate_program(program):
+    """Raise :class:`GraphError` unless ``program`` is well formed."""
+    entry = program.entry_block()
+    if entry.kind != CodeBlock.PROCEDURE:
+        raise GraphError(f"entry block {entry.name!r} must be a procedure")
+    loop_sites = {}
+    for block in program.blocks.values():
+        validate_block(program, block, loop_sites)
+    _check_indegrees(program)
+    return program
+
+
+def validate_block(program, block, loop_sites=None):
+    """Structural checks local to one code block."""
+    if loop_sites is None:
+        loop_sites = {}
+    if block.kind == CodeBlock.PROCEDURE and block.return_statement is None:
+        raise GraphError(f"procedure block {block.name!r} has no RETURN")
+    if block.kind == CodeBlock.LOOP:
+        if block.parent_block not in program:
+            raise GraphError(
+                f"loop block {block.name!r} names unknown parent "
+                f"{block.parent_block!r}"
+            )
+        parent = program.block(block.parent_block)
+        for result_index, dests in enumerate(block.exit_dests):
+            for dest in dests:
+                _check_dest(parent, dest, f"{block.name!r} exit {result_index}")
+    for targets in block.param_targets:
+        for dest in targets:
+            _check_dest(block, dest, f"{block.name!r} parameter")
+
+    for instruction in block:
+        _validate_instruction(program, block, instruction, loop_sites)
+
+
+def _validate_instruction(program, block, instruction, loop_sites):
+    where = f"{block.name!r} statement {instruction.statement}"
+    opcode = instruction.opcode
+
+    if instruction.constant_port is not None:
+        if instruction.constant_port >= instruction.natural_arity:
+            raise GraphError(f"{where}: immediate port out of range")
+        if opcode in (Opcode.L, Opcode.L_INV, Opcode.CALL, Opcode.RETURN):
+            raise GraphError(f"{where}: {opcode.value} cannot take an immediate")
+
+    if opcode is Opcode.CONSTANT and instruction.literal is None:
+        raise GraphError(f"{where}: CONSTANT without a literal")
+
+    if opcode is Opcode.L:
+        _validate_loop_entry(program, block, instruction, loop_sites, where)
+    elif opcode is Opcode.L_INV:
+        _validate_loop_exit(program, block, instruction, where)
+    elif opcode in (Opcode.D, Opcode.D_INV):
+        if block.kind != CodeBlock.LOOP:
+            raise GraphError(f"{where}: {opcode.value} outside a loop block")
+        _check_local_dests(block, instruction, where)
+    elif opcode is Opcode.CALL:
+        _validate_call(program, instruction, where)
+        _check_local_dests(block, instruction, where)
+    elif opcode is Opcode.RETURN:
+        if instruction.dests or instruction.dests_false:
+            raise GraphError(f"{where}: RETURN routes via its continuation, "
+                             "it cannot have static destinations")
+    else:
+        _check_local_dests(block, instruction, where)
+
+    if opcode is not Opcode.SWITCH and instruction.dests_false:
+        raise GraphError(f"{where}: false-side arcs on non-SWITCH")
+
+
+def _validate_loop_entry(program, block, instruction, loop_sites, where):
+    if instruction.target_block is None or instruction.site is None:
+        raise GraphError(f"{where}: L needs target_block and site")
+    if instruction.param_index is None:
+        raise GraphError(f"{where}: L needs param_index")
+    if instruction.dests or instruction.dests_false:
+        raise GraphError(f"{where}: L delivers via the loop's param targets, "
+                         "it cannot have static destinations")
+    loop = program.block(instruction.target_block)
+    if loop.kind != CodeBlock.LOOP:
+        raise GraphError(f"{where}: L target {loop.name!r} is not a loop block")
+    if loop.parent_block != block.name:
+        raise GraphError(
+            f"{where}: loop {loop.name!r} belongs to {loop.parent_block!r}, "
+            f"not {block.name!r}"
+        )
+    if not 0 <= instruction.param_index < loop.num_params:
+        raise GraphError(f"{where}: loop parameter index out of range")
+    key = (block.name, instruction.site)
+    bound = loop_sites.setdefault(key, loop.name)
+    if bound != loop.name:
+        raise GraphError(
+            f"{where}: loop site {instruction.site} already bound to "
+            f"{bound!r}, cannot also enter {loop.name!r}"
+        )
+
+
+def _validate_loop_exit(program, block, instruction, where):
+    if block.kind != CodeBlock.LOOP:
+        raise GraphError(f"{where}: L_INV outside a loop block")
+    if instruction.param_index is None:
+        raise GraphError(f"{where}: L_INV needs param_index (result index)")
+    if not 0 <= instruction.param_index < len(block.exit_dests):
+        raise GraphError(f"{where}: loop result index out of range")
+    if instruction.dests or instruction.dests_false:
+        raise GraphError(f"{where}: L_INV delivers via the loop's exit_dests, "
+                         "it cannot have static destinations")
+
+
+def _validate_call(program, instruction, where):
+    if instruction.arg_count < 1:
+        raise GraphError(f"{where}: CALL needs at least one argument")
+    if instruction.target_block is not None:
+        callee = program.block(instruction.target_block)
+        if callee.kind != CodeBlock.PROCEDURE:
+            raise GraphError(f"{where}: CALL target {callee.name!r} is a loop")
+        if callee.num_params != instruction.arg_count:
+            raise GraphError(
+                f"{where}: CALL passes {instruction.arg_count} args but "
+                f"{callee.name!r} takes {callee.num_params}"
+            )
+        if callee.return_statement is None:
+            raise GraphError(f"{where}: CALL target {callee.name!r} lacks RETURN")
+
+
+def _check_local_dests(block, instruction, where):
+    for dest in instruction.all_destinations():
+        _check_dest(block, dest, where)
+
+
+def _check_dest(block, dest, where):
+    if dest.statement >= len(block):
+        raise GraphError(
+            f"{where}: arc to nonexistent statement {dest.statement} of "
+            f"{block.name!r}"
+        )
+    target = block.instruction(dest.statement)
+    if dest.port >= target.natural_arity:
+        raise GraphError(
+            f"{where}: arc to {block.name!r}:{dest.statement} port {dest.port} "
+            f"but {target.opcode.value} has arity {target.natural_arity}"
+        )
+    if dest.port == target.constant_port:
+        raise GraphError(
+            f"{where}: arc to {block.name!r}:{dest.statement} port {dest.port} "
+            "collides with an immediate operand"
+        )
+
+
+def _check_indegrees(program):
+    """Every token-fed input port must have at least one incoming arc."""
+    indegree = {
+        (block.name, instruction.statement, port): 0
+        for block in program.blocks.values()
+        for instruction in block
+        for port in instruction.input_ports()
+    }
+
+    def feed(block_name, dest):
+        key = (block_name, dest.statement, dest.port)
+        if key in indegree:
+            indegree[key] += 1
+
+    for block in program.blocks.values():
+        for targets in block.param_targets:
+            for dest in targets:
+                feed(block.name, dest)
+        if block.kind == CodeBlock.LOOP:
+            parent = block.parent_block
+            for dests in block.exit_dests:
+                for dest in dests:
+                    feed(parent, dest)
+        if block.return_statement is not None:
+            # CALL routes the continuation to RETURN port 1.
+            key = (block.name, block.return_statement, 1)
+            if key in indegree:
+                indegree[key] += 1
+        for instruction in block:
+            if instruction.opcode in (Opcode.L, Opcode.L_INV):
+                continue  # delivered through param_targets / exit_dests
+            for dest in instruction.all_destinations():
+                feed(block.name, dest)
+
+    starved = [key for key, count in indegree.items() if count == 0]
+    if starved:
+        sample = ", ".join(
+            f"{name}:{stmt}.{port}" for name, stmt, port in sorted(starved)[:8]
+        )
+        raise GraphError(
+            f"{len(starved)} input port(s) have no incoming arc and could "
+            f"never fire: {sample}"
+        )

@@ -1,0 +1,24 @@
+"""I-structure storage (S6 in DESIGN.md): presence bits, deferred read
+lists, the single-assignment discipline, and the timed memory controller.
+
+This is the paper's answer to Issue 2 — "synchronization can be achieved
+with no loss of parallelism" (§1.1) — by synchronizing at the granularity
+of a single memory element.
+"""
+
+from .controller import IStructureController, ReadRequest, WriteRequest
+from .heap import Allocator, StructureRef, interleave_home
+from .presence import Presence
+from .store import DEFERRED, IStructureModule
+
+__all__ = [
+    "Allocator",
+    "DEFERRED",
+    "IStructureController",
+    "IStructureModule",
+    "Presence",
+    "ReadRequest",
+    "StructureRef",
+    "WriteRequest",
+    "interleave_home",
+]

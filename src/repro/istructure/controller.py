@@ -1,0 +1,124 @@
+"""The timed I-structure memory controller.
+
+Wraps the untimed :class:`~repro.istructure.store.IStructureModule` with a
+single-server queue and the service costs the paper states (§2.1): "A read
+operation is as efficient as in a traditional memory.  Write operations
+take twice as long, however, due to the prefetching of presence bits."
+
+Satisfied reads (immediate or deferred) are handed to a ``deliver``
+callback; in the dataflow machine that callback injects the d=0 result
+token into the network back toward the requesting PE.
+"""
+
+from ..common.stats import Counter, TimeWeighted, UtilizationTracker
+from .store import DEFERRED, IStructureModule
+
+__all__ = ["IStructureController", "ReadRequest", "WriteRequest"]
+
+
+class ReadRequest:
+    """A d=1 FETCH token's payload: read ``key``, answer to ``reply``."""
+
+    __slots__ = ("key", "reply")
+
+    def __init__(self, key, reply):
+        self.key = key
+        self.reply = reply
+
+
+class WriteRequest:
+    """A d=1 STORE token's payload: write ``value`` into ``key``."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key, value):
+        self.key = key
+        self.value = value
+
+
+class IStructureController:
+    """One controller serving one I-structure module, FIFO, one request at
+    a time."""
+
+    def __init__(
+        self,
+        sim,
+        deliver,
+        name="isc",
+        read_cycles=1,
+        write_cycles=2,
+        drain_cycles_per_deferred=1,
+        module=None,
+    ):
+        self.sim = sim
+        self.deliver = deliver
+        self.name = name
+        self.read_cycles = read_cycles
+        self.write_cycles = write_cycles
+        self.drain_cycles_per_deferred = drain_cycles_per_deferred
+        self.module = module if module is not None else IStructureModule(name)
+        self._queue = []
+        self._busy = False
+        self.counters = Counter()
+        self.queue_depth = TimeWeighted()
+        self.utilization = UtilizationTracker()
+
+    # ------------------------------------------------------------------
+    def submit(self, request):
+        """Accept a read or write request (arrival of a d=1 token)."""
+        self._queue.append(request)
+        self.queue_depth.update(self.sim.now, len(self._queue))
+        self.counters.add("requests")
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self):
+        if not self._queue:
+            return
+        request = self._queue.pop(0)
+        self.queue_depth.update(self.sim.now, len(self._queue))
+        self._busy = True
+        self.utilization.begin(self.sim.now)
+        if isinstance(request, ReadRequest):
+            service = self.read_cycles
+        else:
+            service = self.write_cycles
+        self.sim.schedule(service, self._complete, request)
+
+    def _complete(self, request):
+        extra = 0.0
+        if isinstance(request, ReadRequest):
+            # A deferred read costs nothing extra now; it pays its
+            # processing cycle when the write drains the list.
+            value = self.module.read(request.key, request.reply)
+            if value is not DEFERRED:
+                self.deliver(request.reply, value)
+        else:
+            drained = self.module.write(request.key, request.value)
+            extra = self.drain_cycles_per_deferred * len(drained)
+            for reply in drained:
+                self.deliver(reply, request.value)
+        if extra > 0:
+            self.sim.schedule(extra, self._finish_drain)
+        else:
+            self._finish_drain()
+
+    def _finish_drain(self):
+        self.utilization.end(self.sim.now)
+        self._busy = False
+        self._start_next()
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_reads(self):
+        return self.module.pending_reads()
+
+    @property
+    def queued(self):
+        return len(self._queue)
+
+    def __repr__(self):
+        return (
+            f"<IStructureController {self.name!r} queued={self.queued} "
+            f"busy={self._busy} pending_reads={self.pending_reads}>"
+        )

@@ -1,0 +1,64 @@
+"""Structure references and machine-wide allocation.
+
+Tokens "carry only pointers to the structure" (§2.2.4); the pointer type is
+:class:`StructureRef`.  Allocation hands out machine-unique structure ids;
+placement of the elements onto I-structure modules is the machine's
+business (see :func:`interleave_home`).
+"""
+
+import itertools
+from dataclasses import dataclass
+
+from ..common.errors import IStructureError
+
+__all__ = ["StructureRef", "Allocator", "interleave_home"]
+
+
+@dataclass(frozen=True)
+class StructureRef:
+    """A pointer to an allocated I-structure (carried on tokens)."""
+
+    sid: int
+    size: int
+
+    def check_index(self, index):
+        """Bounds-check ``index``; returns it for chaining."""
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise IStructureError(
+                f"I-structure index must be an integer, got {index!r}"
+            )
+        if not 0 <= index < self.size:
+            raise IStructureError(
+                f"index {index} out of bounds for structure {self.sid} "
+                f"of size {self.size}"
+            )
+        return index
+
+    def __repr__(self):
+        return f"IS#{self.sid}[{self.size}]"
+
+
+class Allocator:
+    """Hands out machine-unique structure ids."""
+
+    def __init__(self):
+        self._ids = itertools.count(1)
+        self.allocated = 0
+        self.cells_allocated = 0
+
+    def allocate(self, size):
+        if not isinstance(size, int) or isinstance(size, bool) or size < 0:
+            raise IStructureError(f"invalid I-structure size {size!r}")
+        self.allocated += 1
+        self.cells_allocated += size
+        return StructureRef(next(self._ids), size)
+
+
+def interleave_home(ref, index, n_modules):
+    """Module number holding element ``index`` of ``ref``.
+
+    Elements are interleaved across modules so that a producer writing
+    sequentially and a consumer reading sequentially spread their traffic
+    over the whole machine instead of hammering one controller.
+    """
+    return (ref.sid + index) % n_modules

@@ -1,0 +1,22 @@
+"""Presence bits — the per-cell state of I-structure storage (§2.1).
+
+Each memory cell carries flags "which indicate the memory cell's status -
+written or unwritten"; a cell that is unwritten but has outstanding read
+requests is additionally marked so the controller knows to consult the
+deferred read list on the eventual write.
+"""
+
+import enum
+
+__all__ = ["Presence"]
+
+
+class Presence(enum.Enum):
+    """The three observable states of an I-structure cell."""
+
+    #: Never written, no readers waiting.
+    EMPTY = "empty"
+    #: Never written, one or more read requests deferred (Fig 2-1).
+    WAITING = "waiting"
+    #: Written exactly once; reads are served immediately.
+    PRESENT = "present"

@@ -1,0 +1,128 @@
+"""The functional core of an I-structure storage module (§2.1, Fig 2-1).
+
+This class implements exactly the discipline the paper describes:
+
+* a **read** of a PRESENT cell returns the value immediately;
+* a **read** of an EMPTY/WAITING cell is *deferred* — the request is put
+  aside on the cell's deferred read list ("the memory module must maintain
+  a list of deferred read requests as there may be more than one read of a
+  particular address before the corresponding write");
+* a **write** stores the value, sets the presence bits, and satisfies every
+  deferred read; a second write to the same cell violates the
+  single-assignment discipline and raises :class:`IStructureError`.
+
+Timing (service cycles, the 2x write penalty from presence-bit prefetch)
+belongs to :class:`repro.istructure.controller.IStructureController`; this
+module is untimed so the reference interpreter can share it.
+
+Reply handles are opaque to the store: the dataflow machine passes the
+(tag, port) a satisfied read should produce a token for; the von Neumann
+comparison models pass whatever they need.
+"""
+
+from ..common.errors import IStructureError
+from ..common.stats import Counter, Histogram
+from .presence import Presence
+
+__all__ = ["IStructureModule", "DEFERRED"]
+
+#: Sentinel returned by :meth:`IStructureModule.read` for deferred reads.
+DEFERRED = object()
+
+
+class _Cell:
+    __slots__ = ("state", "value", "deferred")
+
+    def __init__(self):
+        self.state = Presence.EMPTY
+        self.value = None
+        self.deferred = []
+
+
+class IStructureModule:
+    """One I-structure memory module: cells keyed by (structure id, index)."""
+
+    def __init__(self, name="istructure"):
+        self.name = name
+        self._cells = {}
+        self.counters = Counter()
+        #: Length of the deferred list each time a write drains it.
+        self.deferred_list_lengths = Histogram()
+
+    # ------------------------------------------------------------------
+    def _cell(self, key):
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = self._cells[key] = _Cell()
+        return cell
+
+    def read(self, key, reply):
+        """Attempt to read cell ``key`` on behalf of ``reply``.
+
+        Returns the stored value if the cell is PRESENT, otherwise defers
+        the request and returns the :data:`DEFERRED` sentinel.
+        """
+        cell = self._cell(key)
+        if cell.state is Presence.PRESENT:
+            self.counters.add("reads_immediate")
+            return cell.value
+        cell.deferred.append(reply)
+        cell.state = Presence.WAITING
+        self.counters.add("reads_deferred")
+        return DEFERRED
+
+    def write(self, key, value):
+        """Write cell ``key`` and return the drained deferred replies.
+
+        The return value is a list of the reply handles whose reads are now
+        satisfied (each should be delivered ``value``).  Raises
+        :class:`IStructureError` on a repeated write, enforcing the
+        single-assignment rule that makes the scheme race-free.
+        """
+        cell = self._cell(key)
+        if cell.state is Presence.PRESENT:
+            raise IStructureError(
+                f"{self.name}: second write to I-structure cell {key!r} "
+                f"(old={cell.value!r}, new={value!r})"
+            )
+        drained = cell.deferred
+        cell.deferred = []
+        cell.value = value
+        cell.state = Presence.PRESENT
+        self.counters.add("writes")
+        self.deferred_list_lengths.observe(len(drained))
+        return drained
+
+    # ------------------------------------------------------------------
+    def presence(self, key):
+        """Presence bits of ``key`` (EMPTY if never touched)."""
+        cell = self._cells.get(key)
+        return cell.state if cell is not None else Presence.EMPTY
+
+    def value(self, key):
+        """Value of a PRESENT cell; raises if the cell is unwritten."""
+        cell = self._cells.get(key)
+        if cell is None or cell.state is not Presence.PRESENT:
+            raise IStructureError(f"{self.name}: cell {key!r} is not present")
+        return cell.value
+
+    def pending_reads(self):
+        """Number of read requests still deferred across all cells."""
+        return sum(len(c.deferred) for c in self._cells.values())
+
+    def pending_cells(self):
+        """Keys of cells that have deferred readers (for deadlock reports)."""
+        return [k for k, c in self._cells.items() if c.deferred]
+
+    @property
+    def cells_written(self):
+        return self.counters.get("writes")
+
+    def __len__(self):
+        return len(self._cells)
+
+    def __repr__(self):
+        return (
+            f"<IStructureModule {self.name!r} cells={len(self._cells)} "
+            f"pending={self.pending_reads()}>"
+        )

@@ -1,0 +1,52 @@
+"""The Id-like language front end (S3 in DESIGN.md).
+
+``compile_source`` takes programs in the paper's ID style — loop
+expressions with ``initial``/``for``/``new``/``return``, conditionals,
+procedure calls, I-structure arrays — and produces validated tagged-token
+dataflow graphs runnable on either execution engine.
+"""
+
+from .ast_nodes import (
+    ArrayAlloc,
+    BinOp,
+    Call,
+    Def,
+    If,
+    Index,
+    Let,
+    Literal,
+    Loop,
+    Program,
+    StoreStmt,
+    UnOp,
+    Var,
+    free_vars,
+)
+from .compiler import BUILTIN_BINARY, BUILTIN_UNARY, compile_program, compile_source
+from .lexer import Token, tokenize
+from .parser import parse, parse_expression
+
+__all__ = [
+    "ArrayAlloc",
+    "BUILTIN_BINARY",
+    "BUILTIN_UNARY",
+    "BinOp",
+    "Call",
+    "Def",
+    "If",
+    "Index",
+    "Let",
+    "Literal",
+    "Loop",
+    "Program",
+    "StoreStmt",
+    "Token",
+    "UnOp",
+    "Var",
+    "compile_program",
+    "compile_source",
+    "free_vars",
+    "parse",
+    "parse_expression",
+    "tokenize",
+]

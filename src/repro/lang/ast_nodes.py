@@ -1,0 +1,171 @@
+"""Abstract syntax of the Id-like language."""
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "Node", "Program", "Def", "Literal", "Var", "BinOp", "UnOp", "If",
+    "Let", "Call", "ArrayAlloc", "Index", "StoreStmt", "Loop", "free_vars",
+]
+
+
+@dataclass
+class Node:
+    """Base class; ``line`` points back at the source for error messages."""
+
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class Literal(Node):
+    value: object
+
+
+@dataclass
+class Var(Node):
+    name: str
+
+
+@dataclass
+class BinOp(Node):
+    op: str  # '+', '-', '*', '/', '%', '**', '<', '<=', ..., 'and', 'or'
+    left: Node
+    right: Node
+
+
+@dataclass
+class UnOp(Node):
+    op: str  # '-', 'not'
+    operand: Node
+
+
+@dataclass
+class If(Node):
+    cond: Node
+    then: Node
+    orelse: Node
+
+
+@dataclass
+class Let(Node):
+    bindings: List[Tuple[str, Node]]
+    body: Node
+
+
+@dataclass
+class Call(Node):
+    func: str
+    args: List[Node]
+
+
+@dataclass
+class ArrayAlloc(Node):
+    size: Node
+
+
+@dataclass
+class Index(Node):
+    array: Node
+    index: Node
+
+
+@dataclass
+class StoreStmt(Node):
+    """``a[i] <- e`` inside a loop body."""
+
+    array: Node
+    index: Node
+    value: Node
+
+
+@dataclass
+class Loop(Node):
+    """The (initial ... for/while ... do ... return ...) expression.
+
+    ``index`` is None for while-loops.  ``updates`` are the ``new v <- e``
+    statements; ``stores`` the ``a[i] <- e`` statements, kept in source
+    order relative to each other only for readability (they are all
+    independent dataflow).
+    """
+
+    initial: List[Tuple[str, Node]]
+    index: Optional[str]
+    lo: Optional[Node]
+    hi: Optional[Node]
+    cond: Optional[Node]  # while-form condition
+    updates: List[Tuple[str, Node]]
+    stores: List[StoreStmt]
+    result: Node
+
+
+@dataclass
+class Def(Node):
+    name: str
+    params: List[str]
+    body: Node
+
+
+@dataclass
+class Program(Node):
+    defs: List[Def]
+
+
+def free_vars(node, bound=frozenset()):
+    """The free variable names of an expression."""
+    if isinstance(node, Literal):
+        return set()
+    if isinstance(node, Var):
+        return set() if node.name in bound else {node.name}
+    if isinstance(node, BinOp):
+        return free_vars(node.left, bound) | free_vars(node.right, bound)
+    if isinstance(node, UnOp):
+        return free_vars(node.operand, bound)
+    if isinstance(node, If):
+        return (
+            free_vars(node.cond, bound)
+            | free_vars(node.then, bound)
+            | free_vars(node.orelse, bound)
+        )
+    if isinstance(node, Let):
+        out = set()
+        inner = set(bound)
+        for name, expr in node.bindings:
+            out |= free_vars(expr, frozenset(inner))
+            inner.add(name)
+        return out | free_vars(node.body, frozenset(inner))
+    if isinstance(node, Call):
+        out = set()
+        for arg in node.args:
+            out |= free_vars(arg, bound)
+        return out
+    if isinstance(node, ArrayAlloc):
+        return free_vars(node.size, bound)
+    if isinstance(node, Index):
+        return free_vars(node.array, bound) | free_vars(node.index, bound)
+    if isinstance(node, StoreStmt):
+        return (
+            free_vars(node.array, bound)
+            | free_vars(node.index, bound)
+            | free_vars(node.value, bound)
+        )
+    if isinstance(node, Loop):
+        out = set()
+        for _, expr in node.initial:
+            out |= free_vars(expr, bound)
+        if node.lo is not None:
+            out |= free_vars(node.lo, bound)
+        if node.hi is not None:
+            out |= free_vars(node.hi, bound)
+        inner = set(bound) | {name for name, _ in node.initial}
+        if node.index is not None:
+            inner.add(node.index)
+        inner = frozenset(inner)
+        if node.cond is not None:
+            out |= free_vars(node.cond, inner)
+        for _, expr in node.updates:
+            out |= free_vars(expr, inner)
+        for store in node.stores:
+            out |= free_vars(store, inner)
+        out |= free_vars(node.result, inner)
+        return out
+    raise TypeError(f"not an expression node: {node!r}")

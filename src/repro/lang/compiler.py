@@ -1,0 +1,489 @@
+"""Compile Id-like programs to tagged-token dataflow graphs.
+
+"Data flow compilers translate high-level programs into directed graphs;
+vertices in the graph correspond to machine instructions, and edges
+correspond to the data dependencies which exist between the instructions"
+(§2.2.1).  This compiler produces exactly the paper's shapes:
+
+* each ``def`` becomes a procedure code block ending in one RETURN;
+* each loop expression becomes its own loop code block entered through
+  ``L``, iterated through ``D``, exited through ``D⁻¹``/``L⁻¹`` — the
+  schema of Figure 2-2 — with loop-invariant free variables circulated
+  alongside the explicit loop variables;
+* conditionals route values through SWITCH vertices (one per live
+  variable per conditional) and merge arms by wiring both to the same
+  consumer port (merging is free in dataflow);
+* literals fold into instruction immediates where possible and become
+  triggered CONSTANT vertices elsewhere;
+* ``array``/indexing/element assignment become I_ALLOC / I_FETCH /
+  I_STORE on I-structure storage.
+
+The compiler is deliberately non-optimizing beyond immediate folding: the
+graphs it emits are meant to be *read* against the paper's figures.
+"""
+
+import itertools
+
+from ..common.errors import CompileError
+from ..graph.builder import ProgramBuilder
+from ..graph.instruction import Destination
+from ..graph.opcodes import Opcode
+from .ast_nodes import (
+    ArrayAlloc,
+    BinOp,
+    Call,
+    If,
+    Index,
+    Let,
+    Literal,
+    Loop,
+    Program,
+    UnOp,
+    Var,
+    free_vars,
+)
+from .parser import parse
+
+__all__ = ["compile_program", "compile_source", "BUILTIN_UNARY", "BUILTIN_BINARY"]
+
+_BINOPS = {
+    "+": Opcode.ADD, "-": Opcode.SUB, "*": Opcode.MUL, "/": Opcode.DIV,
+    "%": Opcode.MOD, "**": Opcode.POW,
+    "<": Opcode.LT, "<=": Opcode.LE, ">": Opcode.GT, ">=": Opcode.GE,
+    "==": Opcode.EQ, "!=": Opcode.NE, "and": Opcode.AND, "or": Opcode.OR,
+}
+
+_UNOPS = {"-": Opcode.NEG, "not": Opcode.NOT}
+
+BUILTIN_UNARY = {
+    "sqrt": Opcode.SQRT, "exp": Opcode.EXP, "log": Opcode.LOG,
+    "sin": Opcode.SIN, "cos": Opcode.COS, "abs": Opcode.ABS,
+    "floor": Opcode.FLOOR, "ceil": Opcode.CEIL,
+}
+BUILTIN_BINARY = {"min": Opcode.MIN, "max": Opcode.MAX}
+
+_FOLDABLE = {
+    "+": lambda a, b: a + b, "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b, "%": lambda a, b: a % b,
+    "**": lambda a, b: a**b,
+    "<": lambda a, b: a < b, "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b, ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b, "!=": lambda a, b: a != b,
+}
+
+
+class _Value:
+    """A compiled expression: one or more alternative token sources.
+
+    Multiple sources arise from conditionals (the two arms) — exactly one
+    fires per activity, so wiring all of them to a consumer port is the
+    free dataflow merge.
+    """
+
+    def __init__(self, sources):
+        self.sources = list(sources)
+
+
+class _NodeSource:
+    """Output of statement ``stmt`` (switch ``side`` if applicable)."""
+
+    def __init__(self, builder, stmt, side="true"):
+        self.builder = builder
+        self.stmt = stmt
+        self.side = side
+
+    def wire_to(self, builder, stmt, port):
+        if builder is not self.builder:
+            raise CompileError(
+                "internal: cross-block wiring outside loop linkage"
+            )
+        builder.wire(self.stmt, stmt, port, side=self.side)
+
+
+class _ExitSource:
+    """Result 0 of a loop block, delivered into the parent block."""
+
+    def __init__(self, loop_block):
+        self.loop_block = loop_block
+
+    def wire_to(self, builder, stmt, port):
+        self.loop_block.exit_dests[0] = self.loop_block.exit_dests[0] + (
+            Destination(stmt, port),
+        )
+
+
+class _Scope:
+    """Name -> value environment plus the scope's constant trigger."""
+
+    def __init__(self, parent=None, trigger=None):
+        self.parent = parent
+        self.vars = {}
+        self._trigger = trigger
+
+    def define(self, name, value):
+        self.vars[name] = value
+
+    def lookup(self, name, line=0):
+        if name in self.vars:
+            return self.vars[name]
+        if self.parent is not None:
+            # Virtual dispatch: an _ArmScope parent must route the lookup
+            # through its conditional's switches.
+            return self.parent.lookup(name, line)
+        raise CompileError(f"undefined variable {name!r}", line=line)
+
+    def trigger(self):
+        if self._trigger is not None:
+            return self._trigger
+        if self.parent is not None:
+            return self.parent.trigger()
+        raise CompileError("internal: scope without a constant trigger")
+
+
+class _BranchGroup:
+    """The SWITCH set of one conditional: one switch per live variable,
+    shared by both arms."""
+
+    def __init__(self, compiler, builder, outer_scope, cond_value):
+        self.compiler = compiler
+        self.builder = builder
+        self.outer = outer_scope
+        self.cond = cond_value
+        self._switches = {}
+        self._trigger_stmt = None
+
+    def switch_for(self, name, line=0):
+        if name not in self._switches:
+            value = self.outer.lookup(name, line)
+            stmt = self.builder.emit(Opcode.SWITCH, name=f"route {name}")
+            self.compiler.wire(self.builder, value, stmt, 0)
+            self.compiler.wire(self.builder, self.cond, stmt, 1)
+            self._switches[name] = stmt
+        return self._switches[name]
+
+    def trigger_stmt(self):
+        """A switch on the condition itself, for arm-local constants."""
+        if self._trigger_stmt is None:
+            stmt = self.builder.emit(Opcode.SWITCH, name="arm trigger")
+            self.compiler.wire(self.builder, self.cond, stmt, 0)
+            self.compiler.wire(self.builder, self.cond, stmt, 1)
+            self._trigger_stmt = stmt
+        return self._trigger_stmt
+
+
+class _ArmScope(_Scope):
+    """Variable view inside one arm of a conditional.
+
+    Lookups that miss locally are routed through the conditional's shared
+    switch set (never the raw outer scope — a value entering an arm must
+    be gated by the condition), and constants are triggered by the arm's
+    side of the condition switch.
+    """
+
+    def __init__(self, group, side):
+        super().__init__(parent=None)
+        self.group = group
+        self.side = side
+        self._trigger = None  # computed lazily via the group
+
+    def lookup(self, name, line=0):
+        if name in self.vars:
+            return self.vars[name]
+        stmt = self.group.switch_for(name, line)
+        return _Value([_NodeSource(self.group.builder, stmt, self.side)])
+
+    def trigger(self):
+        stmt = self.group.trigger_stmt()
+        return _Value([_NodeSource(self.group.builder, stmt, self.side)])
+
+
+class _Compiler:
+    def __init__(self, ast_program, entry=None):
+        self.ast = ast_program
+        self.defs = {d.name: d for d in ast_program.defs}
+        self.entry = entry if entry is not None else ast_program.defs[0].name
+        self.pb = ProgramBuilder(entry=self.entry)
+        self._sites = itertools.count(10_000)
+        self._loop_counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    def compile(self):
+        if self.entry not in self.defs:
+            raise CompileError(f"no definition named {self.entry!r}")
+        for definition in self.ast.defs:
+            self._compile_def(definition)
+        return self.pb.build()
+
+    def _compile_def(self, definition):
+        builder = self.pb.procedure(definition.name)
+        scope = _Scope()
+        for param in definition.params:
+            ident = builder.emit(Opcode.IDENT, name=param)
+            builder.param((ident, 0))
+            scope.define(param, _Value([_NodeSource(builder, ident)]))
+        first_param_ident = 0  # statement 0 is the first param's IDENT
+        scope._trigger = _Value([_NodeSource(builder, first_param_ident)])
+        result = self._expr(definition.body, builder, scope)
+        ret = builder.emit(Opcode.RETURN)
+        self.wire(builder, result, ret, 0)
+
+    # ------------------------------------------------------------------
+    def wire(self, builder, value, stmt, port):
+        for source in value.sources:
+            source.wire_to(builder, stmt, port)
+
+    def _expr(self, node, builder, scope):
+        if isinstance(node, Literal):
+            return self._literal(node.value, builder, scope)
+        if isinstance(node, Var):
+            return scope.lookup(node.name, node.line)
+        if isinstance(node, BinOp):
+            return self._binop(node, builder, scope)
+        if isinstance(node, UnOp):
+            return self._unop(node, builder, scope)
+        if isinstance(node, If):
+            return self._if(node, builder, scope)
+        if isinstance(node, Let):
+            return self._let(node, builder, scope)
+        if isinstance(node, Call):
+            return self._call(node, builder, scope)
+        if isinstance(node, ArrayAlloc):
+            return self._alloc(node, builder, scope)
+        if isinstance(node, Index):
+            return self._index(node, builder, scope)
+        if isinstance(node, Loop):
+            return self._loop(node, builder, scope)
+        raise CompileError(f"cannot compile node {node!r}", line=node.line)
+
+    # ------------------------------------------------------------------
+    def _literal(self, value, builder, scope):
+        stmt = builder.emit(Opcode.CONSTANT, literal=value, name=repr(value))
+        self.wire(builder, scope.trigger(), stmt, 0)
+        return _Value([_NodeSource(builder, stmt)])
+
+    def _binop(self, node, builder, scope):
+        op = node.op
+        left, right = node.left, node.right
+        if isinstance(left, Literal) and isinstance(right, Literal):
+            if op in _FOLDABLE:
+                try:
+                    folded = _FOLDABLE[op](left.value, right.value)
+                except Exception as exc:  # constant fold must not crash
+                    raise CompileError(str(exc), line=node.line) from exc
+                return self._literal(folded, builder, scope)
+        opcode = _BINOPS.get(op)
+        if opcode is None:
+            raise CompileError(f"unknown operator {op!r}", line=node.line)
+        if isinstance(right, Literal):
+            stmt = builder.emit(opcode, constant=right.value, constant_port=1)
+            self.wire(builder, self._expr(left, builder, scope), stmt, 0)
+        elif isinstance(left, Literal):
+            stmt = builder.emit(opcode, constant=left.value, constant_port=0)
+            self.wire(builder, self._expr(right, builder, scope), stmt, 1)
+        else:
+            left_value = self._expr(left, builder, scope)
+            right_value = self._expr(right, builder, scope)
+            stmt = builder.emit(opcode)
+            self.wire(builder, left_value, stmt, 0)
+            self.wire(builder, right_value, stmt, 1)
+        return _Value([_NodeSource(builder, stmt)])
+
+    def _unop(self, node, builder, scope):
+        if isinstance(node.operand, Literal):
+            value = node.operand.value
+            folded = -value if node.op == "-" else (not value)
+            return self._literal(folded, builder, scope)
+        stmt = builder.emit(_UNOPS[node.op])
+        self.wire(builder, self._expr(node.operand, builder, scope), stmt, 0)
+        return _Value([_NodeSource(builder, stmt)])
+
+    def _if(self, node, builder, scope):
+        cond = self._expr(node.cond, builder, scope)
+        group = _BranchGroup(self, builder, scope, cond)
+        then_value = self._expr(node.then, builder, _ArmScope(group, "true"))
+        else_value = self._expr(node.orelse, builder, _ArmScope(group, "false"))
+        return _Value(then_value.sources + else_value.sources)
+
+    def _let(self, node, builder, scope):
+        inner = _Scope(parent=scope)
+        for name, expr in node.bindings:
+            inner.define(name, self._expr(expr, builder, inner))
+        return self._expr(node.body, builder, inner)
+
+    def _call(self, node, builder, scope):
+        name = node.func
+        if name in self.defs:
+            definition = self.defs[name]
+            if len(node.args) != len(definition.params):
+                raise CompileError(
+                    f"{name} takes {len(definition.params)} arguments, "
+                    f"got {len(node.args)}",
+                    line=node.line,
+                )
+            args = [self._expr(a, builder, scope) for a in node.args]
+            stmt = builder.emit(
+                Opcode.CALL, target_block=name, arg_count=len(args),
+                site=next(self._sites), name=f"call {name}",
+            )
+            for port, arg in enumerate(args):
+                self.wire(builder, arg, stmt, port)
+            return _Value([_NodeSource(builder, stmt)])
+        if name in BUILTIN_UNARY:
+            if len(node.args) != 1:
+                raise CompileError(f"{name} takes 1 argument", line=node.line)
+            stmt = builder.emit(BUILTIN_UNARY[name])
+            self.wire(builder, self._expr(node.args[0], builder, scope), stmt, 0)
+            return _Value([_NodeSource(builder, stmt)])
+        if name in BUILTIN_BINARY:
+            if len(node.args) != 2:
+                raise CompileError(f"{name} takes 2 arguments", line=node.line)
+            stmt = builder.emit(BUILTIN_BINARY[name])
+            self.wire(builder, self._expr(node.args[0], builder, scope), stmt, 0)
+            self.wire(builder, self._expr(node.args[1], builder, scope), stmt, 1)
+            return _Value([_NodeSource(builder, stmt)])
+        raise CompileError(f"unknown function {name!r}", line=node.line)
+
+    def _alloc(self, node, builder, scope):
+        stmt = builder.emit(Opcode.I_ALLOC, name="array")
+        self.wire(builder, self._expr(node.size, builder, scope), stmt, 0)
+        return _Value([_NodeSource(builder, stmt)])
+
+    def _index(self, node, builder, scope):
+        array = self._expr(node.array, builder, scope)
+        if isinstance(node.index, Literal):
+            stmt = builder.emit(
+                Opcode.I_FETCH, constant=node.index.value, constant_port=1
+            )
+            self.wire(builder, array, stmt, 0)
+        else:
+            index = self._expr(node.index, builder, scope)
+            stmt = builder.emit(Opcode.I_FETCH)
+            self.wire(builder, array, stmt, 0)
+            self.wire(builder, index, stmt, 1)
+        return _Value([_NodeSource(builder, stmt)])
+
+    # ------------------------------------------------------------------
+    def _loop(self, node, builder, scope):
+        # Desugar the for-form into while-form with a hidden bound.
+        bindings = list(node.initial)
+        updates = dict(node.updates)
+        if node.index is not None:
+            bindings.insert(0, (node.index, node.lo))
+            bindings.append(("$hi", node.hi))
+            cond = BinOp(op="<=", left=Var(name=node.index, line=node.line),
+                         right=Var(name="$hi", line=node.line), line=node.line)
+            updates[node.index] = BinOp(
+                op="+", left=Var(name=node.index, line=node.line),
+                right=Literal(value=1, line=node.line), line=node.line,
+            )
+        else:
+            cond = node.cond
+
+        bound_names = [name for name, _ in bindings]
+        # Only names the loop *interior* references need to circulate;
+        # initial/lo/hi expressions evaluate once, in the parent block.
+        inner_bound = frozenset(bound_names)
+        interior_free = free_vars(cond, inner_bound)
+        for update_expr in updates.values():
+            interior_free |= free_vars(update_expr, inner_bound)
+        for store in node.stores:
+            interior_free |= free_vars(store, inner_bound)
+        interior_free |= free_vars(node.result, inner_bound)
+        invariants = sorted(interior_free - set(bound_names))
+        all_vars = bound_names + invariants
+
+        loop_name = f"{builder.name}$L{next(self._loop_counter)}"
+        site = next(self._sites)
+        lb = self.pb.loop(loop_name, parent_block=builder.name)
+
+        # Landing IDENTs; their statement numbers are 0..len(all_vars)-1.
+        idents = {}
+        for var in all_vars:
+            ident = lb.emit(Opcode.IDENT, name=f"{var}@entry")
+            lb.param((ident, 0))
+            idents[var] = ident
+
+        entry_scope = _Scope(
+            trigger=_Value([_NodeSource(lb, idents[all_vars[0]])])
+        )
+        for var in all_vars:
+            entry_scope.define(var, _Value([_NodeSource(lb, idents[var])]))
+        cond_value = self._expr(cond, lb, entry_scope)
+
+        switches = {}
+        for var in all_vars:
+            sw = lb.emit(Opcode.SWITCH, name=f"route {var}")
+            lb.wire(idents[var], sw, 0)
+            self.wire(lb, cond_value, sw, 1)
+            switches[var] = sw
+
+        body_scope = _Scope(
+            trigger=_Value([_NodeSource(lb, switches[all_vars[0]], "true")])
+        )
+        for var in all_vars:
+            body_scope.define(
+                var, _Value([_NodeSource(lb, switches[var], "true")])
+            )
+
+        # Element stores execute inside the iteration.
+        for store in node.stores:
+            array = self._expr(store.array, lb, body_scope)
+            value = self._expr(store.value, lb, body_scope)
+            if isinstance(store.index, Literal):
+                stmt = lb.emit(Opcode.I_STORE, constant=store.index.value,
+                               constant_port=1, name="a[i]<-")
+            else:
+                index = self._expr(store.index, lb, body_scope)
+                stmt = lb.emit(Opcode.I_STORE, name="a[i]<-")
+                self.wire(lb, index, stmt, 1)
+            self.wire(lb, array, stmt, 0)
+            self.wire(lb, value, stmt, 2)
+
+        # Back edges: D per circulating variable.
+        for var in all_vars:
+            if var in updates:
+                new_value = self._expr(updates[var], lb, body_scope)
+            else:
+                new_value = body_scope.lookup(var)
+            d = lb.emit(Opcode.D, name=f"D {var}")
+            self.wire(lb, new_value, d, 0)
+            lb.wire(d, idents[var], 0)
+
+        # Exit path: result computed from the false sides, then D⁻¹, L⁻¹.
+        exit_scope = _Scope(
+            trigger=_Value([_NodeSource(lb, switches[all_vars[0]], "false")])
+        )
+        for var in all_vars:
+            exit_scope.define(
+                var, _Value([_NodeSource(lb, switches[var], "false")])
+            )
+        result_value = self._expr(node.result, lb, exit_scope)
+        d_inv = lb.emit(Opcode.D_INV, name="D⁻¹")
+        self.wire(lb, result_value, d_inv, 0)
+        l_inv = lb.emit(Opcode.L_INV, param_index=0, name="L⁻¹")
+        lb.wire(d_inv, l_inv, 0)
+        lb.exit()  # consumers are appended as the parent wires the value
+
+        # Parent side: one L per variable, fed with its initial value.
+        for param_index, var in enumerate(all_vars):
+            if param_index < len(bindings):
+                init_value = self._expr(bindings[param_index][1], builder, scope)
+            else:
+                init_value = scope.lookup(var, node.line)
+            l_stmt = builder.emit(
+                Opcode.L, target_block=loop_name, site=site,
+                param_index=param_index, name=f"L {var}",
+            )
+            self.wire(builder, init_value, l_stmt, 0)
+
+        return _Value([_ExitSource(lb.block)])
+
+
+def compile_program(ast_program, entry=None):
+    """Compile a parsed AST into a validated dataflow Program."""
+    return _Compiler(ast_program, entry=entry).compile()
+
+
+def compile_source(source, entry=None):
+    """Parse and compile Id-like source text."""
+    return compile_program(parse(source), entry=entry)

@@ -1,0 +1,83 @@
+"""Tokenizer for the Id-like language ("Idl").
+
+The surface syntax follows the paper's ID fragment (§2.2.1)::
+
+    def trapezoid(a, b, n, h) =
+      (initial s <- (f(a) + f(b)) / 2;
+               x <- a + h
+       for i from 1 to n - 1 do
+         new x <- x + h;
+         new s <- s + f(x)
+       return s) * h;
+
+plus ``if/then/else``, ``let ... in``, ``while`` loops, and I-structure
+arrays (``array(n)``, ``a[i]``, ``a[i] <- e``).
+"""
+
+import re
+from dataclasses import dataclass
+
+from ..common.errors import CompileError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "def", "if", "then", "else", "let", "in", "initial", "for", "from",
+        "to", "while", "do", "new", "return", "array", "and", "or", "not",
+        "true", "false",
+    }
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t]+)
+  | (?P<comment>//[^\n]*|;;[^\n]*)
+  | (?P<newline>\n)
+  | (?P<number>\d+\.\d+(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+|\d+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_']*)
+  | (?P<op><-|<=|>=|==|!=|\*\*|[-+*/%<>=(),;\[\]])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'number' | 'name' | 'keyword' | 'op' | 'eof'
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self):
+        return f"{self.kind}:{self.text!r}@{self.line}:{self.column}"
+
+
+def tokenize(source):
+    """Turn source text into a list of tokens ending with an EOF token."""
+    tokens = []
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            column = pos - line_start + 1
+            raise CompileError(
+                f"unexpected character {source[pos]!r}", line=line, column=column
+            )
+        pos = match.end()
+        kind = match.lastgroup
+        text = match.group()
+        if kind == "newline":
+            line += 1
+            line_start = pos
+            continue
+        if kind in ("ws", "comment"):
+            continue
+        column = match.start() - line_start + 1
+        if kind == "name" and text in KEYWORDS:
+            kind = "keyword"
+        tokens.append(Token(kind, text, line, column))
+    tokens.append(Token("eof", "", line, pos - line_start + 1))
+    return tokens

@@ -1,0 +1,331 @@
+"""Recursive-descent parser for the Id-like language.
+
+Expression grammar (loosest to tightest binding)::
+
+    expr     := 'if' expr 'then' expr 'else' expr
+              | 'let' name '=' expr (';' name '=' expr)* 'in' expr
+              | or_expr
+    or_expr  := and_expr ('or' and_expr)*
+    and_expr := not_expr ('and' not_expr)*
+    not_expr := 'not' not_expr | cmp_expr
+    cmp_expr := add_expr (('<'|'<='|'>'|'>='|'=='|'!=') add_expr)?
+    add_expr := mul_expr (('+'|'-') mul_expr)*
+    mul_expr := unary (('*'|'/'|'%') unary)*
+    unary    := '-' unary | power
+    power    := postfix ('**' unary)?
+    postfix  := primary ('[' expr ']')*
+    primary  := number | 'true' | 'false' | name | name '(' args ')'
+              | 'array' '(' expr ')' | '(' expr ')' | loop
+
+    loop     := '(' 'initial' bindings
+                    ( 'for' name 'from' expr 'to' expr | 'while' expr )
+                    'do' body 'return' expr ')'
+    bindings := name '<-' expr (';' name '<-' expr)*
+    body     := stmt (';' stmt)*
+    stmt     := 'new' name '<-' expr | postfix '[' expr ']' '<-' expr
+"""
+
+from ..common.errors import CompileError
+from .ast_nodes import (
+    ArrayAlloc,
+    BinOp,
+    Call,
+    Def,
+    If,
+    Index,
+    Let,
+    Literal,
+    Loop,
+    Program,
+    StoreStmt,
+    UnOp,
+    Var,
+)
+from .lexer import tokenize
+
+__all__ = ["parse", "parse_expression"]
+
+_COMPARISONS = {"<", "<=", ">", ">=", "==", "!="}
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------
+    @property
+    def current(self):
+        return self.tokens[self.pos]
+
+    def advance(self):
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def check(self, kind, text=None):
+        token = self.current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind, text=None):
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind, text=None):
+        token = self.accept(kind, text)
+        if token is None:
+            want = text if text is not None else kind
+            raise CompileError(
+                f"expected {want!r}, found {self.current.text!r}",
+                line=self.current.line,
+                column=self.current.column,
+            )
+        return token
+
+    # -- grammar ----------------------------------------------------------
+    def parse_program(self):
+        defs = []
+        while not self.check("eof"):
+            defs.append(self.parse_def())
+        if not defs:
+            raise CompileError("empty program", line=1)
+        return Program(defs=defs, line=defs[0].line)
+
+    def parse_def(self):
+        start = self.expect("keyword", "def")
+        name = self.expect("name").text
+        self.expect("op", "(")
+        params = [self.expect("name").text]
+        while self.accept("op", ","):
+            params.append(self.expect("name").text)
+        self.expect("op", ")")
+        self.expect("op", "=")
+        body = self.parse_expr()
+        self.expect("op", ";")
+        if len(set(params)) != len(params):
+            raise CompileError(
+                f"duplicate parameter in def {name!r}", line=start.line
+            )
+        return Def(name=name, params=params, body=body, line=start.line)
+
+    def parse_expr(self):
+        if self.check("keyword", "if"):
+            return self.parse_if()
+        if self.check("keyword", "let"):
+            return self.parse_let()
+        return self.parse_or()
+
+    def parse_if(self):
+        start = self.expect("keyword", "if")
+        cond = self.parse_expr()
+        self.expect("keyword", "then")
+        then = self.parse_expr()
+        self.expect("keyword", "else")
+        orelse = self.parse_expr()
+        return If(cond=cond, then=then, orelse=orelse, line=start.line)
+
+    def parse_let(self):
+        start = self.expect("keyword", "let")
+        bindings = []
+        while True:
+            name = self.expect("name").text
+            self.expect("op", "=")
+            bindings.append((name, self.parse_expr()))
+            if not self.accept("op", ";"):
+                break
+        self.expect("keyword", "in")
+        body = self.parse_expr()
+        return Let(bindings=bindings, body=body, line=start.line)
+
+    def parse_or(self):
+        node = self.parse_and()
+        while self.check("keyword", "or"):
+            token = self.advance()
+            node = BinOp(op="or", left=node, right=self.parse_and(),
+                         line=token.line)
+        return node
+
+    def parse_and(self):
+        node = self.parse_not()
+        while self.check("keyword", "and"):
+            token = self.advance()
+            node = BinOp(op="and", left=node, right=self.parse_not(),
+                         line=token.line)
+        return node
+
+    def parse_not(self):
+        if self.check("keyword", "not"):
+            token = self.advance()
+            return UnOp(op="not", operand=self.parse_not(), line=token.line)
+        return self.parse_cmp()
+
+    def parse_cmp(self):
+        node = self.parse_add()
+        if self.current.kind == "op" and self.current.text in _COMPARISONS:
+            token = self.advance()
+            node = BinOp(op=token.text, left=node, right=self.parse_add(),
+                         line=token.line)
+        return node
+
+    def parse_add(self):
+        node = self.parse_mul()
+        while self.current.kind == "op" and self.current.text in ("+", "-"):
+            token = self.advance()
+            node = BinOp(op=token.text, left=node, right=self.parse_mul(),
+                         line=token.line)
+        return node
+
+    def parse_mul(self):
+        node = self.parse_unary()
+        while self.current.kind == "op" and self.current.text in ("*", "/", "%"):
+            token = self.advance()
+            node = BinOp(op=token.text, left=node, right=self.parse_unary(),
+                         line=token.line)
+        return node
+
+    def parse_unary(self):
+        if self.check("op", "-"):
+            token = self.advance()
+            return UnOp(op="-", operand=self.parse_unary(), line=token.line)
+        return self.parse_power()
+
+    def parse_power(self):
+        node = self.parse_postfix()
+        if self.check("op", "**"):
+            token = self.advance()
+            node = BinOp(op="**", left=node, right=self.parse_unary(),
+                         line=token.line)
+        return node
+
+    def parse_postfix(self):
+        node = self.parse_primary()
+        while self.check("op", "["):
+            token = self.advance()
+            index = self.parse_expr()
+            self.expect("op", "]")
+            node = Index(array=node, index=index, line=token.line)
+        return node
+
+    def parse_primary(self):
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            text = token.text
+            value = float(text) if any(c in text for c in ".eE") else int(text)
+            return Literal(value=value, line=token.line)
+        if self.accept("keyword", "true"):
+            return Literal(value=True, line=token.line)
+        if self.accept("keyword", "false"):
+            return Literal(value=False, line=token.line)
+        if self.check("keyword", "array"):
+            self.advance()
+            self.expect("op", "(")
+            size = self.parse_expr()
+            self.expect("op", ")")
+            return ArrayAlloc(size=size, line=token.line)
+        if token.kind == "name":
+            self.advance()
+            if self.accept("op", "("):
+                args = [self.parse_expr()]
+                while self.accept("op", ","):
+                    args.append(self.parse_expr())
+                self.expect("op", ")")
+                return Call(func=token.text, args=args, line=token.line)
+            return Var(name=token.text, line=token.line)
+        if self.check("op", "("):
+            self.advance()
+            if self.check("keyword", "initial"):
+                return self.parse_loop(token)
+            node = self.parse_expr()
+            self.expect("op", ")")
+            return node
+        raise CompileError(
+            f"unexpected token {token.text!r}",
+            line=token.line, column=token.column,
+        )
+
+    def parse_loop(self, open_paren):
+        self.expect("keyword", "initial")
+        initial = [self.parse_binding()]
+        while self.accept("op", ";"):
+            initial.append(self.parse_binding())
+        index = lo = hi = cond = None
+        if self.accept("keyword", "for"):
+            index = self.expect("name").text
+            self.expect("keyword", "from")
+            lo = self.parse_expr()
+            self.expect("keyword", "to")
+            hi = self.parse_expr()
+        else:
+            self.expect("keyword", "while")
+            cond = self.parse_expr()
+        self.expect("keyword", "do")
+        updates, stores = self.parse_body()
+        self.expect("keyword", "return")
+        result = self.parse_expr()
+        self.expect("op", ")")
+        names = [name for name, _ in initial]
+        if len(set(names)) != len(names):
+            raise CompileError("duplicate initial binding", line=open_paren.line)
+        if index is not None and index in names:
+            raise CompileError(
+                f"loop index {index!r} collides with an initial binding",
+                line=open_paren.line,
+            )
+        updated = [name for name, _ in updates]
+        if len(set(updated)) != len(updated):
+            raise CompileError("duplicate 'new' binding", line=open_paren.line)
+        for name in updated:
+            if name not in names:
+                raise CompileError(
+                    f"'new {name}' has no matching initial binding",
+                    line=open_paren.line,
+                )
+        return Loop(
+            initial=initial, index=index, lo=lo, hi=hi, cond=cond,
+            updates=updates, stores=stores, result=result,
+            line=open_paren.line,
+        )
+
+    def parse_binding(self):
+        name = self.expect("name").text
+        self.expect("op", "<-")
+        return (name, self.parse_expr())
+
+    def parse_body(self):
+        updates = []
+        stores = []
+        while True:
+            if self.accept("keyword", "new"):
+                updates.append(self.parse_binding())
+            else:
+                target = self.parse_postfix()
+                if not isinstance(target, Index):
+                    raise CompileError(
+                        "loop statements are 'new v <- e' or 'a[i] <- e'",
+                        line=self.current.line,
+                    )
+                self.expect("op", "<-")
+                value = self.parse_expr()
+                stores.append(
+                    StoreStmt(array=target.array, index=target.index,
+                              value=value, line=target.line)
+                )
+            if not self.accept("op", ";"):
+                break
+        return updates, stores
+
+
+def parse(source):
+    """Parse a whole program (a sequence of ``def``s)."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+def parse_expression(source):
+    """Parse a single expression (used by tests and the REPL-style API)."""
+    parser = _Parser(tokenize(source))
+    expr = parser.parse_expr()
+    parser.expect("eof")
+    return expr

@@ -1,0 +1,48 @@
+"""Models of the surveyed machines (S10 in DESIGN.md, §1.2 of the paper).
+
+Each module builds a machine in the image of one survey subject and
+exposes the measurement the paper's critique of it rests on:
+
+* :mod:`cmmp` — crossbar cost scaling and semaphore overhead;
+* :mod:`cmstar` — utilization vs. remote-reference fraction;
+* :mod:`ultracomputer` — FETCH-AND-ADD hot spots, with/without combining;
+* :mod:`vliw` — oracle static schedules, width sweeps, latency surprises;
+* :mod:`connection_machine` — SIMD communication dominance; Illiac IV
+  shift serialization;
+* :mod:`hep` — barrel-pipeline saturation and full/empty busy-waiting
+  (footnote 2).
+"""
+
+from .cmmp import build_cmmp, crossbar_scaling_table, semaphore_cost
+from .cmstar import build_cmstar, locality_kernel, locality_sweep
+from .hep import build_hep, producer_consumer_traffic, saturation_table
+from .connection_machine import (
+    CMConfig,
+    CMResult,
+    ConnectionMachineModel,
+    IlliacIVModel,
+)
+from .ultracomputer import UltraResult, hotspot_sweep, run_hotspot
+from .vliw import StaticSchedule, VLIWModel, schedule_length
+
+__all__ = [
+    "CMConfig",
+    "CMResult",
+    "ConnectionMachineModel",
+    "IlliacIVModel",
+    "StaticSchedule",
+    "UltraResult",
+    "VLIWModel",
+    "build_cmmp",
+    "build_cmstar",
+    "build_hep",
+    "crossbar_scaling_table",
+    "producer_consumer_traffic",
+    "saturation_table",
+    "hotspot_sweep",
+    "locality_kernel",
+    "locality_sweep",
+    "run_hotspot",
+    "schedule_length",
+    "semaphore_cost",
+]

@@ -1,0 +1,83 @@
+"""C.mmp (§1.2.1): PDP-11s into one global memory through a crossbar.
+
+Two of the paper's observations about C.mmp are made measurable here:
+
+* the crossbar's cost "grows at least quadratically" while its latency is
+  held flat — :func:`crossbar_scaling_table`;
+* Hydra's semaphore synchronization costs far more than an ALU operation
+  — :func:`semaphore_cost`, which measures cycles per critical section
+  against the one-cycle ALU baseline.
+
+The machine itself is a :class:`~repro.vonneumann.machine.VNMachine` in
+the dancehall organization with a :class:`CrossbarNetwork`, uncached (as
+C.mmp effectively was: "only one processor in the machine was ever fitted
+with [a cache] ... the reason is, quite simply, the cache coherence
+problem").
+"""
+
+from ..network.crossbar import CrossbarNetwork
+from ..vonneumann.machine import VNMachine
+from ..vonneumann import programs
+
+__all__ = ["build_cmmp", "crossbar_scaling_table", "semaphore_cost"]
+
+
+def build_cmmp(n_procs=16, memory_time=3.0, switch_latency=1.0,
+               port_service_time=1.0):
+    """A C.mmp-shaped machine: n processors x n memory ports, crossbar."""
+
+    def network_factory(sim, n_ports):
+        return CrossbarNetwork(
+            sim, n_ports, switch_latency=switch_latency,
+            port_service_time=port_service_time, name="cmmp.xbar",
+        )
+
+    return VNMachine(
+        n_procs, memory="dancehall", n_modules=n_procs,
+        memory_time=memory_time, network_factory=network_factory,
+    )
+
+
+def crossbar_scaling_table(port_counts, workload_iterations=40):
+    """For each size: crosspoint cost, and measured reference latency.
+
+    The point of the table is the *divergence*: cost is O(n^2) while the
+    uncontended latency stays flat — C.mmp "circumvents" rather than
+    solves the latency problem, and only up to the size you can afford.
+    Returns [(n, crosspoints, mean_latency, utilization)].
+    """
+    rows = []
+    for n in port_counts:
+        machine = build_cmmp(n_procs=n)
+        # Every processor sums a disjoint slice: uniform, conflict-light.
+        for pid in range(n):
+            base = 1000 + pid  # interleaved: stride-n addresses per proc
+            source = programs.array_sum(base, workload_iterations)
+            machine.add_processor(source, regs={1: pid})
+        result = machine.run()
+        network = machine.memory.network
+        rows.append(
+            (
+                n,
+                CrossbarNetwork.crosspoint_count(n),
+                network.mean_latency(),
+                result.mean_utilization,
+            )
+        )
+    return rows
+
+
+def semaphore_cost(n_procs=4, increments=16, memory_time=3.0):
+    """Cycles per lock-protected critical section vs. the 1-cycle ALU op.
+
+    Returns (cycles_per_section, alu_op_cycles, ratio).  The ratio is the
+    paper's "performance cost of this relative to, say, an ALU operation
+    is rather high".
+    """
+    machine = build_cmmp(n_procs=n_procs, memory_time=memory_time)
+    machine.load_spmd(programs.shared_counter_spinlock(0, 1, increments))
+    result = machine.run()
+    sections = n_procs * increments
+    cycles_per_section = result.time / sections
+    alu_cycles = machine.cpu_time
+    return cycles_per_section, alu_cycles, cycles_per_section / alu_cycles

@@ -1,0 +1,131 @@
+"""Cm* (§1.2.2): clusters of processor/memory modules under Kmaps.
+
+The paper's claim: "any processor making a nonlocal memory reference would
+idle until the reference was completed.  Because of the hierarchical
+structure, this meant that greater interprocessor distances translated
+into longer memory reference times and decreased processor utilization"
+— and empirically, "the effect of processor idle time put an upper limit
+on the number of processors that could cooperate on even highly parallel
+programs".
+
+:func:`locality_sweep` reproduces the Deminet-style measurement: processor
+utilization as a function of the fraction of references that leave the
+local memory, for intra-cluster and inter-cluster targets.
+"""
+
+from ..analysis.metrics import von_neumann_utilization
+from ..network.hierarchy import HierarchicalNetwork
+from ..vonneumann.machine import VNMachine
+
+__all__ = ["build_cmstar", "locality_kernel", "locality_sweep"]
+
+#: Local memory block per computer module (words).
+LOCAL_BLOCK = 1024
+
+
+def build_cmstar(n_clusters=4, cluster_size=4, kmap_time=3.0,
+                 intercluster_time=9.0, local_time=1.0, memory_time=2.0):
+    """A Cm*-shaped machine: one memory module co-located with each
+    processor, clusters joined by Kmaps and an intercluster bus."""
+    n = n_clusters * cluster_size
+    # Ports 0..n-1 are processors, n..2n-1 their co-located memories.
+    node_map = [(p // cluster_size, p % cluster_size) for p in range(n)] * 2
+
+    def network_factory(sim, n_ports):
+        assert n_ports == 2 * n
+        return HierarchicalNetwork(
+            sim, n_clusters, cluster_size, kmap_time=kmap_time,
+            intercluster_time=intercluster_time, local_time=local_time,
+            node_map=node_map, name="cmstar",
+        )
+
+    return VNMachine(
+        n, memory="dancehall", n_modules=n, memory_time=memory_time,
+        network_factory=network_factory, placement="blocked",
+        block_size=LOCAL_BLOCK,
+    )
+
+
+def locality_kernel(pid, n_procs, cluster_size, n_refs, remote_fraction,
+                    remote_kind="intercluster", think_ops=2):
+    """Unrolled load kernel: ``remote_fraction`` of ``n_refs`` references
+    target another computer module; the rest are local.
+
+    ``remote_kind`` picks the victim: a neighbour in the same cluster
+    (one Kmap hop) or the corresponding module of the next cluster (full
+    hierarchy traversal).
+    """
+    local_base = pid * LOCAL_BLOCK
+    if remote_kind == "intracluster":
+        cluster_start = (pid // cluster_size) * cluster_size
+        victim = cluster_start + (pid + 1 - cluster_start) % cluster_size
+    elif remote_kind == "intercluster":
+        victim = (pid + cluster_size) % n_procs
+    else:
+        raise ValueError(f"unknown remote_kind {remote_kind!r}")
+    remote_base = victim * LOCAL_BLOCK
+
+    lines = ["    movi r7, 0"]
+    acc = 0.0
+    for i in range(n_refs):
+        acc += remote_fraction
+        if acc >= 1.0:
+            acc -= 1.0
+            base = remote_base
+        else:
+            base = local_base
+        lines.append(f"    movi r2, {base + (i % 64)}")
+        lines.append("    load r3, r2, 0")
+        for _ in range(think_ops):
+            lines.append("    addi r7, r7, 1")
+    lines.append("    halt")
+    return "\n".join(lines)
+
+
+def locality_sweep(remote_fractions, n_clusters=4, cluster_size=4,
+                   n_refs=50, think_ops=2, remote_kind="intercluster",
+                   kmap_time=3.0, intercluster_time=9.0, local_time=1.0,
+                   memory_time=2.0, contexts=1):
+    """Measured utilization vs. remote-reference fraction.
+
+    Returns rows ``(fraction, utilization, predicted)`` where the
+    prediction applies the Issue 1 closed form with the latency mix this
+    fraction implies.
+
+    ``contexts > 1`` builds the machine the paper only speculates about —
+    "It would be interesting to speculate on the behavior of Cm* if
+    micro-tasking processors had been used" (§1.2.2) — by giving every
+    computer module a HEP-style multithreaded processor running
+    ``contexts`` copies of the kernel.
+    """
+    n = n_clusters * cluster_size
+    local_rt = 2 * local_time + memory_time
+    if remote_kind == "intracluster":
+        remote_rt = 2 * kmap_time + memory_time
+    else:
+        remote_rt = 2 * (kmap_time + intercluster_time + kmap_time) + memory_time
+    # cycles of useful work per reference: movi + load issue + think
+    work = 2 + think_ops
+    rows = []
+    for fraction in remote_fractions:
+        machine = build_cmstar(
+            n_clusters, cluster_size, kmap_time=kmap_time,
+            intercluster_time=intercluster_time, local_time=local_time,
+            memory_time=memory_time,
+        )
+        for pid in range(n):
+            source = locality_kernel(
+                pid, n, cluster_size, n_refs, fraction,
+                remote_kind=remote_kind, think_ops=think_ops,
+            )
+            if contexts <= 1:
+                machine.add_processor(source, regs={1: pid})
+            else:
+                machine.add_multithreaded_processor(
+                    [(source, {1: pid}) for _ in range(contexts)]
+                )
+        result = machine.run()
+        mixed_latency = (1 - fraction) * local_rt + fraction * remote_rt
+        predicted = von_neumann_utilization(work, mixed_latency)
+        rows.append((fraction, result.mean_utilization, predicted))
+    return rows

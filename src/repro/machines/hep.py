@@ -1,0 +1,87 @@
+"""The Denelcor HEP (footnote 2, ref [18]): a pipelined, shared-resource
+MIMD computer.
+
+The paper's two observations about the HEP, both measurable here:
+
+* it pioneered exactly the low-level context switching §1.1 discusses —
+  a barrel pipeline multiplexing many register contexts, hiding memory
+  latency while ready contexts remain (Smith, 1978);
+* its full/empty-bit synchronization has "no such thing as a deferred
+  read list.  Unsatisfiable requests result in a busy-waiting condition"
+  — the memory-traffic cost I-structures were designed to remove.
+
+``build_hep`` assembles the machine: one multithreaded barrel processor
+(the HEP PEM) over an interleaved memory system with full/empty bits.
+``saturation_table`` reproduces the machine's characteristic curve:
+throughput rising with context count until the pipeline saturates.
+"""
+
+from ..analysis.report import Table
+from ..vonneumann import VNMachine, programs
+
+__all__ = ["build_hep", "saturation_table", "producer_consumer_traffic"]
+
+
+def build_hep(contexts=8, latency=8.0, memory_time=1.0, retry_backoff=4.0,
+              source=None, regs_of=None):
+    """One barrel processor with ``contexts`` register sets.
+
+    ``source`` (default: a load/compute kernel) is loaded into every
+    context; ``regs_of(index)`` supplies per-context registers.
+    """
+    machine = VNMachine(1, memory="dancehall", latency=latency,
+                        memory_time=memory_time,
+                        retry_backoff=retry_backoff)
+    if source is None:
+        source = programs.compute_loop(16, loads_per_iter=1,
+                                       alu_ops_per_iter=2)
+    machine.add_multithreaded_processor(
+        [
+            (source, regs_of(index) if regs_of else {})
+            for index in range(contexts)
+        ]
+    )
+    return machine
+
+
+def saturation_table(context_counts=(1, 2, 4, 8, 16, 32), latency=8.0):
+    """Pipeline utilization vs context count — the HEP's defining curve."""
+    table = Table(
+        "HEP pipeline saturation (Smith 1978 / paper footnote 2)",
+        ["contexts", "pipeline utilization", "instructions/cycle"],
+        notes=[f"one-way memory latency {latency} cycles"],
+    )
+    for contexts in context_counts:
+        machine = build_hep(contexts=contexts, latency=latency)
+        result = machine.run()
+        processor = machine.processors[0]
+        utilization = processor.utilization()
+        ipc = result.instructions / result.time if result.time else 0.0
+        table.add_row(contexts, utilization, ipc)
+    return table
+
+
+def producer_consumer_traffic(n=16, producer_work=24, retry_backoff=4.0):
+    """Busy-wait traffic of HEP-style full/empty synchronization.
+
+    Two contexts on one barrel processor share an array: the producer
+    WRITEFs each element after ``producer_work`` filler operations; the
+    consumer READFs each element and busy-waits when it runs ahead.
+    Returns (result, retries, memory_requests_per_element).
+    """
+    machine = VNMachine(1, memory="dancehall", latency=2, memory_time=1,
+                        retry_backoff=retry_backoff)
+    machine.add_multithreaded_processor(
+        [
+            (programs.producer_per_element(100, n,
+                                           work_per_element=producer_work),
+             {}),
+            (programs.consumer_per_element(100, n, 99, work_per_element=0),
+             {}),
+        ]
+    )
+    result = machine.run()
+    retries = result.counters.get("retries", 0)
+    requests = machine.memory.counters["accesses"]
+    assert machine.peek(99) == sum(k * k for k in range(n))
+    return result, retries, requests / n

@@ -1,0 +1,102 @@
+"""The NYU Ultracomputer (§1.2.3): FETCH-AND-ADD over a combining network.
+
+The model drives the :class:`CombiningOmegaNetwork` with the hot-spot
+pattern FETCH-AND-ADD exists for — every processor updating one shared
+cell — and measures what the combining switches buy: memory arrivals at
+the hot port, round-trip latency, and the ≤ log2(n) adds per reference the
+paper notes as the price in switch hardware.
+
+The paper's two reservations are also surfaced: switch complexity (the
+count of combine/split operations the switches performed) and the fact
+that "the issue of processor latency has not been specifically addressed"
+(round-trip latency still grows with log n even when combining works).
+"""
+
+from dataclasses import dataclass
+
+from ..common.queueing import FifoServer
+from ..common.simulator import Simulator
+from ..network.omega import CombiningOmegaNetwork, FetchAddRequest
+
+__all__ = ["UltraResult", "run_hotspot", "hotspot_sweep"]
+
+
+@dataclass
+class UltraResult:
+    """Measurements of one hot-spot run."""
+
+    n_procs: int
+    combining: bool
+    total_time: float
+    final_value: int
+    mean_round_trip: float
+    max_round_trip: float
+    memory_arrivals: int
+    combines: int
+    splits: int
+    replies: int
+
+    @property
+    def serialization_factor(self):
+        """Hot-port arrivals per processor (1.0 = fully combined tree)."""
+        return self.memory_arrivals / self.n_procs
+
+
+def run_hotspot(stages, combining=True, requests_per_proc=1,
+                switch_time=1.0, memory_time=2.0, spacing=0.0):
+    """All 2**stages processors FETCH-AND-ADD address 0.
+
+    ``spacing`` staggers injections (0 = the worst-case synchronous burst
+    the Ultracomputer's synchronous network design assumes).
+    """
+    sim = Simulator()
+    net = CombiningOmegaNetwork(sim, stages, switch_time=switch_time,
+                                combining=combining)
+    n = net.n_ports
+    memory = {}
+    servers = [
+        FifoServer(sim, memory_time, name=f"ultra.mem{i}") for i in range(n)
+    ]
+
+    def make_memory_handler(port):
+        def handler(record, payload):
+            def serve(work):
+                rec, pay = work
+                old = memory.get(pay.address, 0)
+                memory[pay.address] = old + pay.value
+                net.reply(rec, old)
+
+            servers[port].submit((record, payload), serve)
+
+        return handler
+
+    replies = []
+    for port in range(n):
+        net.attach_memory(port, make_memory_handler(port))
+        net.attach_processor(port, lambda payload, value: replies.append(value))
+
+    for round_index in range(requests_per_proc):
+        for src in range(n):
+            delay = spacing * (round_index * n + src)
+            sim.schedule(delay, net.request, src,
+                         FetchAddRequest(address=0, value=1))
+    sim.run()
+
+    return UltraResult(
+        n_procs=n,
+        combining=combining,
+        total_time=sim.now,
+        final_value=memory.get(0, 0),
+        mean_round_trip=net.round_trip_latency.mean,
+        max_round_trip=net.round_trip_latency.max,
+        memory_arrivals=net.counters["memory_arrivals"],
+        combines=net.counters["combines"],
+        splits=net.counters["splits"],
+        replies=net.counters["replies"],
+    )
+
+
+def hotspot_sweep(stage_counts, combining=True, **kwargs):
+    """One :func:`run_hotspot` per machine size."""
+    return [run_hotspot(stages, combining=combining, **kwargs)
+            for stages in stage_counts]

@@ -1,0 +1,95 @@
+"""VLIW machines — ELI-512 and the polycyclic processor (§1.2.4).
+
+A VLIW "moves run-time sharing conflicts to compile time": the compiler
+packs independent operations into wide instructions using complete static
+knowledge of the dataflow graph.  The paper grants that this works for
+"special purpose computation with small scale (4 to 8) parallelism" but
+argues "the technique is not sufficiently general as to allow significant
+scaling up" — in particular it cannot cover *dynamic* latency, because the
+whole lockstep machine stalls when a memory reference takes longer than
+the schedule assumed.
+
+The model here gives the VLIW its best case: a perfect list schedule of
+the program's ideal parallelism profile (obtained from the dataflow
+reference interpreter — the compiler is granted an oracle).  Latency
+surprises then charge the full excess to the machine, lockstep-style.
+"""
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["VLIWModel", "schedule_length", "StaticSchedule"]
+
+
+def schedule_length(parallelism_profile, issue_width):
+    """Cycles for a perfect list schedule of the profile at given width.
+
+    ``parallelism_profile`` maps logical step -> operations ready at that
+    step (the interpreter's output).  Operations at one depth level are
+    packed ``issue_width`` at a time; depth levels cannot overlap (they
+    are data-dependent by construction).
+    """
+    return sum(
+        math.ceil(count / issue_width)
+        for count in parallelism_profile.values()
+    )
+
+
+@dataclass
+class StaticSchedule:
+    """A compiled VLIW schedule with its static latency assumption."""
+
+    length_cycles: int
+    issue_width: int
+    n_memory_ops: int
+    assumed_latency: float
+
+    def execution_time(self, actual_latency):
+        """Run time when the world deviates from the schedule.
+
+        If memory answers no later than assumed, the schedule's length
+        stands (the slots were reserved).  Every cycle beyond the
+        assumption stalls the *entire* machine — all functional units idle
+        in lockstep, which is the paper's scaling objection.
+        """
+        excess = max(0.0, actual_latency - self.assumed_latency)
+        return self.length_cycles + self.n_memory_ops * excess
+
+    def utilization(self, actual_latency, total_ops):
+        time = self.execution_time(actual_latency)
+        slots = time * self.issue_width
+        return total_ops / slots if slots > 0 else 0.0
+
+
+class VLIWModel:
+    """Compile (statically schedule) a dataflow program for a VLIW."""
+
+    def __init__(self, issue_width=8, assumed_latency=1.0):
+        self.issue_width = issue_width
+        self.assumed_latency = assumed_latency
+
+    def compile(self, interpreter):
+        """Build the oracle schedule from a *finished* reference
+        interpreter run (its parallelism profile and op-class counts)."""
+        profile = interpreter.parallelism_profile
+        n_memory_ops = interpreter.counters["class_structure"]
+        return StaticSchedule(
+            length_cycles=schedule_length(profile, self.issue_width),
+            issue_width=self.issue_width,
+            n_memory_ops=n_memory_ops,
+            assumed_latency=self.assumed_latency,
+        )
+
+    def width_sweep(self, interpreter, widths):
+        """Schedule length vs. issue width: the small-scale sweet spot.
+
+        Returns rows (width, cycles, speedup_vs_width_1).  The returns
+        flatten once width exceeds the profile's typical level of
+        parallelism — the paper's "4 to 8" observation.
+        """
+        base = schedule_length(interpreter.parallelism_profile, 1)
+        rows = []
+        for width in widths:
+            cycles = schedule_length(interpreter.parallelism_profile, width)
+            rows.append((width, cycles, base / cycles if cycles else 0.0))
+        return rows

@@ -1,0 +1,40 @@
+"""Interconnection networks (S7 in DESIGN.md).
+
+Topologies from the paper's survey and proposal: an ideal fixed-latency
+network (control arm), a C.mmp-style crossbar, a Cm*-style cluster
+hierarchy, the NYU Ultracomputer's combining omega network, and the
+emulation facility's hypercube with table-based routing, fault tolerance
+and static partitioning.
+"""
+
+from .base import Network
+from .crossbar import CrossbarNetwork
+from .hierarchy import HierarchicalNetwork
+from .hypercube import HypercubeNetwork
+from .ideal import IdealNetwork
+from .omega import CombiningOmegaNetwork, FetchAddRequest, MemoryRequest
+from .packet import Packet
+from .routing import (
+    build_shortest_path_table,
+    emulated_neighbors,
+    gray_code,
+    grid_embedding,
+    ring_embedding,
+)
+
+__all__ = [
+    "CombiningOmegaNetwork",
+    "CrossbarNetwork",
+    "FetchAddRequest",
+    "HierarchicalNetwork",
+    "HypercubeNetwork",
+    "IdealNetwork",
+    "MemoryRequest",
+    "Network",
+    "Packet",
+    "build_shortest_path_table",
+    "emulated_neighbors",
+    "gray_code",
+    "grid_embedding",
+    "ring_embedding",
+]

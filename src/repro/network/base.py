@@ -1,0 +1,80 @@
+"""Common interface and accounting for all interconnection networks.
+
+The abstract multiprocessor of Figure 1-1 interconnects processing and
+memory elements through "a number of *ports*, each with a bounded
+*bandwidth*".  Every concrete topology here exposes the same surface:
+``attach`` a handler per port, ``send`` packets between ports, and read
+back latency/hop/utilization statistics afterwards.
+"""
+
+from ..common.errors import NetworkError
+from ..common.stats import Counter, Histogram
+from .packet import Packet
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Base class: port bookkeeping plus delivery statistics."""
+
+    def __init__(self, sim, n_ports, name="net"):
+        if n_ports < 1:
+            raise NetworkError(f"network needs at least one port, got {n_ports}")
+        self.sim = sim
+        self.n_ports = n_ports
+        self.name = name
+        self._handlers = [None] * n_ports
+        self.counters = Counter()
+        self.latency = Histogram()
+        self.hop_counts = Histogram()
+
+    # ------------------------------------------------------------------
+    def attach(self, port, handler):
+        """Register ``handler(packet)`` to receive deliveries at ``port``."""
+        self._check_port(port)
+        self._handlers[port] = handler
+
+    def send(self, src, dst, payload, size=1):
+        """Inject a packet; returns the :class:`Packet` for tracing."""
+        self._check_port(src)
+        self._check_port(dst)
+        packet = Packet(src=src, dst=dst, payload=payload, size=size,
+                        injected_at=self.sim.now)
+        self.counters.add("injected")
+        self._route(packet)
+        return packet
+
+    def _route(self, packet):
+        raise NotImplementedError
+
+    def _deliver(self, packet):
+        handler = self._handlers[packet.dst]
+        if handler is None:
+            raise NetworkError(
+                f"{self.name}: no handler attached at port {packet.dst}"
+            )
+        self.counters.add("delivered")
+        self.latency.observe(self.sim.now - packet.injected_at)
+        self.hop_counts.observe(packet.hops)
+        handler(packet)
+
+    def _check_port(self, port):
+        if not 0 <= port < self.n_ports:
+            raise NetworkError(
+                f"{self.name}: port {port} out of range [0, {self.n_ports})"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self):
+        """Packets injected but not yet delivered."""
+        return self.counters["injected"] - self.counters["delivered"]
+
+    def mean_latency(self):
+        return self.latency.mean
+
+    def __repr__(self):
+        return (
+            f"<{type(self).__name__} {self.name!r} ports={self.n_ports} "
+            f"delivered={self.counters['delivered']}>"
+        )

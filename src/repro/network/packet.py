@@ -1,0 +1,33 @@
+"""Packets: the unit of communication in every network model."""
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Packet"]
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One message in flight from ``src`` port to ``dst`` port.
+
+    ``size`` is in flits (link transfer units); a link with per-flit time
+    ``t`` occupies the wire for ``size * t`` cycles.  ``payload`` is opaque
+    to the network (a dataflow token, a memory request, ...).
+    """
+
+    src: int
+    dst: int
+    payload: object
+    size: int = 1
+    injected_at: Optional[float] = None
+    hops: int = 0
+    pid: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __repr__(self):
+        return (
+            f"<Packet #{self.pid} {self.src}->{self.dst} hops={self.hops} "
+            f"{self.payload!r}>"
+        )

@@ -1,0 +1,177 @@
+"""Memory modules and the dancehall memory system.
+
+A :class:`MemoryModule` is a FIFO-served word-addressed store that also
+implements the atomic read-modify-write operations (TEST-AND-SET,
+FETCH-AND-ADD) and HEP-style full/empty bits.  Per footnote 2 of the
+paper, an unsatisfiable full/empty request does *not* join a deferred
+list — "there is no such thing as a deferred read list" — it is bounced
+back to the processor as :data:`RETRY`, producing the busy-waiting traffic
+experiment E6 measures.
+
+:class:`DancehallMemorySystem` places all processors on one side of a
+packet network and all memory modules on the other (the Figure 1-1
+organization), which makes memory latency a directly controllable
+parameter — the independent variable of Issue 1.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..common.errors import MachineError
+from ..common.queueing import FifoServer
+from ..common.stats import Counter
+from ..network.ideal import IdealNetwork
+from .isa import Op
+
+__all__ = ["MemRequest", "MemoryModule", "DancehallMemorySystem", "RETRY"]
+
+#: Response meaning "condition not met, try again" (full/empty busy-wait).
+RETRY = object()
+
+
+@dataclass
+class MemRequest:
+    """One memory operation in flight."""
+
+    op: Op
+    address: int
+    value: Optional[object] = None
+    proc: Optional[int] = None
+
+
+class MemoryModule:
+    """One word-addressed memory bank with atomic ops and full/empty bits."""
+
+    def __init__(self, sim, service_time=1.0, name="mem"):
+        self.sim = sim
+        self.name = name
+        self.server = FifoServer(sim, service_time, name=name)
+        self.data = {}
+        self.full_bits = set()
+        self.counters = Counter()
+
+    def submit(self, request, on_done):
+        """Serve ``request``; call ``on_done(response)`` when finished."""
+        self.server.submit((request, on_done), self._serve)
+
+    def _serve(self, work):
+        request, on_done = work
+        on_done(self.apply(request))
+
+    def apply(self, request):
+        """The untimed semantics of one operation (shared with the bus
+        system, which does its own timing)."""
+        op, address = request.op, request.address
+        self.counters.add(op.value)
+        if op is Op.LOAD:
+            return self.data.get(address, 0)
+        if op is Op.STORE:
+            self.data[address] = request.value
+            return None
+        if op is Op.TESTSET:
+            old = self.data.get(address, 0)
+            self.data[address] = 1
+            return old
+        if op is Op.FAA:
+            old = self.data.get(address, 0)
+            self.data[address] = old + request.value
+            return old
+        if op is Op.READF:
+            if address in self.full_bits:
+                return self.data.get(address, 0)
+            self.counters.add("readf_retries")
+            return RETRY
+        if op is Op.WRITEF:
+            if address in self.full_bits:
+                self.counters.add("writef_overwrites")
+            self.data[address] = request.value
+            self.full_bits.add(address)
+            return None
+        raise MachineError(f"{self.name}: not a memory op: {op}")
+
+    def poke(self, address, value, full=False):
+        """Preload a memory word (test/workload setup)."""
+        self.data[address] = value
+        if full:
+            self.full_bits.add(address)
+
+    def peek(self, address):
+        return self.data.get(address, 0)
+
+
+class DancehallMemorySystem:
+    """Processors and memory modules on opposite sides of a network.
+
+    Ports 0..n_procs-1 are processors; ports n_procs.. are modules.
+    Addresses interleave across modules word by word.
+    """
+
+    def __init__(self, sim, n_procs, n_modules=None, memory_time=1.0,
+                 network_factory=None, latency=1.0, placement="interleaved",
+                 block_size=1024):
+        self.sim = sim
+        self.n_procs = n_procs
+        self.n_modules = n_modules if n_modules is not None else n_procs
+        if placement not in ("interleaved", "blocked"):
+            raise MachineError(f"unknown placement {placement!r}")
+        self.placement = placement
+        self.block_size = block_size
+        n_ports = n_procs + self.n_modules
+        if network_factory is not None:
+            self.network = network_factory(sim, n_ports)
+        else:
+            self.network = IdealNetwork(sim, n_ports, latency=latency)
+        self.modules = [
+            MemoryModule(sim, memory_time, name=f"mem{i}")
+            for i in range(self.n_modules)
+        ]
+        for index in range(self.n_modules):
+            port = n_procs + index
+            self.network.attach(port, self._module_arrival)
+        self._proc_handlers = {}
+        self.counters = Counter()
+
+    # ------------------------------------------------------------------
+    def module_of(self, address):
+        if self.placement == "blocked":
+            return (address // self.block_size) % self.n_modules
+        return address % self.n_modules
+
+    def module_port(self, address):
+        return self.n_procs + self.module_of(address)
+
+    def attach_processor(self, proc):
+        """Register processor ``proc`` (its port number is its id)."""
+        self.network.attach(proc, self._proc_arrival)
+
+    def access(self, proc, request, on_complete):
+        """Issue ``request`` from processor ``proc``."""
+        self.counters.add("accesses")
+        self.network.send(
+            proc, self.module_port(request.address), ("req", request, on_complete)
+        )
+
+    # ------------------------------------------------------------------
+    def _module_arrival(self, packet):
+        kind, request, on_complete = packet.payload
+        module = self.modules[packet.dst - self.n_procs]
+        module.submit(
+            request,
+            lambda response: self.network.send(
+                packet.dst, request.proc, ("resp", response, on_complete)
+            ),
+        )
+
+    def _proc_arrival(self, packet):
+        kind, response, on_complete = packet.payload
+        on_complete(response)
+
+    # ------------------------------------------------------------------
+    def peek(self, address):
+        return self.modules[self.module_of(address)].peek(address)
+
+    def poke(self, address, value, full=False):
+        self.modules[self.module_of(address)].poke(address, value, full=full)
+
+    def total_retries(self):
+        return sum(m.counters["readf_retries"] for m in self.modules)

@@ -1,0 +1,210 @@
+"""A multithreaded (HEP-style) von Neumann processor.
+
+Section 1.1 discusses "performing context switching at a very low level"
+to tolerate memory latency: "while one computation waits for the memory to
+respond, the processor resumes another, parallel computation ... This is
+done by duplicating programmer-visible registers."  The paper's objection
+is that the number of contexts is *fixed* by the hardware, while a scaled
+machine needs ever more: "As memory elements are added, the depth of the
+communication network will grow.  Hence, the number of low-level contexts
+to be maintained will also have to increase to match the increase in
+memory latency time."
+
+This class makes the trade-off measurable (experiment E9): K hardware
+contexts, barrel-style round-robin issue, a context parking on every
+memory reference and resuming on the response.  When every context is
+parked, the processor idles — exactly the regime where K is too small for
+the latency.
+"""
+
+from ..common.errors import MachineError
+from ..common.stats import Counter
+from .isa import ALU_OPS, BRANCH_OPS, MEMORY_OPS, Op
+from .memory import RETRY
+from .processor import Processor
+
+__all__ = ["MultithreadedProcessor", "HardwareContext"]
+
+
+class HardwareContext:
+    """One replicated register set + program counter."""
+
+    READY = "ready"
+    STALLED = "stalled"
+    HALTED = "halted"
+
+    def __init__(self, index, program, n_regs=32):
+        self.index = index
+        self.program = program
+        self.regs = [0] * n_regs
+        self.pc = 0
+        self.state = self.READY
+        self.instructions = 0
+
+    def set_regs(self, values):
+        for reg, value in values.items():
+            self.regs[reg] = value
+
+
+class _ContextView(Processor):
+    """Adapter: reuse Processor's ALU/branch/request semantics on a
+    context's register file without its event-loop machinery."""
+
+    def __init__(self, owner, context):
+        # Deliberately not calling super().__init__: this is a stateless
+        # view that borrows Processor._alu/_branch_taken/_memory_request.
+        self.sim = owner.sim
+        self.proc_id = owner.proc_id
+        self.memory = owner.memory
+        self.regs = context.regs
+        self.counters = owner.counters
+
+
+class MultithreadedProcessor:
+    """K contexts multiplexed over one issue pipeline."""
+
+    def __init__(self, sim, proc_id, memory, cpu_time=1.0, switch_time=0.0,
+                 retry_backoff=0.0, on_halt=None):
+        self.sim = sim
+        self.proc_id = proc_id
+        self.memory = memory
+        self.cpu_time = cpu_time
+        self.switch_time = switch_time
+        self.retry_backoff = retry_backoff
+        self.on_halt = on_halt
+        self.contexts = []
+        self._rr = 0
+        self._running = False
+        self._idle = False
+        self.busy_cycles = 0.0
+        self.switch_cycles = 0.0
+        self.start_time = None
+        self.finish_time = None
+        self.counters = Counter()
+        self._last_context = None
+
+    # ------------------------------------------------------------------
+    def add_context(self, program, regs=None, n_regs=32):
+        context = HardwareContext(len(self.contexts), program, n_regs=n_regs)
+        if regs:
+            context.set_regs(regs)
+        self.contexts.append(context)
+        return context
+
+    @property
+    def n_contexts(self):
+        return len(self.contexts)
+
+    def start(self, delay=0.0):
+        if not self.contexts:
+            raise MachineError(f"proc {self.proc_id}: no contexts loaded")
+        self.start_time = self.sim.now + delay
+        self._running = True
+        self.sim.schedule(delay, self._dispatch)
+
+    # ------------------------------------------------------------------
+    def _pick_ready(self):
+        n = len(self.contexts)
+        for offset in range(n):
+            candidate = self.contexts[(self._rr + offset) % n]
+            if candidate.state == HardwareContext.READY:
+                self._rr = (candidate.index + 1) % n
+                return candidate
+        return None
+
+    def _dispatch(self):
+        if not self._running:
+            return
+        context = self._pick_ready()
+        if context is None:
+            if all(c.state == HardwareContext.HALTED for c in self.contexts):
+                self._halt()
+            else:
+                self._idle = True  # resumed by a memory completion
+            return
+        overhead = 0.0
+        if self._last_context is not context and self._last_context is not None:
+            overhead = self.switch_time
+            self.switch_cycles += overhead
+            self.counters.add("context_switches")
+        self._last_context = context
+        self.sim.schedule(overhead, self._execute, context)
+
+    def _execute(self, context):
+        if not 0 <= context.pc < len(context.program):
+            context.state = HardwareContext.HALTED
+            self._dispatch()
+            return
+        instr = context.program[context.pc]
+        op = instr.op
+        self.counters.add("instructions")
+        context.instructions += 1
+        self.busy_cycles += self.cpu_time
+        view = _ContextView(self, context)
+
+        if op in ALU_OPS:
+            value = view._alu(instr)
+            if instr.rd is not None:  # NOP has no destination
+                context.regs[instr.rd] = value
+            context.pc += 1
+            self.sim.schedule(self.cpu_time, self._dispatch)
+        elif op in BRANCH_OPS:
+            context.pc = (
+                instr.target if view._branch_taken(instr) else context.pc + 1
+            )
+            self.sim.schedule(self.cpu_time, self._dispatch)
+        elif op in MEMORY_OPS:
+            self.counters.add("memory_ops")
+            context.state = HardwareContext.STALLED
+            request = view._memory_request(instr)
+            self.sim.schedule(self.cpu_time, self._issue, context, instr, request)
+            self.sim.schedule(self.cpu_time, self._dispatch)
+        elif op is Op.HALT:
+            context.state = HardwareContext.HALTED
+            self._dispatch()
+        else:
+            raise MachineError(f"proc {self.proc_id}: cannot execute {instr!r}")
+
+    def _issue(self, context, instr, request):
+        self.memory.access(
+            self.proc_id,
+            request,
+            lambda response: self._memory_done(context, instr, request, response),
+        )
+
+    def _memory_done(self, context, instr, request, response):
+        if response is RETRY:
+            self.counters.add("retries")
+            self.sim.schedule(self.retry_backoff, self._issue, context, instr, request)
+            return
+        if instr.op in (Op.LOAD, Op.TESTSET, Op.FAA, Op.READF):
+            context.regs[instr.rd] = response
+        context.pc += 1
+        context.state = HardwareContext.READY
+        if self._idle:
+            self._idle = False
+            self.sim.schedule(0, self._dispatch)
+
+    def _halt(self):
+        self._running = False
+        self.finish_time = self.sim.now
+        if self.on_halt is not None:
+            self.on_halt(self)
+
+    # ------------------------------------------------------------------
+    def utilization(self, now=None):
+        """Fraction of elapsed time the issue pipeline executed
+        instructions (context-switch overhead does not count as useful)."""
+        if self.start_time is None:
+            return 0.0
+        end = self.finish_time if self.finish_time is not None else (
+            now if now is not None else self.sim.now
+        )
+        window = end - self.start_time
+        if window <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / window)
+
+    def __repr__(self):
+        states = "".join(c.state[0] for c in self.contexts)
+        return f"<MultithreadedProcessor {self.proc_id} contexts={states}>"

@@ -1,0 +1,212 @@
+"""Assembly kernels for the von Neumann side of the experiments.
+
+Each function returns assembly text (see :mod:`repro.vonneumann.assembler`)
+plus documents its register conventions.  These kernels are the baselines
+the paper's machines would run; the dataflow counterparts live in
+:mod:`repro.workloads`.
+"""
+
+__all__ = [
+    "array_sum",
+    "compute_loop",
+    "shared_counter_spinlock",
+    "shared_counter_faa",
+    "producer_whole_array",
+    "consumer_whole_array",
+    "producer_per_element",
+    "consumer_per_element",
+]
+
+
+def array_sum(base, n, alu_ops_per_load=0):
+    """Sum ``n`` memory words starting at ``base``.
+
+    ``alu_ops_per_load`` inserts extra register-only work per element,
+    setting the compute-to-memory ratio that Issue 1's utilization model
+    depends on.  Result is left in r4.  Clobbers r2-r6.
+    """
+    filler = "\n".join(
+        "    addi r6, r6, 1" for _ in range(alu_ops_per_load)
+    )
+    return f"""
+    movi r2, {base}        ; cursor
+    movi r3, {n}           ; remaining
+    movi r4, 0             ; sum
+    movi r6, 0             ; filler accumulator
+loop:
+    beqz r3, done
+    load r5, r2, 0
+    add  r4, r4, r5
+{filler}
+    addi r2, r2, 1
+    subi r3, r3, 1
+    jmp  loop
+done:
+    store r4, r2, 0        ; publish the sum just past the array
+    halt
+"""
+
+
+def compute_loop(iterations, loads_per_iter=1, alu_ops_per_iter=4, base=0):
+    """A generic latency-tolerance kernel: each iteration issues
+    ``loads_per_iter`` loads and ``alu_ops_per_iter`` ALU operations.
+    Clobbers r2-r7."""
+    loads = "\n".join(
+        f"    load r5, r2, {k}" for k in range(loads_per_iter)
+    )
+    alu = "\n".join("    addi r6, r6, 1" for _ in range(alu_ops_per_iter))
+    return f"""
+    movi r2, {base}
+    movi r3, {iterations}
+    movi r6, 0
+loop:
+    beqz r3, done
+{loads}
+{alu}
+    addi r2, r2, 1
+    subi r3, r3, 1
+    jmp  loop
+done:
+    halt
+"""
+
+
+def shared_counter_spinlock(lock_addr, counter_addr, increments):
+    """Each processor adds 1 to a shared counter ``increments`` times,
+    guarded by a TEST-AND-SET spinlock.  Clobbers r2-r9."""
+    return f"""
+    movi r2, {lock_addr}
+    movi r3, {counter_addr}
+    movi r4, {increments}
+    movi r9, 0
+loop:
+    beqz r4, done
+acq_spin:
+    testset r5, r2, 0
+    bnez    r5, acq_spin
+    load r6, r3, 0
+    addi r6, r6, 1
+    store r6, r3, 0
+    store r9, r2, 0        ; release
+    subi r4, r4, 1
+    jmp  loop
+done:
+    halt
+"""
+
+
+def shared_counter_faa(counter_addr, increments):
+    """The Ultracomputer way: FETCH-AND-ADD, no lock.  Clobbers r2-r6."""
+    return f"""
+    movi r2, {counter_addr}
+    movi r3, {increments}
+    movi r5, 1
+loop:
+    beqz r3, done
+    faa  r6, r2, r5
+    subi r3, r3, 1
+    jmp  loop
+done:
+    halt
+"""
+
+
+def producer_whole_array(base, n, flag_addr, work_per_element=2):
+    """Write a[k] = k*k for k in [0,n), then raise the done flag.
+
+    The whole-array discipline of §1.1: "allow the *entire* array to be
+    written prior to allowing the consumer routine to begin processing."
+    Clobbers r2-r7."""
+    work = "\n".join("    addi r7, r7, 1" for _ in range(work_per_element))
+    return f"""
+    movi r2, {base}
+    movi r3, 0             ; k
+    movi r4, {n}
+    movi r7, 0
+loop:
+    beq  r3, r4, done
+    mul  r5, r3, r3
+{work}
+    store r5, r2, 0
+    addi r2, r2, 1
+    addi r3, r3, 1
+    jmp  loop
+done:
+    movi r6, {flag_addr}
+    movi r5, 1
+    writef r5, r6, 0       ; publish completion
+    halt
+"""
+
+
+def consumer_whole_array(base, n, flag_addr, result_addr, work_per_element=2):
+    """Wait for the flag, then sum the array.  Clobbers r2-r8."""
+    work = "\n".join("    addi r8, r8, 1" for _ in range(work_per_element))
+    return f"""
+    movi r6, {flag_addr}
+    readf r5, r6, 0        ; busy-waits until the producer is done
+    movi r2, {base}
+    movi r3, 0
+    movi r4, {n}
+    movi r7, 0             ; sum
+    movi r8, 0
+loop:
+    beq  r3, r4, done
+    load r5, r2, 0
+    add  r7, r7, r5
+{work}
+    addi r2, r2, 1
+    addi r3, r3, 1
+    jmp  loop
+done:
+    movi r2, {result_addr}
+    store r7, r2, 0
+    halt
+"""
+
+
+def producer_per_element(base, n, work_per_element=2):
+    """Write a[k] = k*k with a full/empty bit per element (HEP style).
+    Clobbers r2-r7."""
+    work = "\n".join("    addi r7, r7, 1" for _ in range(work_per_element))
+    return f"""
+    movi r2, {base}
+    movi r3, 0
+    movi r4, {n}
+    movi r7, 0
+loop:
+    beq  r3, r4, done
+    mul  r5, r3, r3
+{work}
+    writef r5, r2, 0
+    addi r2, r2, 1
+    addi r3, r3, 1
+    jmp  loop
+done:
+    halt
+"""
+
+
+def consumer_per_element(base, n, result_addr, work_per_element=2):
+    """Sum the array, busy-waiting per element on its full bit.
+    Clobbers r2-r8."""
+    work = "\n".join("    addi r8, r8, 1" for _ in range(work_per_element))
+    return f"""
+    movi r2, {base}
+    movi r3, 0
+    movi r4, {n}
+    movi r7, 0
+    movi r8, 0
+loop:
+    beq  r3, r4, done
+    readf r5, r2, 0        ; busy-waits until this element is written
+    add  r7, r7, r5
+{work}
+    addi r2, r2, 1
+    addi r3, r3, 1
+    jmp  loop
+done:
+    movi r2, {result_addr}
+    store r7, r2, 0
+    halt
+"""

@@ -1,0 +1,70 @@
+"""Synchronization idioms as assembly fragments.
+
+These are the software conventions the surveyed machines used: Hydra-style
+spinlock semaphores over TEST-AND-SET (C.mmp), FETCH-AND-ADD coordination
+(NYU Ultracomputer), and sense-reversing barriers.  Each helper returns a
+string of assembly; register usage is documented per helper so kernels can
+compose them.
+"""
+
+__all__ = [
+    "spinlock_acquire",
+    "spinlock_release",
+    "faa_ticket_lock",
+    "counter_barrier",
+    "LOCK_COST_NOTE",
+]
+
+#: Why locks matter for the paper's argument (§1.2.1): "It is clear that
+#: the performance cost of this relative to, say, an ALU operation is
+#: rather high unless some potential parallelism is traded away."
+LOCK_COST_NOTE = "each acquire is >= 1 bus/network round trip; contended acquires spin"
+
+
+def spinlock_acquire(lock_reg, scratch_reg, label_prefix="acq"):
+    """Spin on TEST-AND-SET until the lock at address ``r<lock_reg>`` is 0.
+
+    Clobbers ``r<scratch_reg>``.
+    """
+    return f"""
+{label_prefix}_spin:
+    testset r{scratch_reg}, r{lock_reg}, 0
+    bnez    r{scratch_reg}, {label_prefix}_spin
+"""
+
+
+def spinlock_release(lock_reg, zero_reg):
+    """Release: store 0 (from ``r<zero_reg>``, which must hold 0)."""
+    return f"""
+    store   r{zero_reg}, r{lock_reg}, 0
+"""
+
+
+def faa_ticket_lock(counter_reg, my_reg, one_reg, turn_reg, label_prefix="tkt"):
+    """FETCH-AND-ADD ticket lock: take a ticket, spin until it is served.
+
+    ``r<counter_reg>`` holds the ticket-counter address; the now-serving
+    word lives at counter+1.  ``r<one_reg>`` must hold 1.  Clobbers
+    ``r<my_reg>`` (my ticket) and ``r<turn_reg>``.
+    """
+    return f"""
+    faa     r{my_reg}, r{counter_reg}, r{one_reg}
+{label_prefix}_wait:
+    load    r{turn_reg}, r{counter_reg}, 1
+    bne     r{turn_reg}, r{my_reg}, {label_prefix}_wait
+"""
+
+
+def counter_barrier(barrier_reg, n_reg, one_reg, scratch_reg, label_prefix="bar"):
+    """All-arrive barrier: FETCH-AND-ADD a counter, spin until it reaches n.
+
+    ``r<barrier_reg>`` holds the barrier counter's address; ``r<n_reg>``
+    the participant count; ``r<one_reg>`` must hold 1.  Clobbers
+    ``r<scratch_reg>``.  (Single-use barrier; reuse needs a second phase.)
+    """
+    return f"""
+    faa     r{scratch_reg}, r{barrier_reg}, r{one_reg}
+{label_prefix}_wait:
+    load    r{scratch_reg}, r{barrier_reg}, 0
+    blt     r{scratch_reg}, r{n_reg}, {label_prefix}_wait
+"""

@@ -1,0 +1,275 @@
+"""Kernels built directly with the graph builder.
+
+These are the graphs a compiler would produce, written out by hand.  They
+serve three purposes: unit-testing the execution engines independently of
+the Id front end, seeding the benchmarks with known-shape graphs, and
+documenting the loop/call schemata (the D, D⁻¹, L, L⁻¹ arrangement of
+Fig 2-2 and the CALL/RETURN continuation protocol).
+"""
+
+from ..graph import Opcode, ProgramBuilder
+
+__all__ = [
+    "build_add_constant",
+    "build_arith_diamond",
+    "build_factorial",
+    "build_sum_loop",
+    "build_store_then_fetch",
+    "build_array_pipeline",
+]
+
+
+def build_add_constant(amount=1):
+    """``f(x) = x + amount`` — the smallest possible procedure."""
+    pb = ProgramBuilder()
+    b = pb.procedure("add_const")
+    add = b.emit(Opcode.ADD, constant=amount, constant_port=1, name="x+k")
+    ret = b.emit(Opcode.RETURN)
+    b.wire(add, ret, 0)
+    b.param((add, 0))
+    return pb.build()
+
+
+def build_arith_diamond():
+    """``f(x, y) = (x + y) * (x - y)`` — exposes two-way parallelism."""
+    pb = ProgramBuilder()
+    b = pb.procedure("diamond")
+    plus = b.emit(Opcode.ADD, name="x+y")
+    minus = b.emit(Opcode.SUB, name="x-y")
+    times = b.emit(Opcode.MUL, name="product")
+    ret = b.emit(Opcode.RETURN)
+    b.wire(plus, times, 0)
+    b.wire(minus, times, 1)
+    b.wire(times, ret, 0)
+    b.param((plus, 0), (minus, 0))
+    b.param((plus, 1), (minus, 1))
+    return pb.build()
+
+
+def build_factorial():
+    """Recursive factorial via the CALL/RETURN continuation protocol.
+
+    ``fact(n) = 1 if n <= 1 else n * fact(n - 1)``
+    """
+    pb = ProgramBuilder()
+    b = pb.procedure("fact")
+    pred = b.emit(Opcode.LE, constant=1, constant_port=1, name="n<=1")
+    switch = b.emit(Opcode.SWITCH, name="route n")
+    sub = b.emit(Opcode.SUB, constant=1, constant_port=1, name="n-1")
+    mul = b.emit(Opcode.MUL, name="n*fact(n-1)")
+    call = b.emit(Opcode.CALL, target_block="fact", arg_count=1, name="recurse")
+    one = b.emit(Opcode.CONSTANT, literal=1, name="base case")
+    ret = b.emit(Opcode.RETURN)
+    b.wire(pred, switch, 1)
+    b.wire(switch, one, 0, side="true")  # n <= 1: trigger the constant
+    b.wire(switch, sub, 0, side="false")  # n > 1: recurse
+    b.wire(switch, mul, 0, side="false")
+    b.wire(sub, call, 0)
+    b.wire(call, mul, 1)
+    b.wire(mul, ret, 0)
+    b.wire(one, ret, 0)
+    b.param((pred, 0), (switch, 0))
+    return pb.build()
+
+
+def build_sum_loop():
+    """``sum(n) = 1 + 2 + ... + n`` with the Fig 2-2 loop schema.
+
+    Circulating variables: ``i`` (the counter), ``s`` (the accumulator) and
+    the loop-invariant ``n``.  The loop body is its own code block entered
+    through L, advanced through D, and exited through D⁻¹/L⁻¹.
+    """
+    pb = ProgramBuilder()
+
+    main = pb.procedure("sum")
+    c_i = main.emit(Opcode.CONSTANT, literal=1, name="i0")
+    c_s = main.emit(Opcode.CONSTANT, literal=0, name="s0")
+    l_i = main.emit(Opcode.L, target_block="sum$loop", site=100, param_index=0)
+    l_s = main.emit(Opcode.L, target_block="sum$loop", site=100, param_index=1)
+    l_n = main.emit(Opcode.L, target_block="sum$loop", site=100, param_index=2)
+    ret = main.emit(Opcode.RETURN)
+    main.wire(c_i, l_i, 0)
+    main.wire(c_s, l_s, 0)
+    main.param((c_i, 0), (c_s, 0), (l_n, 0))  # n triggers the constants too
+
+    loop = pb.loop("sum$loop", parent_block="sum")
+    pred = loop.emit(Opcode.LE, name="i<=n")
+    sw_i = loop.emit(Opcode.SWITCH, name="route i")
+    sw_s = loop.emit(Opcode.SWITCH, name="route s")
+    sw_n = loop.emit(Opcode.SWITCH, name="route n")
+    inc = loop.emit(Opcode.ADD, constant=1, constant_port=1, name="i+1")
+    acc = loop.emit(Opcode.ADD, name="s+i")
+    d_i = loop.emit(Opcode.D, name="D i")
+    d_s = loop.emit(Opcode.D, name="D s")
+    d_n = loop.emit(Opcode.D, name="D n")
+    d_inv = loop.emit(Opcode.D_INV, name="canonicalize s")
+    l_inv = loop.emit(Opcode.L_INV, param_index=0, name="exit s")
+
+    loop.wire(pred, sw_i, 1)
+    loop.wire(pred, sw_s, 1)
+    loop.wire(pred, sw_n, 1)
+    # True side: run the body and circulate.
+    loop.wire(sw_i, inc, 0, side="true")
+    loop.wire(sw_i, acc, 1, side="true")
+    loop.wire(sw_s, acc, 0, side="true")
+    loop.wire(sw_n, d_n, 0, side="true")
+    loop.wire(inc, d_i, 0)
+    loop.wire(acc, d_s, 0)
+    # Back edges: D re-delivers to the loop entry arcs at iteration i+1.
+    loop.wire(d_i, pred, 0)
+    loop.wire(d_i, sw_i, 0)
+    loop.wire(d_s, sw_s, 0)
+    loop.wire(d_n, pred, 1)
+    loop.wire(d_n, sw_n, 0)
+    # False side: s leaves through D⁻¹ then L⁻¹; i and n are discarded.
+    loop.wire(sw_s, d_inv, 0, side="false")
+    loop.wire(d_inv, l_inv, 0)
+
+    loop.param((pred, 0), (sw_i, 0))  # i
+    loop.param((sw_s, 0))  # s
+    loop.param((pred, 1), (sw_n, 0))  # n
+    loop.exit((ret, 0))
+
+    return pb.build()
+
+
+def build_store_then_fetch():
+    """Reads that race ahead of the write: the I-structure discipline.
+
+    ``f(size, value)`` allocates a structure, issues a FETCH of cell 0
+    *before* the STORE of ``value`` into cell 0 reaches memory, and returns
+    the fetched value.  Correct output requires the deferred read list.
+    """
+    pb = ProgramBuilder()
+    b = pb.procedure("store_then_fetch")
+    alloc = b.emit(Opcode.I_ALLOC, name="alloc")
+    fetch = b.emit(Opcode.I_FETCH, constant=0, constant_port=1, name="read[0]")
+    store = b.emit(Opcode.I_STORE, constant=0, constant_port=1, name="write[0]")
+    ret = b.emit(Opcode.RETURN)
+    b.wire(alloc, fetch, 0)  # listed first: the fetch races ahead
+    b.wire(alloc, store, 0)
+    b.wire(fetch, ret, 0)
+    b.param((alloc, 0))  # size
+    b.param((store, 2))  # value
+    return pb.build()
+
+
+def build_array_pipeline():
+    """Producer/consumer sharing an I-structure at element granularity.
+
+    ``f(n)`` runs two loops over the *same* structure: a producer storing
+    ``k*k`` into cell ``k`` and a consumer summing all cells.  Neither loop
+    waits for the other — element-level synchronization comes entirely
+    from the presence bits (§1.1 Issue 2, resolved per §2.3).
+    Returns ``sum_{k=0}^{n-1} k²``.
+    """
+    pb = ProgramBuilder()
+
+    main = pb.procedure("pipeline")
+    alloc = main.emit(Opcode.I_ALLOC, name="alloc n")
+    # Producer loop: circulating k, invariant (ref, n).
+    pk0 = main.emit(Opcode.CONSTANT, literal=0, name="k0")
+    p_lk = main.emit(Opcode.L, target_block="pipe$prod", site=200, param_index=0)
+    p_lr = main.emit(Opcode.L, target_block="pipe$prod", site=200, param_index=1)
+    p_ln = main.emit(Opcode.L, target_block="pipe$prod", site=200, param_index=2)
+    # Consumer loop: circulating (k, s), invariant (ref, n).
+    ck0 = main.emit(Opcode.CONSTANT, literal=0, name="k0")
+    cs0 = main.emit(Opcode.CONSTANT, literal=0, name="s0")
+    c_lk = main.emit(Opcode.L, target_block="pipe$cons", site=201, param_index=0)
+    c_ls = main.emit(Opcode.L, target_block="pipe$cons", site=201, param_index=1)
+    c_lr = main.emit(Opcode.L, target_block="pipe$cons", site=201, param_index=2)
+    c_ln = main.emit(Opcode.L, target_block="pipe$cons", site=201, param_index=3)
+    ret = main.emit(Opcode.RETURN)
+    done_sink = main.emit(Opcode.SINK, name="producer done")
+    main.wire(alloc, p_lr, 0)
+    main.wire(alloc, c_lr, 0)
+    main.wire(alloc, pk0, 0)  # the ref also triggers the loop constants
+    main.wire(alloc, ck0, 0)
+    main.wire(alloc, cs0, 0)
+    main.wire(pk0, p_lk, 0)
+    main.wire(ck0, c_lk, 0)
+    main.wire(cs0, c_ls, 0)
+    main.param((alloc, 0), (p_ln, 0), (c_ln, 0))  # n
+
+    prod = pb.loop("pipe$prod", parent_block="pipeline")
+    p_pred = prod.emit(Opcode.LT, name="k<n")
+    p_swk = prod.emit(Opcode.SWITCH, name="route k")
+    p_swr = prod.emit(Opcode.SWITCH, name="route ref")
+    p_swn = prod.emit(Opcode.SWITCH, name="route n")
+    p_sq = prod.emit(Opcode.MUL, name="k*k")
+    p_store = prod.emit(Opcode.I_STORE, name="a[k]=k*k")
+    p_inc = prod.emit(Opcode.ADD, constant=1, constant_port=1, name="k+1")
+    p_dk = prod.emit(Opcode.D)
+    p_dr = prod.emit(Opcode.D)
+    p_dn = prod.emit(Opcode.D)
+    p_done = prod.emit(Opcode.D_INV, name="producer done signal")
+    p_exit = prod.emit(Opcode.L_INV, param_index=0)
+    prod.wire(p_pred, p_swk, 1)
+    prod.wire(p_pred, p_swr, 1)
+    prod.wire(p_pred, p_swn, 1)
+    prod.wire(p_swk, p_sq, 0, side="true")
+    prod.wire(p_swk, p_sq, 1, side="true")
+    prod.wire(p_swk, p_store, 1, side="true")
+    prod.wire(p_swk, p_inc, 0, side="true")
+    prod.wire(p_swr, p_store, 0, side="true")
+    prod.wire(p_sq, p_store, 2)
+    prod.wire(p_swn, p_dn, 0, side="true")
+    prod.wire(p_inc, p_dk, 0)
+    prod.wire(p_swr, p_dr, 0, side="true")
+    # wait: ref must circulate *and* feed the store; see arcs above
+    prod.wire(p_dk, p_pred, 0)
+    prod.wire(p_dk, p_swk, 0)
+    prod.wire(p_dr, p_swr, 0)
+    prod.wire(p_dn, p_pred, 1)
+    prod.wire(p_dn, p_swn, 0)
+    prod.wire(p_swn, p_done, 0, side="false")
+    prod.wire(p_done, p_exit, 0)
+    prod.param((p_pred, 0), (p_swk, 0))  # k
+    prod.param((p_swr, 0))  # ref
+    prod.param((p_pred, 1), (p_swn, 0))  # n
+    # The producer's exit value is a pure completion signal; absorb it.
+    prod.exit((done_sink, 0))
+
+    cons = pb.loop("pipe$cons", parent_block="pipeline")
+    c_pred = cons.emit(Opcode.LT, name="k<n")
+    c_swk = cons.emit(Opcode.SWITCH, name="route k")
+    c_sws = cons.emit(Opcode.SWITCH, name="route s")
+    c_swr = cons.emit(Opcode.SWITCH, name="route ref")
+    c_swn = cons.emit(Opcode.SWITCH, name="route n")
+    c_fetch = cons.emit(Opcode.I_FETCH, name="a[k]")
+    c_acc = cons.emit(Opcode.ADD, name="s+a[k]")
+    c_inc = cons.emit(Opcode.ADD, constant=1, constant_port=1, name="k+1")
+    c_dk = cons.emit(Opcode.D)
+    c_ds = cons.emit(Opcode.D)
+    c_dr = cons.emit(Opcode.D)
+    c_dn = cons.emit(Opcode.D)
+    c_dinv = cons.emit(Opcode.D_INV)
+    c_exit = cons.emit(Opcode.L_INV, param_index=0)
+    cons.wire(c_pred, c_swk, 1)
+    cons.wire(c_pred, c_sws, 1)
+    cons.wire(c_pred, c_swr, 1)
+    cons.wire(c_pred, c_swn, 1)
+    cons.wire(c_swk, c_fetch, 1, side="true")
+    cons.wire(c_swk, c_inc, 0, side="true")
+    cons.wire(c_swr, c_fetch, 0, side="true")
+    cons.wire(c_fetch, c_acc, 1)
+    cons.wire(c_sws, c_acc, 0, side="true")
+    cons.wire(c_acc, c_ds, 0)
+    cons.wire(c_inc, c_dk, 0)
+    cons.wire(c_swr, c_dr, 0, side="true")
+    cons.wire(c_swn, c_dn, 0, side="true")
+    cons.wire(c_dk, c_pred, 0)
+    cons.wire(c_dk, c_swk, 0)
+    cons.wire(c_ds, c_sws, 0)
+    cons.wire(c_dr, c_swr, 0)
+    cons.wire(c_dn, c_pred, 1)
+    cons.wire(c_dn, c_swn, 0)
+    cons.wire(c_sws, c_dinv, 0, side="false")
+    cons.wire(c_dinv, c_exit, 0)
+    cons.param((c_pred, 0), (c_swk, 0))  # k
+    cons.param((c_sws, 0))  # s
+    cons.param((c_swr, 0))  # ref
+    cons.param((c_pred, 1), (c_swn, 0))  # n
+    cons.exit((ret, 0))
+
+    return pb.build()

@@ -1,0 +1,171 @@
+"""Write-back vs write-through caches, and timed I-structure controllers."""
+
+import pytest
+
+from repro.common import Simulator
+from repro.istructure import IStructureController, ReadRequest, WriteRequest
+from repro.vonneumann import CacheConfig, CacheState, VNMachine
+
+
+class TestWriteThrough:
+    def _machine(self, write_policy):
+        return VNMachine(2, memory="bus", cache_config=CacheConfig(),
+                         memory_time=10, bus_time=2,
+                         write_policy=write_policy)
+
+    def test_correctness_under_both_policies(self):
+        for policy in ("write_back", "write_through"):
+            machine = self._machine(policy)
+            machine.add_processor("""
+                movi r2, 8
+                movi r3, 5
+                store r3, r2, 0
+                store r3, r2, 1
+                load r4, r2, 0
+                load r5, r2, 1
+                add r6, r4, r5
+                store r6, r2, 2
+                halt
+            """)
+            machine.add_processor("nop\nhalt")
+            machine.run()
+            assert machine.peek(10) == 10, policy
+
+    def test_write_through_never_holds_modified_lines(self):
+        machine = self._machine("write_through")
+        machine.add_processor("""
+            movi r2, 8
+            movi r3, 5
+            store r3, r2, 0
+            store r3, r2, 0
+            halt
+        """)
+        machine.add_processor("nop\nhalt")
+        machine.run()
+        for cache in machine.memory.caches:
+            for address in range(16):
+                assert cache.peek_state(address) is not CacheState.MODIFIED
+
+    def test_write_through_generates_more_bus_traffic(self):
+        def repeated_stores(policy):
+            machine = self._machine(policy)
+            machine.add_processor("""
+                movi r2, 8
+                movi r3, 20
+            loop:
+                beqz r3, done
+                store r3, r2, 0
+                subi r3, r3, 1
+                jmp loop
+            done:
+                halt
+            """)
+            machine.add_processor("nop\nhalt")
+            result = machine.run()
+            wt = machine.memory.counters.get("bus_write_through")
+            wb = (machine.memory.counters.get("bus_write_miss")
+                  + machine.memory.counters.get("bus_upgrade"))
+            return result.time, wt + wb
+
+        wb_time, wb_traffic = repeated_stores("write_back")
+        wt_time, wt_traffic = repeated_stores("write_through")
+        # Write-back coalesces 20 stores into one ownership transaction.
+        assert wb_traffic <= 2
+        assert wt_traffic == 20
+        assert wt_time > wb_time
+
+    def test_write_through_still_needs_invalidations(self):
+        """The paper's point: store-through does not remove the coherence
+        mechanism — remote copies must still be invalidated."""
+        machine = self._machine("write_through")
+        machine.add_processor("""
+            movi r2, 8
+            load r3, r2, 0     ; cache the line
+            movi r5, 40
+            movi r6, 1
+            writef r6, r5, 0   ; signal partner to proceed
+            movi r7, 41
+        wait:
+            readf r8, r7, 0    ; wait for partner's store
+            load r9, r2, 0     ; must see the new value
+            store r9, r2, 4
+            halt
+        """)
+        machine.add_processor("""
+            movi r5, 40
+            readf r6, r5, 0    ; wait until partner cached the line
+            movi r2, 8
+            movi r3, 77
+            store r3, r2, 0    ; write through + invalidate
+            movi r7, 41
+            writef r6, r7, 0
+            halt
+        """)
+        machine.retry_backoff = 4
+        for proc in machine.processors:
+            proc.retry_backoff = 4
+        machine.run()
+        assert machine.peek(12) == 77
+        assert machine.memory.counters.get("invalidations", 0) >= 1
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            self._machine("write_sideways")
+
+
+class TestTimedIStructureController:
+    def _controller(self, sim, **kwargs):
+        replies = []
+        controller = IStructureController(
+            sim, deliver=lambda reply, value: replies.append(
+                (sim.now, reply, value)
+            ), **kwargs,
+        )
+        return controller, replies
+
+    def test_write_takes_twice_as_long(self):
+        sim = Simulator()
+        controller, replies = self._controller(sim, read_cycles=1,
+                                               write_cycles=2)
+        controller.submit(WriteRequest(key=("a", 0), value=5))
+        sim.run()
+        write_done = sim.now
+        controller.submit(ReadRequest(key=("a", 0), reply="r"))
+        sim.run()
+        assert write_done == 2
+        assert sim.now - write_done == 1
+
+    def test_fifo_queueing_under_load(self):
+        sim = Simulator()
+        controller, replies = self._controller(sim)
+        controller.submit(WriteRequest(key=("a", 0), value=1))
+        for i in range(3):
+            controller.submit(ReadRequest(key=("a", 0), reply=i))
+        sim.run()
+        # write at t=2, reads at t=3,4,5 in submission order
+        assert [(t, r) for t, r, _ in replies] == [(3.0, 0), (4.0, 1),
+                                                   (5.0, 2)]
+
+    def test_deferred_drain_charges_per_entry(self):
+        sim = Simulator()
+        controller, replies = self._controller(
+            sim, drain_cycles_per_deferred=3
+        )
+        for i in range(4):
+            controller.submit(ReadRequest(key=("a", 0), reply=i))
+        sim.run()
+        t_reads_done = sim.now  # 4 reads x 1 cycle
+        controller.submit(WriteRequest(key=("a", 0), value="v"))
+        sim.run()
+        # write service 2 + 4 deferred entries x 3 cycles of drain
+        assert sim.now == t_reads_done + 2 + 12
+        assert len(replies) == 4
+
+    def test_utilization_accounts_busy_time(self):
+        sim = Simulator()
+        controller, _ = self._controller(sim)
+        controller.submit(WriteRequest(key=("a", 0), value=1))
+        controller.submit(WriteRequest(key=("a", 1), value=2))
+        sim.run()
+        assert controller.utilization.utilization(sim.now) == pytest.approx(1.0)
+        assert controller.queue_depth.max == 1

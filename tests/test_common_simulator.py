@@ -1,0 +1,124 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.common import SimulationError, Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5, fired.append, "b")
+    sim.schedule(1, fired.append, "a")
+    sim.schedule(9, fired.append, "c")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 9
+
+
+def test_same_time_events_fire_fifo():
+    sim = Simulator()
+    fired = []
+    for name in "abcde":
+        sim.schedule(3, fired.append, name)
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_schedule_from_within_event():
+    sim = Simulator()
+    trace = []
+
+    def first():
+        trace.append(("first", sim.now))
+        sim.schedule(2, second)
+
+    def second():
+        trace.append(("second", sim.now))
+
+    sim.schedule(1, first)
+    sim.run()
+    assert trace == [("first", 1.0), ("second", 3.0)]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1, fired.append, "x")
+    sim.schedule(2, fired.append, "y")
+    event.cancel()
+    sim.run()
+    assert fired == ["y"]
+
+
+def test_run_until_stops_clock_at_bound():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1, fired.append, "a")
+    sim.schedule(10, fired.append, "b")
+    stopped = sim.run(until=5)
+    assert fired == ["a"]
+    assert stopped == 5
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(5, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1, lambda: None)
+
+
+def test_event_budget_detects_livelock():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(1, forever)
+
+    sim.schedule(0, forever)
+    with pytest.raises(SimulationError, match="budget"):
+        sim.run(max_events=100)
+
+
+def test_quiescence_hook_refills_queue_once():
+    sim = Simulator()
+    fired = []
+    refills = []
+
+    def hook():
+        if not refills:
+            refills.append(True)
+            sim.schedule(4, fired.append, "late")
+
+    sim.add_quiescence_hook(hook)
+    sim.schedule(1, fired.append, "early")
+    sim.run()
+    assert fired == ["early", "late"]
+    assert sim.now == 5
+
+
+def test_pending_and_counters():
+    sim = Simulator()
+    sim.schedule(1, lambda: None)
+    sim.schedule(2, lambda: None)
+    assert sim.pending == 2
+    assert sim.events_fired == 0
+    sim.run()
+    assert sim.pending == 0
+    assert sim.events_fired == 2
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.schedule(1, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False

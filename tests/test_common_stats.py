@@ -1,0 +1,135 @@
+"""Unit tests for the measurement primitives."""
+
+import pytest
+
+from repro.common import (
+    Counter,
+    Histogram,
+    SeriesRecorder,
+    TimeWeighted,
+    UtilizationTracker,
+    summarize,
+)
+
+
+class TestCounter:
+    def test_add_and_get(self):
+        c = Counter()
+        c.add("reads")
+        c.add("reads", 4)
+        assert c.get("reads") == 5
+        assert c["reads"] == 5
+
+    def test_missing_is_zero(self):
+        assert Counter().get("nothing") == 0
+
+    def test_as_dict_is_a_copy(self):
+        c = Counter()
+        c.add("x")
+        d = c.as_dict()
+        d["x"] = 99
+        assert c.get("x") == 1
+
+
+class TestHistogram:
+    def test_moments(self):
+        h = Histogram()
+        for v in [1, 2, 3, 4]:
+            h.observe(v)
+        assert h.count == 4
+        assert h.mean == pytest.approx(2.5)
+        assert h.variance == pytest.approx(1.25)
+        assert h.min == 1 and h.max == 4
+
+    def test_weighted_observation(self):
+        h = Histogram()
+        h.observe(10, weight=3)
+        h.observe(20)
+        assert h.count == 4
+        assert h.mean == pytest.approx(12.5)
+
+    def test_percentile(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(v)
+        assert h.percentile(50) == 50
+        assert h.percentile(95) == 95
+        assert h.percentile(100) == 100
+
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.mean == 0.0
+        assert h.percentile(50) is None
+
+
+class TestTimeWeighted:
+    def test_mean_occupancy(self):
+        tw = TimeWeighted(initial=0)
+        tw.update(10, 4)  # 0 for 10 cycles
+        tw.update(20, 0)  # 4 for 10 cycles
+        assert tw.mean() == pytest.approx(2.0)
+        assert tw.max == 4
+
+    def test_extend_to_end_time(self):
+        tw = TimeWeighted(initial=2)
+        tw.update(5, 6)
+        assert tw.mean(end_time=10) == pytest.approx((2 * 5 + 6 * 5) / 10)
+
+    def test_adjust(self):
+        tw = TimeWeighted()
+        tw.adjust(1, +3)
+        tw.adjust(2, -1)
+        assert tw.current == 2
+
+    def test_time_going_backwards_rejected(self):
+        tw = TimeWeighted()
+        tw.update(5, 1)
+        with pytest.raises(ValueError):
+            tw.update(4, 2)
+
+
+class TestUtilizationTracker:
+    def test_simple_busy_interval(self):
+        u = UtilizationTracker()
+        u.begin(2)
+        u.end(6)
+        assert u.utilization(10) == pytest.approx(0.4)
+        assert u.operations == 1
+
+    def test_overlapping_intervals_count_once(self):
+        u = UtilizationTracker()
+        u.begin(0)
+        u.begin(1)
+        u.end(2)
+        u.end(4)
+        assert u.busy_time() == pytest.approx(4.0)
+
+    def test_open_interval_extends_to_now(self):
+        u = UtilizationTracker()
+        u.begin(5)
+        assert u.busy_time(now=8) == pytest.approx(3.0)
+
+    def test_end_without_begin_rejected(self):
+        with pytest.raises(ValueError):
+            UtilizationTracker().end(1)
+
+    def test_zero_window(self):
+        assert UtilizationTracker().utilization(0) == 0.0
+
+
+def test_series_recorder():
+    s = SeriesRecorder()
+    s.record(1, 10)
+    s.record(2, 20)
+    assert len(s) == 2
+    assert list(s) == [(1, 10), (2, 20)]
+    assert s.times == [1, 2]
+    assert s.values == [10, 20]
+
+
+def test_summarize():
+    mean, std, low, high = summarize([2, 4, 6])
+    assert mean == pytest.approx(4.0)
+    assert low == 2 and high == 6
+    assert std == pytest.approx(1.632993, rel=1e-5)
+    assert summarize([]) == (0.0, 0.0, None, None)

@@ -1,0 +1,199 @@
+"""Unit tests for the graph IR: builder, instructions, validation."""
+
+import pytest
+
+from repro.common import GraphError
+from repro.graph import (
+    BlockBuilder,
+    CodeBlock,
+    Destination,
+    Instruction,
+    Opcode,
+    ProgramBuilder,
+    arity_of,
+    format_program,
+    is_pure,
+    validate_program,
+)
+from repro.workloads.handbuilt import (
+    build_array_pipeline,
+    build_factorial,
+    build_sum_loop,
+)
+
+
+class TestInstruction:
+    def test_nt_counts_tokens_not_immediates(self):
+        plain = Instruction(Opcode.ADD)
+        assert plain.nt == 2
+        with_imm = Instruction(Opcode.ADD, constant=1, constant_port=1)
+        assert with_imm.nt == 1
+
+    def test_call_nt_includes_dynamic_callee(self):
+        static = Instruction(Opcode.CALL, target_block="f", arg_count=2)
+        assert static.nt == 2
+        dynamic = Instruction(Opcode.CALL, arg_count=2)
+        assert dynamic.nt == 3  # callee on port 0 plus two args
+
+    def test_input_ports_skip_immediate(self):
+        inst = Instruction(Opcode.I_STORE, constant=0, constant_port=1)
+        assert inst.input_ports() == (0, 2)
+
+    def test_constant_requires_port(self):
+        with pytest.raises(GraphError):
+            Instruction(Opcode.ADD, constant=1)
+
+    def test_false_dests_only_on_switch(self):
+        with pytest.raises(GraphError):
+            Instruction(Opcode.ADD, dests_false=(Destination(0),))
+
+    def test_arity_of_call_is_an_error(self):
+        with pytest.raises(GraphError):
+            arity_of(Opcode.CALL)
+
+    def test_is_pure(self):
+        assert is_pure(Opcode.ADD)
+        assert not is_pure(Opcode.SWITCH)
+        assert not is_pure(Opcode.I_FETCH)
+
+
+class TestBuilder:
+    def test_statement_numbers_are_sequential(self):
+        b = BlockBuilder("f")
+        assert b.emit(Opcode.ADD) == 0
+        assert b.emit(Opcode.SUB) == 1
+        assert b.emit(Opcode.RETURN) == 2
+
+    def test_duplicate_return_rejected(self):
+        b = BlockBuilder("f")
+        b.emit(Opcode.RETURN)
+        with pytest.raises(GraphError, match="more than one RETURN"):
+            b.emit(Opcode.RETURN)
+
+    def test_false_wire_from_non_switch_rejected(self):
+        b = BlockBuilder("f")
+        add = b.emit(Opcode.ADD)
+        other = b.emit(Opcode.SINK)
+        with pytest.raises(GraphError):
+            b.wire(add, other, 0, side="false")
+
+    def test_loop_block_requires_parent(self):
+        with pytest.raises(GraphError):
+            CodeBlock("l", kind=CodeBlock.LOOP)
+
+    def test_duplicate_block_name_rejected(self):
+        pb = ProgramBuilder()
+        pb.procedure("f")
+        with pytest.raises(GraphError):
+            pb.procedure("f")
+
+
+class TestValidation:
+    def test_handbuilt_programs_validate(self):
+        # build_* call validate internally; reaching here means they pass.
+        for program in (build_factorial(), build_sum_loop(), build_array_pipeline()):
+            validate_program(program)
+
+    def test_starved_port_detected(self):
+        pb = ProgramBuilder()
+        b = pb.procedure("f")
+        add = b.emit(Opcode.ADD)  # port 1 never fed
+        ret = b.emit(Opcode.RETURN)
+        b.wire(add, ret, 0)
+        b.param((add, 0))
+        with pytest.raises(GraphError, match="no incoming arc"):
+            pb.build()
+
+    def test_arc_to_missing_statement_detected(self):
+        pb = ProgramBuilder()
+        b = pb.procedure("f")
+        add = b.emit(Opcode.ADD, constant=1, constant_port=1)
+        b.wire(add, 17, 0)
+        b.param((add, 0))
+        b.emit(Opcode.RETURN)
+        with pytest.raises(GraphError, match="nonexistent statement"):
+            pb.build()
+
+    def test_arc_into_immediate_port_detected(self):
+        pb = ProgramBuilder()
+        b = pb.procedure("f")
+        src = b.emit(Opcode.IDENT)
+        add = b.emit(Opcode.ADD, constant=1, constant_port=1)
+        ret = b.emit(Opcode.RETURN)
+        b.wire(src, add, 1)  # port 1 is the immediate
+        b.wire(add, ret, 0)
+        b.param((src, 0))
+        with pytest.raises(GraphError, match="immediate"):
+            pb.build()
+
+    def test_procedure_without_return_rejected(self):
+        pb = ProgramBuilder()
+        b = pb.procedure("f")
+        s = b.emit(Opcode.SINK)
+        b.param((s, 0))
+        with pytest.raises(GraphError, match="no RETURN"):
+            pb.build()
+
+    def test_call_arity_mismatch_rejected(self):
+        pb = ProgramBuilder()
+        callee = pb.procedure("g")
+        g_add = callee.emit(Opcode.ADD, constant=1, constant_port=1)
+        g_ret = callee.emit(Opcode.RETURN)
+        callee.wire(g_add, g_ret, 0)
+        callee.param((g_add, 0))
+
+        caller = pb.procedure("f")
+        call = caller.emit(Opcode.CALL, target_block="g", arg_count=2)
+        f_ret = caller.emit(Opcode.RETURN)
+        caller.wire(call, f_ret, 0)
+        caller.param((call, 0))
+        caller.param((call, 1))
+        with pytest.raises(GraphError, match="takes 1"):
+            pb.build()
+
+    def test_one_loop_site_cannot_bind_two_loops(self):
+        pb = ProgramBuilder()
+        main = pb.procedure("f")
+        l1 = main.emit(Opcode.L, target_block="loop_a", site=7, param_index=0)
+        l2 = main.emit(Opcode.L, target_block="loop_b", site=7, param_index=0)
+        ret = main.emit(Opcode.RETURN)
+        main.param((l1, 0), (l2, 0))
+
+        for loop_name in ("loop_a", "loop_b"):
+            loop = pb.loop(loop_name, parent_block="f")
+            ident = loop.emit(Opcode.IDENT)
+            exit_ = loop.emit(Opcode.L_INV, param_index=0)
+            loop.wire(ident, exit_, 0)
+            loop.param((ident, 0))
+            loop.exit((ret, 0))
+
+        with pytest.raises(GraphError, match="already bound"):
+            pb.build()
+
+    def test_l_with_static_dests_rejected(self):
+        pb = ProgramBuilder()
+        main = pb.procedure("f")
+        l1 = main.emit(Opcode.L, target_block="loop_a", site=1, param_index=0)
+        ret = main.emit(Opcode.RETURN)
+        main.wire(l1, ret, 0)
+        main.param((l1, 0))
+        loop = pb.loop("loop_a", parent_block="f")
+        ident = loop.emit(Opcode.IDENT)
+        exit_ = loop.emit(Opcode.L_INV, param_index=0)
+        loop.wire(ident, exit_, 0)
+        loop.param((ident, 0))
+        loop.exit((ret, 0))
+        with pytest.raises(GraphError, match="static destinations"):
+            pb.build()
+
+
+class TestPretty:
+    def test_format_program_mentions_loop_operators(self):
+        text = format_program(build_sum_loop())
+        for glyph in ("L", "D", "D⁻¹", "L⁻¹", "SWITCH"):
+            assert glyph in text
+
+    def test_format_program_lists_blocks(self):
+        text = format_program(build_sum_loop())
+        assert "procedure sum" in text
+        assert "loop sum$loop (in sum)" in text

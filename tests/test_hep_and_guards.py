@@ -1,0 +1,60 @@
+"""The HEP model, and single-use guards on the execution engines."""
+
+import pytest
+
+from repro.common import MachineError
+from repro.dataflow import Interpreter, MachineConfig, TaggedTokenMachine
+from repro.machines import build_hep, producer_consumer_traffic, saturation_table
+from repro.workloads.handbuilt import build_add_constant
+
+
+class TestHep:
+    def test_saturation_curve(self):
+        table = saturation_table(context_counts=(1, 4, 16), latency=8)
+        utils = [float(x) for x in table.column("pipeline utilization")]
+        assert utils[0] < utils[1] < utils[2]
+        assert utils[2] > 0.8  # 16 contexts cover latency 8
+
+    def test_build_hep_runs_custom_source(self):
+        machine = build_hep(
+            contexts=3,
+            source="movi r2, 7\nmovi r3, 100\nadd r4, r2, r1\n"
+                   "store r4, r3, 0\nhalt",
+            regs_of=lambda index: {1: index, 3: 0},
+        )
+        # give each context a distinct store target via r3
+        proc = machine.processors[0]
+        for index, context in enumerate(proc.contexts):
+            context.regs[3] = 0  # overwritten by movi anyway
+        machine.run()
+        assert machine.peek(100) in (7, 8, 9)
+
+    def test_producer_consumer_traffic_exceeds_two_per_element(self):
+        _, retries, per_element = producer_consumer_traffic(
+            n=12, producer_work=24
+        )
+        assert retries > 0
+        assert per_element > 2.0  # busy-waiting inflates traffic
+
+    def test_fast_producer_needs_no_retries(self):
+        _, retries, per_element = producer_consumer_traffic(
+            n=12, producer_work=0, retry_backoff=8.0
+        )
+        # The barrel interleaves producer and consumer; with no filler
+        # work the producer stays ahead most of the time.
+        assert per_element < 3.0
+
+
+class TestSingleUseGuards:
+    def test_interpreter_single_use(self):
+        interp = Interpreter(build_add_constant(1))
+        interp.run(1)
+        with pytest.raises(MachineError, match="single-use"):
+            interp.run(2)
+
+    def test_machine_single_use(self):
+        machine = TaggedTokenMachine(build_add_constant(1),
+                                     MachineConfig(n_pes=1))
+        machine.run(1)
+        with pytest.raises(MachineError, match="single-use"):
+            machine.run(2)

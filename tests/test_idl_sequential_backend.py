@@ -1,0 +1,139 @@
+"""The sequential (von Neumann) backend: same source, same answers."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.common import CompileError
+from repro.dataflow import run_program
+from repro.lang import compile_source
+from repro.vonneumann import compile_to_assembly, run_sequential
+from repro.workloads import PIPELINE, PRIMES, WAVEFRONT
+
+
+SOURCES = {
+    "arith": ("def f(x, y) = (x + y) * (x - y) + x % 3;", (9, 4), None),
+    "conditional": (
+        "def f(x) = if x > 10 then x - 10 else 10 - x;", (3,), None
+    ),
+    "nested_if": (
+        "def sign(x) = if x > 0 then 1 else if x == 0 then 0 else 0 - 1;",
+        (-7,), None,
+    ),
+    "let": ("def f(x) = let a = x + 1; b = a * a in b - a;", (4,), None),
+    "boolean": (
+        "def f(x, y) = if x > 0 and not (y > 0) then 1 else 0;",
+        (3, -2), None,
+    ),
+    "builtins": (
+        "def f(x, y) = min(x, y) + max(x, y) + abs(x - y) + floor(x);",
+        (9, 4), None,
+    ),
+    "for_loop": (
+        "def f(n) = (initial s <- 0 for i from 1 to n do "
+        "new s <- s + i * i return s);",
+        (12,), None,
+    ),
+    "while_loop": (
+        "def f(n) = (initial x <- n; c <- 0 while x > 1 do "
+        "new x <- x / 2; new c <- c + 1 return c);",
+        (64,), None,  # integer halving: both engines agree on powers of 2
+    ),
+    "nested_loop": (
+        "def f(n) = (initial t <- 0 for i from 1 to n do new t <- t + "
+        "(initial s <- 0 for j from 1 to i do new s <- s + j return s) "
+        "return t);",
+        (6,), None,
+    ),
+    "call": (
+        "def sq(x) = x * x;\ndef f(n) = sq(n) + sq(n + 1);", (5,), "f",
+    ),
+    "call_in_loop": (
+        "def sq(x) = x * x;\n"
+        "def f(n) = (initial s <- 0 for i from 1 to n do "
+        "new s <- s + sq(i) return s);",
+        (7,), "f",
+    ),
+    "arrays": (PIPELINE, (10,), "pipeline"),
+    "primes": (PRIMES, (30,), "count_primes"),
+    "wavefront": (WAVEFRONT, (6,), "wavefront"),
+}
+
+
+class TestSameSourceSameAnswer:
+    @pytest.mark.parametrize("name", sorted(SOURCES))
+    def test_vn_matches_dataflow(self, name):
+        source, args, entry = SOURCES[name]
+        dataflow = run_program(compile_source(source, entry=entry), *args)
+        vn_value, result = run_sequential(source, args, entry=entry)
+        assert vn_value == dataflow
+        assert result.time > 0
+
+
+class TestBackendBehaviour:
+    def test_latency_hurts_memory_bound_code(self):
+        source, args, entry = SOURCES["arrays"]
+        _, fast = run_sequential(source, args, entry=entry, latency=1)
+        _, slow = run_sequential(source, args, entry=entry, latency=20)
+        assert slow.time > 2 * fast.time
+
+    def test_pure_register_code_ignores_latency(self):
+        source, args, entry = SOURCES["for_loop"]
+        _, fast = run_sequential(source, args, entry=entry, latency=1)
+        _, slow = run_sequential(source, args, entry=entry, latency=50)
+        # One store (the result) is the only memory traffic.
+        assert slow.time - fast.time == pytest.approx(2 * 49, abs=1)
+
+    def test_assembly_is_legal(self):
+        from repro.vonneumann import assemble
+
+        for name, (source, _, entry) in SOURCES.items():
+            text, _ = compile_to_assembly(source, entry=entry)
+            assemble(text)  # must not raise
+
+    def test_loop_updates_are_parallel(self):
+        # new a <- b; new b <- a  must swap, not alias.
+        source = """
+        def f(n) =
+          (initial a <- 1; b <- 2
+           for i from 1 to n do
+             new a <- b;
+             new b <- a
+           return a * 10 + b);
+        """
+        dataflow = run_program(compile_source(source), 3)
+        vn_value, _ = run_sequential(source, (3,))
+        assert vn_value == dataflow == 21  # odd swaps: a=2, b=1
+
+
+class TestBackendLimits:
+    def test_recursion_rejected(self):
+        with pytest.raises(CompileError, match="recursive"):
+            compile_to_assembly(
+                "def f(n) = if n < 2 then n else f(n - 1) + f(n - 2);"
+            )
+
+    def test_floats_rejected(self):
+        with pytest.raises(CompileError, match="integer-only"):
+            compile_to_assembly("def f(x) = x + 1.5;")
+
+    def test_transcendentals_rejected(self):
+        with pytest.raises(CompileError, match="unsupported"):
+            compile_to_assembly("def f(x) = sqrt(x);")
+
+    def test_power_rejected(self):
+        with pytest.raises(CompileError, match="unsupported"):
+            compile_to_assembly("def f(x) = x ** 2;")
+
+
+class TestCliVnEngine:
+    def test_run_vn(self, tmp_path):
+        path = tmp_path / "p.id"
+        path.write_text(SOURCES["for_loop"][0])
+        out = io.StringIO()
+        code = main(["run", str(path), "--args", "12", "--engine", "vn"],
+                    out=out)
+        assert code == 0
+        assert "result: 650" in out.getvalue()
+        assert "von Neumann" in out.getvalue()

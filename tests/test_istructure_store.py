@@ -1,0 +1,118 @@
+"""Unit tests for I-structure storage: presence bits and deferred reads."""
+
+import pytest
+
+from repro.common import IStructureError
+from repro.istructure import (
+    Allocator,
+    DEFERRED,
+    IStructureModule,
+    Presence,
+    StructureRef,
+    interleave_home,
+)
+
+
+class TestModule:
+    def test_read_after_write_is_immediate(self):
+        m = IStructureModule()
+        assert m.write(("a", 0), 42) == []
+        assert m.read(("a", 0), reply="r1") == 42
+        assert m.counters["reads_immediate"] == 1
+
+    def test_read_before_write_is_deferred_then_satisfied(self):
+        m = IStructureModule()
+        assert m.read(("a", 0), reply="r1") is DEFERRED
+        assert m.presence(("a", 0)) is Presence.WAITING
+        drained = m.write(("a", 0), 7)
+        assert drained == ["r1"]
+        assert m.presence(("a", 0)) is Presence.PRESENT
+
+    def test_multiple_deferred_readers_all_satisfied_in_order(self):
+        m = IStructureModule()
+        for i in range(5):
+            assert m.read(("a", 3), reply=f"r{i}") is DEFERRED
+        drained = m.write(("a", 3), "v")
+        assert drained == [f"r{i}" for i in range(5)]
+        assert m.pending_reads() == 0
+
+    def test_double_write_raises(self):
+        m = IStructureModule()
+        m.write(("a", 0), 1)
+        with pytest.raises(IStructureError, match="second write"):
+            m.write(("a", 0), 2)
+
+    def test_untouched_cell_is_empty(self):
+        m = IStructureModule()
+        assert m.presence(("zzz", 9)) is Presence.EMPTY
+
+    def test_value_of_unwritten_cell_raises(self):
+        m = IStructureModule()
+        with pytest.raises(IStructureError):
+            m.value(("a", 0))
+
+    def test_pending_cells_reports_waiting_keys(self):
+        m = IStructureModule()
+        m.read(("a", 1), reply="r")
+        m.write(("b", 0), 5)
+        assert m.pending_cells() == [("a", 1)]
+
+    def test_deferred_list_length_histogram(self):
+        m = IStructureModule()
+        m.read(("a", 0), "r1")
+        m.read(("a", 0), "r2")
+        m.write(("a", 0), 1)
+        m.write(("a", 1), 2)
+        assert m.deferred_list_lengths.count == 2
+        assert m.deferred_list_lengths.max == 2
+        assert m.deferred_list_lengths.min == 0
+
+
+class TestAllocator:
+    def test_unique_ids_and_accounting(self):
+        a = Allocator()
+        r1 = a.allocate(10)
+        r2 = a.allocate(20)
+        assert r1.sid != r2.sid
+        assert a.allocated == 2
+        assert a.cells_allocated == 30
+
+    def test_invalid_size_rejected(self):
+        a = Allocator()
+        with pytest.raises(IStructureError):
+            a.allocate(-1)
+        with pytest.raises(IStructureError):
+            a.allocate(2.5)
+        with pytest.raises(IStructureError):
+            a.allocate(True)
+
+    def test_zero_size_allowed(self):
+        ref = Allocator().allocate(0)
+        assert ref.size == 0
+
+
+class TestStructureRef:
+    def test_bounds_check(self):
+        ref = StructureRef(sid=1, size=4)
+        assert ref.check_index(0) == 0
+        assert ref.check_index(3) == 3
+        with pytest.raises(IStructureError):
+            ref.check_index(4)
+        with pytest.raises(IStructureError):
+            ref.check_index(-1)
+        with pytest.raises(IStructureError):
+            ref.check_index(1.5)
+        with pytest.raises(IStructureError):
+            ref.check_index(True)
+
+
+class TestInterleaving:
+    def test_consecutive_elements_hit_distinct_modules(self):
+        ref = StructureRef(sid=5, size=16)
+        homes = [interleave_home(ref, i, 4) for i in range(8)]
+        assert homes == [1, 2, 3, 0, 1, 2, 3, 0]
+
+    def test_all_modules_in_range(self):
+        ref = StructureRef(sid=123, size=100)
+        for i in range(100):
+            assert 0 <= interleave_home(ref, i, 7) < 7

@@ -1,0 +1,172 @@
+"""Integration tests: the timed tagged-token machine vs. the reference
+interpreter, across PE counts, mappings and networks."""
+
+import pytest
+
+from repro.common import DeadlockError, Simulator
+from repro.dataflow import (
+    ByContextMapping,
+    HashMapping,
+    Interpreter,
+    MachineConfig,
+    TaggedTokenMachine,
+    stable_tag_key,
+    Tag,
+)
+from repro.graph import Opcode, ProgramBuilder
+from repro.network import CrossbarNetwork, HypercubeNetwork, IdealNetwork
+from repro.workloads.handbuilt import (
+    build_add_constant,
+    build_arith_diamond,
+    build_array_pipeline,
+    build_factorial,
+    build_store_then_fetch,
+    build_sum_loop,
+)
+
+ALL_PROGRAMS = [
+    (build_add_constant(3), (39,), 42),
+    (build_arith_diamond(), (9, 4), 65),
+    (build_factorial(), (6,), 720),
+    (build_sum_loop(), (10,), 55),
+    (build_store_then_fetch(), (1, "x"), "x"),
+    (build_array_pipeline(), (6,), 55),
+]
+
+
+class TestAgainstInterpreter:
+    @pytest.mark.parametrize("program,args,expected", ALL_PROGRAMS)
+    @pytest.mark.parametrize("n_pes", [1, 2, 4])
+    def test_machine_matches_reference(self, program, args, expected, n_pes):
+        assert Interpreter(program).run(*args) == expected
+        machine = TaggedTokenMachine(program, MachineConfig(n_pes=n_pes))
+        result = machine.run(*args)
+        assert result.value == expected
+
+    @pytest.mark.parametrize("program,args,expected", ALL_PROGRAMS)
+    def test_by_context_mapping_matches(self, program, args, expected):
+        config = MachineConfig(
+            n_pes=4, mapping_factory=lambda n: ByContextMapping(n)
+        )
+        assert TaggedTokenMachine(program, config).run(*args).value == expected
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda sim, n: IdealNetwork(sim, n, latency=10),
+            lambda sim, n: CrossbarNetwork(sim, n),
+            lambda sim, n: HypercubeNetwork(sim, 2),
+        ],
+    )
+    def test_networks_do_not_change_answers(self, factory):
+        config = MachineConfig(n_pes=4, network_factory=factory)
+        machine = TaggedTokenMachine(build_sum_loop(), config)
+        assert machine.run(12).value == 78
+
+
+class TestTiming:
+    def test_result_time_positive_and_before_drain(self):
+        machine = TaggedTokenMachine(build_sum_loop(), MachineConfig(n_pes=2))
+        result = machine.run(8)
+        assert 0 < result.time <= result.drain_time
+
+    def test_instruction_count_matches_interpreter(self):
+        interp = Interpreter(build_sum_loop())
+        interp.run(9)
+        machine = TaggedTokenMachine(build_sum_loop(), MachineConfig(n_pes=2))
+        result = machine.run(9)
+        assert result.instructions == interp.instructions_executed
+
+    def test_utilization_in_bounds(self):
+        machine = TaggedTokenMachine(build_factorial(), MachineConfig(n_pes=2))
+        result = machine.run(8)
+        for u in result.alu_utilizations:
+            assert 0.0 <= u <= 1.0
+        assert result.mean_alu_utilization > 0
+
+    def test_single_pe_is_slower_than_four(self):
+        # With parallelism available, more PEs should shorten makespan.
+        slow = TaggedTokenMachine(build_array_pipeline(), MachineConfig(n_pes=1))
+        fast = TaggedTokenMachine(build_array_pipeline(), MachineConfig(n_pes=8))
+        assert fast.run(16).time < slow.run(16).time
+
+    def test_network_latency_stretches_makespan_on_serial_code(self):
+        # A serial chain cannot hide latency: makespan grows with latency.
+        quick = MachineConfig(n_pes=4, network_latency=1)
+        slow = MachineConfig(n_pes=4, network_latency=50)
+        t_quick = TaggedTokenMachine(build_factorial(), quick).run(6).time
+        t_slow = TaggedTokenMachine(build_factorial(), slow).run(6).time
+        assert t_slow > t_quick
+
+    def test_determinism(self):
+        results = [
+            TaggedTokenMachine(build_array_pipeline(), MachineConfig(n_pes=4)).run(8)
+            for _ in range(2)
+        ]
+        assert results[0].value == results[1].value
+        assert results[0].time == results[1].time
+        assert results[0].counters == results[1].counters
+
+
+class TestStructureMachinery:
+    def test_structure_traffic_crosses_network(self):
+        machine = TaggedTokenMachine(build_array_pipeline(), MachineConfig(n_pes=4))
+        machine.run(8)
+        assert machine.counters["structures_allocated"] == 1
+        assert machine.counters["tokens_network"] > 0
+
+    def test_deferred_reads_happen_under_timing(self):
+        machine = TaggedTokenMachine(build_array_pipeline(), MachineConfig(n_pes=4))
+        machine.run(12)
+        deferred = sum(
+            pe.istructure.module.counters["reads_deferred"] for pe in machine.pes
+        )
+        immediate = sum(
+            pe.istructure.module.counters["reads_immediate"] for pe in machine.pes
+        )
+        assert deferred + immediate == 12
+
+    def test_distributed_sids_unique(self):
+        machine = TaggedTokenMachine(build_add_constant(), MachineConfig(n_pes=4))
+        sids = {machine.allocate_structure(4, on_pe=p % 4).sid for p in range(40)}
+        assert len(sids) == 40
+
+
+class TestDeadlock:
+    def test_unwritten_cell_reported(self):
+        pb = ProgramBuilder()
+        b = pb.procedure("stuck")
+        alloc = b.emit(Opcode.I_ALLOC)
+        fetch = b.emit(Opcode.I_FETCH, constant=0, constant_port=1)
+        ret = b.emit(Opcode.RETURN)
+        b.wire(alloc, fetch, 0)
+        b.wire(fetch, ret, 0)
+        b.param((alloc, 0))
+        machine = TaggedTokenMachine(pb.build(), MachineConfig(n_pes=2))
+        with pytest.raises(DeadlockError, match="deferred read"):
+            machine.run(3)
+
+
+class TestMapping:
+    def test_stable_tag_key_deterministic(self):
+        tag = Tag(Tag(None, "f", 3, 2), "g", 7, 5)
+        assert stable_tag_key(tag) == stable_tag_key(
+            Tag(Tag(None, "f", 3, 2), "g", 7, 5)
+        )
+
+    def test_hash_mapping_spreads_iterations(self):
+        mapping = HashMapping(8)
+        pes = {
+            mapping.pe_of(Tag(None, "loop", 4, i)) for i in range(64)
+        }
+        assert len(pes) > 4  # iterations land on many PEs
+
+    def test_by_context_mapping_keeps_context_together(self):
+        mapping = ByContextMapping(8, spread_iterations=False)
+        context = Tag(None, "main", 9, 1)
+        pes = {
+            mapping.pe_of(Tag(context, "f", s, i))
+            for s in range(10)
+            for i in range(5)
+        }
+        assert len(pes) == 1

@@ -1,0 +1,166 @@
+"""Tests for the survey machine models (C.mmp, Cm*, Ultracomputer, VLIW,
+Connection Machine / Illiac IV)."""
+
+import pytest
+
+from repro.dataflow import Interpreter
+from repro.machines import (
+    CMConfig,
+    ConnectionMachineModel,
+    IlliacIVModel,
+    VLIWModel,
+    build_cmstar,
+    crossbar_scaling_table,
+    locality_sweep,
+    run_hotspot,
+    schedule_length,
+    semaphore_cost,
+)
+from repro.workloads.handbuilt import build_array_pipeline, build_sum_loop
+
+
+class TestCmmp:
+    def test_cost_grows_quadratically_latency_stays_flat(self):
+        rows = crossbar_scaling_table([2, 4, 8], workload_iterations=10)
+        ns = [row[0] for row in rows]
+        costs = [row[1] for row in rows]
+        latencies = [row[2] for row in rows]
+        assert costs == [n * n for n in ns]
+        # Latency stays within a small constant factor while cost 16x's.
+        assert max(latencies) < 4 * min(latencies)
+
+    def test_semaphore_costs_much_more_than_alu(self):
+        cycles, alu, ratio = semaphore_cost(n_procs=4, increments=8)
+        assert ratio > 10  # "rather high" relative to an ALU op
+
+
+class TestCmstar:
+    def test_utilization_falls_with_remote_fraction(self):
+        rows = locality_sweep([0.0, 0.2, 0.5], n_clusters=2, cluster_size=2,
+                              n_refs=30)
+        utils = [u for _, u, _ in rows]
+        assert utils[0] > utils[1] > utils[2]
+
+    def test_intercluster_hurts_more_than_intracluster(self):
+        intra = locality_sweep([0.5], n_clusters=2, cluster_size=2,
+                               n_refs=30, remote_kind="intracluster")
+        inter = locality_sweep([0.5], n_clusters=2, cluster_size=2,
+                               n_refs=30, remote_kind="intercluster")
+        assert inter[0][1] < intra[0][1]
+
+    def test_prediction_tracks_measurement(self):
+        rows = locality_sweep([0.0, 0.3], n_clusters=2, cluster_size=2,
+                              n_refs=40)
+        for _, measured, predicted in rows:
+            assert measured == pytest.approx(predicted, rel=0.35)
+
+    def test_local_references_bypass_kmap(self):
+        machine = build_cmstar(n_clusters=2, cluster_size=2)
+        from repro.machines.cmstar import locality_kernel
+        machine.add_processor(locality_kernel(0, 4, 2, 20, 0.0), regs={1: 0})
+        machine.run()
+        network = machine.memory.network
+        assert network.counters["local"] > 0
+        assert network.counters.get("intra_cluster") == 0
+        assert network.counters.get("inter_cluster") == 0
+
+
+class TestUltracomputer:
+    def test_fetch_and_add_sums_correctly(self):
+        result = run_hotspot(4, combining=True)
+        assert result.final_value == result.n_procs
+
+    def test_combining_collapses_hot_port_traffic(self):
+        with_c = run_hotspot(5, combining=True)
+        without = run_hotspot(5, combining=False)
+        assert with_c.memory_arrivals < without.memory_arrivals
+        assert with_c.serialization_factor < 0.5
+        assert without.serialization_factor == 1.0
+
+    def test_combining_bounds_latency_growth(self):
+        small = run_hotspot(3, combining=True)
+        large = run_hotspot(6, combining=True)
+        small_nc = run_hotspot(3, combining=False)
+        large_nc = run_hotspot(6, combining=False)
+        growth_c = large.max_round_trip / small.max_round_trip
+        growth_nc = large_nc.max_round_trip / small_nc.max_round_trip
+        assert growth_c < growth_nc  # combining turns ~n into ~log n
+
+    def test_adds_bounded_by_log_n(self):
+        result = run_hotspot(5, combining=True)
+        # A full combine tree performs n-1 adds total; each *reference*
+        # sees at most log2(n) of them on its path.
+        assert result.combines <= result.n_procs - 1
+        assert result.splits == result.combines
+
+
+class TestVLIW:
+    def _profile(self):
+        interp = Interpreter(build_sum_loop())
+        interp.run(12)
+        return interp
+
+    def test_schedule_length_shrinks_then_flattens(self):
+        interp = self._profile()
+        rows = VLIWModel().width_sweep(interp, [1, 2, 4, 8, 16, 64])
+        cycles = [c for _, c, _ in rows]
+        assert cycles[0] > cycles[2]  # width helps at first
+        assert cycles[-1] == cycles[-2]  # ...then flattens (small-scale ||ism)
+        # Even infinite width cannot beat the critical path.
+        assert cycles[-1] >= interp.critical_path
+
+    def test_latency_surprise_stalls_whole_machine(self):
+        interp = Interpreter(build_array_pipeline())
+        interp.run(8)
+        schedule = VLIWModel(issue_width=8, assumed_latency=2).compile(interp)
+        on_time = schedule.execution_time(actual_latency=2)
+        late = schedule.execution_time(actual_latency=20)
+        assert late > on_time
+        assert late - on_time == schedule.n_memory_ops * 18
+
+    def test_width_one_equals_total_ops(self):
+        interp = self._profile()
+        assert schedule_length(interp.parallelism_profile, 1) == (
+            interp.instructions_executed
+        )
+
+
+class TestConnectionMachine:
+    def test_communication_dominates_on_random_graphs(self):
+        model = ConnectionMachineModel(CMConfig(groups_log2=8))
+        result = model.run_graph_workload(rounds=4, messages_per_group=1)
+        assert result.comm_fraction > 0.9  # the paper's "90%? 99%?"
+
+    def test_neighbor_pattern_is_cheap(self):
+        model = ConnectionMachineModel(CMConfig(groups_log2=8))
+        random_result = model.run_graph_workload(rounds=4, pattern="random")
+        neighbor_result = model.run_graph_workload(rounds=4, pattern="neighbor")
+        assert neighbor_result.comm_time < random_result.comm_time
+        assert neighbor_result.mean_hops == 1.0
+
+    def test_mean_hops_near_half_dimensions(self):
+        model = ConnectionMachineModel(CMConfig(groups_log2=10))
+        result = model.run_graph_workload(rounds=2, pattern="random")
+        assert result.mean_hops == pytest.approx(5.0, abs=0.5)
+
+    def test_alu_speed_is_irrelevant(self):
+        fast = CMConfig(groups_log2=8, word_bits=1)
+        slow = CMConfig(groups_log2=8, word_bits=32)
+        t_fast = ConnectionMachineModel(fast).run_graph_workload(rounds=4)
+        t_slow = ConnectionMachineModel(slow).run_graph_workload(rounds=4)
+        # A 32x faster ALU changes total time by well under 10%.
+        assert t_slow.total_time < 1.1 * t_fast.total_time
+
+
+class TestIlliacIV:
+    def test_opposite_directions_serialize(self):
+        model = IlliacIVModel()
+        assert model.shifts_needed([(0, 1)]) == 1
+        assert model.shifts_needed([(0, 1), (0, -1)]) == 2  # east and west
+
+    def test_everyone_waits_for_farthest(self):
+        model = IlliacIVModel()
+        assert model.shifts_needed([(0, 1), (3, 0)]) == 4
+
+    def test_empty_transfer_set(self):
+        assert IlliacIVModel().shifts_needed([]) == 0

@@ -1,0 +1,130 @@
+"""The graph optimizer: semantics preserved, instruction counts reduced."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow import Interpreter, MachineConfig, TaggedTokenMachine
+from repro.graph import Opcode, validate_program
+from repro.graph.optimize import (
+    collapse_idents,
+    fold_constants,
+    optimize_program,
+    remove_dead_code,
+)
+from repro.lang import compile_source
+from repro.workloads import WORKLOADS, compile_workload
+
+from test_properties import arith_exprs
+
+
+def _count(program, opcode):
+    return sum(
+        1 for block in program.blocks.values()
+        for inst in block if inst.opcode is opcode
+    )
+
+
+class TestPasses:
+    def test_idents_removed(self):
+        program = compile_source("def f(x, y) = x + y;")
+        assert _count(program, Opcode.IDENT) == 2
+        optimized = optimize_program(program)
+        assert _count(optimized, Opcode.IDENT) == 0
+        assert Interpreter(optimized).run(3, 4) == 7
+
+    def test_constants_folded(self):
+        source = """
+        def f(n) =
+          (initial s <- 0
+           for i from 1 to n do
+             new s <- s + i
+           return s);
+        """
+        program = compile_source(source)
+        optimized = optimize_program(program)
+        # The initial constants 0 and 1 fed L operators (not foldable),
+        # but literal arithmetic folded during compilation; the optimizer
+        # must not break anything and must not grow the program.
+        assert optimized.total_instructions <= program.total_instructions
+        assert Interpreter(optimized).run(6) == 21
+
+    def test_fold_into_immediate_slot(self):
+        # 'x + (2 * 3)' parses with a CONSTANT feeding ADD port 1 only if
+        # not already folded; build a case via call argument shape.
+        source = "def f(x) = max(x, 0) + max(0 - x, 0);"
+        program = compile_source(source)
+        optimized = optimize_program(program)
+        for x in (-5, 0, 7):
+            assert Interpreter(optimized).run(x) == abs(x)
+
+    def test_dead_code_removed(self):
+        source = "def f(x) = let unused = x * 99 in x + 1;"
+        program = compile_source(source)
+        assert _count(program, Opcode.MUL) == 1
+        optimized = optimize_program(program)
+        assert _count(optimized, Opcode.MUL) == 0
+        assert Interpreter(optimized).run(4) == 5
+
+    def test_dead_chain_removed_to_fixpoint(self):
+        source = "def f(x) = let a = x + 1 in let b = a * 2 in x;"
+        program = compile_source(source)
+        optimized = optimize_program(program)
+        assert _count(optimized, Opcode.ADD) == 0
+        assert _count(optimized, Opcode.MUL) == 0
+        assert Interpreter(optimized).run(9) == 9
+
+    def test_original_program_not_mutated(self):
+        program = compile_source("def f(x) = x + 1;")
+        before = program.total_instructions
+        optimize_program(program)
+        assert program.total_instructions == before
+
+    def test_passes_report_change_flags(self):
+        program = compile_source("def f(x, y) = x + y;")
+        from repro.graph.optimize import _clone
+
+        clone = _clone(program)
+        assert collapse_idents(clone) is True
+        assert collapse_idents(clone) is False
+        assert remove_dead_code(clone) is False  # nothing dead here
+        assert fold_constants(clone) is False
+
+
+class TestWorkloadsSurviveOptimization:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_optimized_matches_reference(self, name):
+        program, reference, args = compile_workload(name)
+        optimized = optimize_program(program)
+        validate_program(optimized)
+        assert optimized.total_instructions < program.total_instructions
+        assert Interpreter(optimized).run(*args) == pytest.approx(
+            reference(*args)
+        )
+
+    def test_optimized_runs_on_timed_machine(self):
+        program, reference, args = compile_workload("matmul")
+        optimized = optimize_program(program)
+        machine = TaggedTokenMachine(optimized, MachineConfig(n_pes=4))
+        assert machine.run(*args).value == reference(*args)
+
+    def test_optimization_saves_dynamic_instructions(self):
+        program, _, args = compile_workload("trapezoid")
+        baseline = Interpreter(program)
+        baseline.run(*args)
+        optimized = Interpreter(optimize_program(program))
+        optimized.run(*args)
+        assert (
+            optimized.instructions_executed < baseline.instructions_executed
+        )
+
+
+class TestOptimizeProperty:
+    @given(arith_exprs(), st.integers(-15, 15), st.integers(-15, 15))
+    @settings(max_examples=40, deadline=None)
+    def test_optimized_equivalent_on_random_programs(self, expr, x, y):
+        source_fragment, oracle = expr
+        program = compile_source(f"def main(x, y) = {source_fragment};",
+                                 entry="main")
+        optimized = optimize_program(program)
+        expected = oracle({"x": x, "y": y})
+        assert Interpreter(optimized).run(x, y) == expected

@@ -1,0 +1,73 @@
+"""Robustness: the front end must reject garbage with CompileError,
+never crash with anything else."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common import CompileError, ReproError
+from repro.lang import compile_source, parse, tokenize
+
+
+def _attempt(source):
+    """Compile ``source``; it must either succeed or raise CompileError
+    (or another library error for semantically-broken-but-parsable
+    programs) — never an uncontrolled exception."""
+    try:
+        compile_source(source)
+    except ReproError:
+        pass
+
+
+class TestFuzz:
+    @given(st.text(max_size=120))
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_text_never_crashes(self, text):
+        _attempt(text)
+
+    @given(st.text(
+        alphabet="definwhileforitrunpxyz()[]<>=+-*/%;,. \n0123456789",
+        max_size=120,
+    ))
+    @settings(max_examples=300, deadline=None)
+    def test_near_miss_programs_never_crash(self, text):
+        _attempt(text)
+
+    @given(st.text(alphabet=" ()[];,<-", max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_punctuation_soup_never_crashes_tokenizer(self, text):
+        try:
+            tokens = tokenize(text)
+        except CompileError:
+            return
+        assert tokens[-1].kind == "eof"
+
+    def test_truncated_real_program_fails_cleanly(self):
+        """Every prefix of a real program either compiles (a prefix may
+        end exactly at a complete definition) or raises a library error —
+        never an uncontrolled crash."""
+        from repro.workloads import TRAPEZOID
+
+        for cut in range(0, len(TRAPEZOID), 7):
+            _attempt(TRAPEZOID[:cut])
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(CompileError, match="empty"):
+            compile_source("   \n  // nothing here\n")
+
+    @given(st.integers(0, 400))
+    @settings(max_examples=60, deadline=None)
+    def test_random_truncation_of_real_source(self, cut):
+        from repro.workloads import MATMUL
+
+        source = MATMUL[: min(cut, len(MATMUL))]
+        try:
+            compile_source(source)
+        except ReproError:
+            pass
+
+    def test_deeply_nested_parens_parse(self):
+        source = "def f(x) = " + "(" * 60 + "x" + ")" * 60 + ";"
+        program = compile_source(source)
+        from repro.dataflow import run_program
+
+        assert run_program(program, 5) == 5

@@ -1,0 +1,153 @@
+"""Tests for the FIFO server, result tables, sweeps and analytic models."""
+
+import pytest
+
+from repro.analysis import (
+    Table,
+    contexts_needed,
+    crossover_point,
+    efficiency,
+    geometric_range,
+    harmonic_mean,
+    multithreaded_utilization,
+    speedup,
+    sweep,
+    von_neumann_utilization,
+)
+from repro.common import Simulator
+from repro.common.queueing import FifoServer
+
+
+class TestFifoServer:
+    def test_fifo_order(self):
+        sim = Simulator()
+        server = FifoServer(sim, service_time=2)
+        done = []
+        for item in "abc":
+            server.submit(item, done.append)
+        sim.run()
+        assert done == ["a", "b", "c"]
+        assert sim.now == 6
+        assert server.items_served == 3
+
+    def test_custom_service_time(self):
+        sim = Simulator()
+        server = FifoServer(sim, service_time=1)
+        done = []
+        server.submit("big", done.append, service_time=10)
+        sim.run()
+        assert sim.now == 10
+
+    def test_resubmission_from_completion(self):
+        sim = Simulator()
+        server = FifoServer(sim, service_time=1)
+        done = []
+
+        def chain(item):
+            done.append(item)
+            if item < 3:
+                server.submit(item + 1, chain)
+
+        server.submit(0, chain)
+        sim.run()
+        assert done == [0, 1, 2, 3]
+        assert sim.now == 4
+
+    def test_utilization_and_queue_depth(self):
+        sim = Simulator()
+        server = FifoServer(sim, service_time=5)
+        server.submit("a", lambda _: None)
+        server.submit("b", lambda _: None)
+        sim.run()
+        assert server.utilization.utilization(sim.now) == pytest.approx(1.0)
+        assert server.queue_depth.max == 1  # b waited while a served
+
+    def test_idle_server_stays_idle(self):
+        sim = Simulator()
+        server = FifoServer(sim, service_time=5)
+        sim.run()
+        assert not server.busy
+        assert server.queued == 0
+
+
+class TestTable:
+    def test_alignment_and_title(self):
+        table = Table("My results", ["name", "value"])
+        table.add_row("alpha", 1.5)
+        table.add_row("b", 20000.0)
+        text = str(table)
+        assert text.splitlines()[0] == "My results"
+        assert "alpha" in text and "2e+04" in text
+
+    def test_wrong_cell_count_rejected(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError, match="cells"):
+            table.add_row(1)
+
+    def test_bool_and_float_formatting(self):
+        table = Table("t", ["x"])
+        table.add_row(True)
+        table.add_row(0.5)
+        table.add_row(0.000123)
+        assert table.column("x") == ["yes", "0.5", "0.000123"]
+
+    def test_csv(self):
+        table = Table("t", ["a", "b"])
+        table.add_row(1, 2)
+        assert table.to_csv() == "a,b\n1,2"
+
+    def test_notes_rendered(self):
+        table = Table("t", ["a"], notes=["first"])
+        table.note("second")
+        text = str(table)
+        assert "* first" in text and "* second" in text
+
+
+class TestSweepHelpers:
+    def test_sweep(self):
+        assert sweep([1, 2, 3], lambda v: v * v) == [(1, 1), (2, 4), (3, 9)]
+
+    def test_geometric_range(self):
+        assert geometric_range(1, 16) == [1, 2, 4, 8, 16]
+        assert geometric_range(3, 20, factor=3) == [3, 9]
+
+    def test_crossover_point(self):
+        a = [(1, 10), (2, 10), (3, 10)]
+        b = [(1, 1), (2, 9), (3, 12)]
+        assert crossover_point(a, b) == 3
+
+    def test_no_crossover(self):
+        a = [(1, 10), (2, 10)]
+        b = [(1, 1), (2, 2)]
+        assert crossover_point(a, b) is None
+
+    def test_mismatched_x_rejected(self):
+        with pytest.raises(ValueError):
+            crossover_point([(1, 0)], [(2, 0)])
+
+
+class TestMetrics:
+    def test_von_neumann_law(self):
+        assert von_neumann_utilization(4, 4) == pytest.approx(0.5)
+        assert von_neumann_utilization(1, 99) == pytest.approx(0.01)
+
+    def test_multithreaded_saturates(self):
+        assert multithreaded_utilization(100, 1, 9) == 1.0
+        assert multithreaded_utilization(2, 1, 9) == pytest.approx(0.2)
+
+    def test_contexts_needed_grows_linearly(self):
+        small = contexts_needed(1, 10)
+        large = contexts_needed(1, 100)
+        assert large > small
+        assert contexts_needed(1, 100) == pytest.approx(
+            10 * contexts_needed(1, 10), rel=0.2
+        )
+
+    def test_speedup_and_efficiency(self):
+        assert speedup(100, 25) == 4.0
+        assert efficiency(100, 25, 8) == 0.5
+
+    def test_harmonic_mean(self):
+        assert harmonic_mean([1, 1, 1]) == pytest.approx(1.0)
+        assert harmonic_mean([2, 6]) == pytest.approx(3.0)
+        assert harmonic_mean([]) == 0.0

@@ -1,0 +1,63 @@
+"""Coverage for the RNG substreams and network base-class plumbing."""
+
+import pytest
+
+from repro.common import DeterministicRng, NetworkError, substream
+from repro.common.simulator import Simulator
+from repro.network import IdealNetwork, Packet
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a = substream(42, "arrivals")
+        b = substream(42, "arrivals")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_names_decorrelate(self):
+        a = substream(42, "arrivals")
+        b = substream(42, "service")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        assert substream(1, "x").random() != substream(2, "x").random()
+
+    def test_factory_caches_streams(self):
+        rng = DeterministicRng(7)
+        stream = rng.stream("traffic")
+        stream.random()
+        assert rng.stream("traffic") is stream
+        # A fresh factory replays from the start.
+        fresh = DeterministicRng(7).stream("traffic")
+        first_value = substream(7, "traffic").random()
+        assert fresh.random() == first_value
+
+
+class TestNetworkBase:
+    def test_zero_ports_rejected(self):
+        with pytest.raises(NetworkError, match="at least one port"):
+            IdealNetwork(Simulator(), 0)
+
+    def test_in_flight_accounting(self):
+        sim = Simulator()
+        net = IdealNetwork(sim, 2, latency=5)
+        net.attach(1, lambda p: None)
+        net.send(0, 1, "x")
+        assert net.in_flight == 1
+        sim.run()
+        assert net.in_flight == 0
+        assert net.counters["delivered"] == 1
+
+    def test_packet_ids_unique_and_repr(self):
+        a = Packet(src=0, dst=1, payload="p")
+        b = Packet(src=0, dst=1, payload="q")
+        assert a.pid != b.pid
+        assert "->1" in repr(a)
+
+    def test_attach_out_of_range(self):
+        net = IdealNetwork(Simulator(), 2)
+        with pytest.raises(NetworkError):
+            net.attach(5, lambda p: None)
+
+    def test_repr_mentions_type(self):
+        net = IdealNetwork(Simulator(), 2)
+        assert "IdealNetwork" in repr(net)

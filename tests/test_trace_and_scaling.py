@@ -1,0 +1,80 @@
+"""Tests for the trace facility and the prepackaged studies."""
+
+import pytest
+
+from repro.analysis import latency_study, scaling_study
+from repro.dataflow import MachineConfig, TaggedTokenMachine, TraceLog
+from repro.workloads import compile_workload
+from repro.workloads.handbuilt import build_factorial, build_sum_loop
+
+
+class TestTraceLog:
+    def test_ring_buffer_bounds(self):
+        log = TraceLog(limit=5)
+        for i in range(8):
+            log.record(i, 0, "exec", f"e{i}")
+        assert len(log) == 5
+        assert log.dropped == 3
+        assert log.recorded == 8
+        assert log.events[0][3] == "e3"
+
+    def test_format_and_by_kind(self):
+        log = TraceLog()
+        log.record(1.5, 2, "park", "tokenA")
+        log.record(2.0, 1, "exec", "inst")
+        text = log.format()
+        assert "pe2 park" in text and "pe1 exec" in text
+        assert len(log.by_kind("exec")) == 1
+
+
+class TestMachineTracing:
+    def test_disabled_by_default(self):
+        machine = TaggedTokenMachine(build_sum_loop(), MachineConfig(n_pes=2))
+        machine.run(4)
+        assert machine.trace is None
+
+    def test_trace_records_execution(self):
+        machine = TaggedTokenMachine(
+            build_sum_loop(), MachineConfig(n_pes=2, trace=True)
+        )
+        result = machine.run(4)
+        assert machine.trace is not None
+        execs = machine.trace.by_kind("exec")
+        assert len(execs) == result.instructions
+        assert machine.trace.by_kind("result") != []
+        assert machine.trace.by_kind("match") != []
+        # The formatted tail mentions recognizable opcodes.
+        assert "switch" in machine.trace.format(last=500)
+
+    def test_tracing_does_not_change_results(self):
+        plain = TaggedTokenMachine(build_factorial(), MachineConfig(n_pes=2))
+        traced = TaggedTokenMachine(
+            build_factorial(), MachineConfig(n_pes=2, trace=True)
+        )
+        a, b = plain.run(6), traced.run(6)
+        assert a.value == b.value == 720
+        assert a.time == b.time
+
+
+class TestStudies:
+    def test_scaling_study_speedup_column(self):
+        program, _, _ = compile_workload("matmul")
+        table = scaling_study(program, (4,), [1, 4])
+        speedups = [float(x) for x in table.column("speedup")]
+        assert speedups[0] == 1.0
+        assert speedups[1] > 1.5
+        efficiencies = [float(x) for x in table.column("efficiency")]
+        assert efficiencies[0] == 1.0
+        assert 0 < efficiencies[1] <= 1.0
+
+    def test_scaling_study_context_mapping(self):
+        program, _, _ = compile_workload("pipeline")
+        table = scaling_study(program, (8,), [2], mapping="context")
+        assert "mapping = context" in str(table)
+
+    def test_latency_study_slowdown_grows(self):
+        program, _, _ = compile_workload("fib")
+        table = latency_study(program, (8,), [1, 30], n_pes=4)
+        slowdowns = [float(x) for x in table.column("slowdown")]
+        assert slowdowns[0] == 1.0
+        assert slowdowns[1] > 1.0

@@ -1,0 +1,138 @@
+"""Tests for the synchronization idiom library and memory edge cases."""
+
+import pytest
+
+from repro.common import MachineError, Simulator
+from repro.vonneumann import (
+    MemoryModule,
+    MemRequest,
+    Op,
+    RETRY,
+    VNMachine,
+    sync,
+)
+
+
+class TestSyncFragments:
+    def test_ticket_lock_counts_correctly(self):
+        n_procs, increments = 4, 5
+        # Ticket counter at address 0, now-serving at 1, counter at 2.
+        body = f"""
+            movi r2, 0          ; ticket-counter base
+            movi r3, 2          ; shared counter
+            movi r4, {increments}
+            movi r9, 1          ; constant one
+        loop:
+            beqz r4, done
+        {sync.faa_ticket_lock(2, 5, 9, 6)}
+            load r7, r3, 0
+            addi r7, r7, 1
+            store r7, r3, 0
+            faa  r8, r10, r9    ; advance now-serving (address in r10)
+            subi r4, r4, 1
+            jmp  loop
+        done:
+            halt
+        """
+        machine = VNMachine(n_procs, memory="dancehall", latency=2,
+                            memory_time=1)
+        machine.load_spmd(body, regs_of=lambda pid: {1: pid, 10: 1})
+        machine.run()
+        assert machine.peek(2) == n_procs * increments
+
+    def test_counter_barrier_releases_everyone(self):
+        n_procs = 4
+        # Barrier counter at address 0; after the barrier every processor
+        # writes its id to a distinct slot.
+        body = f"""
+            movi r2, 0
+            movi r3, {n_procs}
+            movi r9, 1
+        {sync.counter_barrier(2, 3, 9, 5)}
+            movi r6, 10
+            add  r6, r6, r1
+            store r1, r6, 0
+            halt
+        """
+        machine = VNMachine(n_procs, memory="dancehall", latency=2,
+                            memory_time=1)
+        machine.load_spmd(body)
+        machine.run()
+        for pid in range(n_procs):
+            assert machine.peek(10 + pid) == pid
+
+    def test_spinlock_fragments_compose(self):
+        source = f"""
+            movi r2, 0      ; lock address
+            movi r9, 0      ; zero for release
+        {sync.spinlock_acquire(2, 5)}
+            movi r3, 1
+            store r3, r3, 9 ; mem[10] = 1 inside the critical section
+        {sync.spinlock_release(2, 9)}
+            halt
+        """
+        machine = VNMachine(1, memory="dancehall", latency=1)
+        machine.add_processor(source)
+        machine.run()
+        assert machine.peek(10) == 1
+        assert machine.peek(0) == 0  # lock released
+
+
+class TestMemoryModule:
+    def test_atomic_semantics(self):
+        sim = Simulator()
+        module = MemoryModule(sim)
+        assert module.apply(MemRequest(Op.TESTSET, 5)) == 0
+        assert module.apply(MemRequest(Op.TESTSET, 5)) == 1
+        assert module.apply(MemRequest(Op.FAA, 6, value=10)) == 0
+        assert module.apply(MemRequest(Op.FAA, 6, value=5)) == 10
+        assert module.peek(6) == 15
+
+    def test_full_empty_semantics(self):
+        sim = Simulator()
+        module = MemoryModule(sim)
+        assert module.apply(MemRequest(Op.READF, 3)) is RETRY
+        module.apply(MemRequest(Op.WRITEF, 3, value=7))
+        assert module.apply(MemRequest(Op.READF, 3)) == 7
+        assert module.counters["readf_retries"] == 1
+
+    def test_writef_overwrite_counted(self):
+        sim = Simulator()
+        module = MemoryModule(sim)
+        module.apply(MemRequest(Op.WRITEF, 3, value=1))
+        module.apply(MemRequest(Op.WRITEF, 3, value=2))
+        assert module.counters["writef_overwrites"] == 1
+
+    def test_non_memory_op_rejected(self):
+        module = MemoryModule(Simulator())
+        with pytest.raises(MachineError):
+            module.apply(MemRequest(Op.ADD, 0))
+
+    def test_timed_service_serializes(self):
+        sim = Simulator()
+        module = MemoryModule(sim, service_time=4)
+        done = []
+        module.submit(MemRequest(Op.STORE, 0, value=1),
+                      lambda r: done.append(sim.now))
+        module.submit(MemRequest(Op.LOAD, 0),
+                      lambda r: done.append(sim.now))
+        sim.run()
+        assert done == [4, 8]
+
+
+class TestDancehallPlacement:
+    def test_blocked_placement_localizes(self):
+        machine = VNMachine(2, memory="dancehall", n_modules=2,
+                            placement="blocked", block_size=100)
+        assert machine.memory.module_of(5) == 0
+        assert machine.memory.module_of(105) == 1
+        assert machine.memory.module_of(205) == 0  # wraps
+
+    def test_interleaved_placement_spreads(self):
+        machine = VNMachine(2, memory="dancehall", n_modules=2)
+        assert machine.memory.module_of(4) == 0
+        assert machine.memory.module_of(5) == 1
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(MachineError):
+            VNMachine(1, memory="dancehall", placement="random")
