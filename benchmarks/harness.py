@@ -7,20 +7,75 @@ wins, by roughly what factor, where the crossover falls — mirroring the
 claim-by-claim records in EXPERIMENTS.md.
 
 Run any module directly (``python benchmarks/bench_e01_....py``) to print
-its full table and write it under ``benchmarks/results/``.
+its full table and write it under ``benchmarks/results/`` — a ``.txt``
+rendering for humans and a ``.json`` telemetry file for tooling.
 """
 
+import json
 import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
-def write_table(table, name):
-    """Print a table and persist it under benchmarks/results/<name>.txt."""
+def table_rows(table):
+    """A Table's rows as a list of {column: cell} dicts.
+
+    Cells are the already-formatted strings the text rendering shows;
+    numeric-looking cells are converted back to int/float so the JSON is
+    usable for plotting without re-parsing.
+    """
+    rows = []
+    for row in table.rows:
+        entry = {}
+        for column, cell in zip(table.columns, row):
+            entry[column] = _parse_cell(cell)
+        rows.append(entry)
+    return rows
+
+
+def _parse_cell(cell):
+    if not isinstance(cell, str):
+        return cell
+    text = cell.strip()
+    for caster in (int, float):
+        try:
+            return caster(text)
+        except ValueError:
+            continue
+    if text.endswith("x"):  # speedup columns like "3.2x"
+        try:
+            return float(text[:-1])
+        except ValueError:
+            pass
+    return text
+
+
+def write_json(rows, name, meta=None):
+    """Persist telemetry rows under benchmarks/results/<name>.json.
+
+    ``rows`` is a list of dicts; ``meta`` (title, notes, timing, ...) is
+    stored alongside them, never merged into the rows.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    payload = {"name": name, "meta": meta or {}, "rows": rows}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=repr)
+        fh.write("\n")
+    return path
+
+
+def write_table(table, name, meta=None):
+    """Print a table and persist it under benchmarks/results/ as both
+    <name>.txt (the rendering) and <name>.json (rows + metadata)."""
     text = str(table)
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(text + "\n")
+    full_meta = {"title": table.title, "notes": list(table.notes)}
+    if meta:
+        full_meta.update(meta)
+    write_json(table_rows(table), name, meta=full_meta)
     print(text)
     return path

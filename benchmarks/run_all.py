@@ -1,13 +1,25 @@
 """Regenerate every experiment table under benchmarks/results/.
 
-Run:  python benchmarks/run_all.py
+Run:  python benchmarks/run_all.py [--only SUBSTRING]
+
+Each table is written as .txt + .json, and an aggregate telemetry file
+``BENCH_results.json`` (experiment name, table shape, wall-clock seconds)
+lands at the repository root.
 """
 
+import argparse
 import importlib
+import json
+import os
 import sys
 import time
 
-from harness import write_table
+from harness import table_rows, write_table
+
+AGGREGATE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_results.json",
+)
 
 EXPERIMENTS = [
     ("bench_e01_latency_tolerance", [("run_experiment", "e01_latency_tolerance")]),
@@ -48,15 +60,45 @@ EXPERIMENTS = [
 ]
 
 
-def main():
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--only", default=None, metavar="SUBSTRING",
+                        help="run only experiments whose module or table "
+                             "name contains SUBSTRING")
+    options = parser.parse_args(argv)
+
+    telemetry = []
     for module_name, runners in EXPERIMENTS:
+        selected = [
+            (fn_name, out_name) for fn_name, out_name in runners
+            if options.only is None
+            or options.only in module_name or options.only in out_name
+        ]
+        if not selected:
+            continue
         module = importlib.import_module(module_name)
-        for fn_name, out_name in runners:
+        for fn_name, out_name in selected:
             start = time.time()
             table = getattr(module, fn_name)()
-            write_table(table, out_name)
-            print(f"[{time.time() - start:6.1f}s] {out_name}\n",
-                  file=sys.stderr)
+            wall = time.time() - start
+            write_table(table, out_name, meta={"wall_seconds": round(wall, 3)})
+            print(f"[{wall:6.1f}s] {out_name}\n", file=sys.stderr)
+            telemetry.append({
+                "experiment": out_name,
+                "module": module_name,
+                "title": table.title,
+                "rows": len(table.rows),
+                "columns": list(table.columns),
+                "wall_seconds": round(wall, 3),
+                "data": table_rows(table),
+            })
+
+    with open(AGGREGATE_PATH, "w", encoding="utf-8") as fh:
+        json.dump({"experiments": telemetry}, fh, indent=2, sort_keys=True,
+                  default=repr)
+        fh.write("\n")
+    total = sum(entry["wall_seconds"] for entry in telemetry)
+    print(f"[{total:6.1f}s] total -> {AGGREGATE_PATH}", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -1,9 +1,11 @@
-"""Command-line interface: compile, inspect and run Id-like programs.
+"""Command-line interface: compile, inspect, run and trace Id-like programs.
 
 ::
 
     python -m repro run program.id --args 0.0 1.0 32 0.03125
     python -m repro run program.id --engine machine --pes 8 --latency 10
+    python -m repro run program.id --engine machine --metrics metrics.json
+    python -m repro trace program.id --out run.trace.json   # open in Perfetto
     python -m repro graph program.id            # text listing (Fig 2-2 style)
     python -m repro graph program.id --dot      # Graphviz DOT on stdout
     python -m repro stats program.id            # structural statistics
@@ -19,6 +21,7 @@ import sys
 from .dataflow import Interpreter, MachineConfig, TaggedTokenMachine
 from .graph import format_program, graph_statistics, optimize_program, to_dot
 from .lang import compile_source
+from .obs import ChromeTraceSink, JsonlSink, TraceBus
 
 __all__ = ["main", "build_parser"]
 
@@ -64,6 +67,30 @@ def build_parser():
     run.add_argument("--profile", action="store_true",
                      help="print the parallelism profile "
                           "(interpreter engine only)")
+    run.add_argument("--metrics", metavar="FILE", default=None,
+                     help="dump a metrics snapshot as JSON (any engine)")
+    run.add_argument("--trace", metavar="FILE", default=None,
+                     help="write a JSONL event trace (timed engines: "
+                          "machine, vn)")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run on the timed machine and export an event timeline",
+    )
+    trace.add_argument("file", help="Id-like source file")
+    trace.add_argument("--out", required=True,
+                       help="output path for the trace file")
+    trace.add_argument("--entry", default=None)
+    trace.add_argument("--args", nargs="*", default=[])
+    trace.add_argument("--engine", choices=("machine", "vn"),
+                       default="machine")
+    trace.add_argument("--pes", type=int, default=4)
+    trace.add_argument("--latency", type=float, default=4.0)
+    trace.add_argument("--optimize", action="store_true")
+    trace.add_argument("--format", choices=("chrome", "jsonl"),
+                       default="chrome",
+                       help="chrome = trace_event JSON for Perfetto / "
+                            "chrome://tracing; jsonl = one event per line")
 
     graph = sub.add_parser("graph", help="print the compiled dataflow graph")
     graph.add_argument("file")
@@ -88,8 +115,34 @@ def _load(path, entry, optimize=False):
     return program
 
 
+def _make_trace_bus(options):
+    """(bus, sink) for ``run --trace FILE``; (None, None) when off."""
+    trace_path = getattr(options, "trace", None)
+    if trace_path is None:
+        return None, None
+    if options.engine == "interp":
+        raise SystemExit(
+            "--trace needs a timed engine (the interpreter has no clock); "
+            "use --engine machine or --engine vn"
+        )
+    bus = TraceBus()
+    sink = bus.add_sink(JsonlSink(trace_path))
+    return bus, sink
+
+
+def _write_metrics(options, snapshot, out):
+    path = getattr(options, "metrics", None)
+    if path is None:
+        return
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True, default=repr)
+        fh.write("\n")
+    print(f"metrics: {len(snapshot)} value(s) -> {path}", file=out)
+
+
 def _cmd_run(options, out):
     args = [_parse_value(a) for a in options.args]
+    bus, trace_sink = _make_trace_bus(options)
     if options.engine == "vn":
         from .vonneumann import run_sequential
 
@@ -97,7 +150,8 @@ def _cmd_run(options, out):
             source = fh.read()
         value, result = run_sequential(source, tuple(args),
                                        entry=options.entry,
-                                       latency=options.latency)
+                                       latency=options.latency,
+                                       trace_bus=bus)
         payload = {
             "result": value,
             "engine": f"von Neumann uniprocessor [latency "
@@ -106,44 +160,61 @@ def _cmd_run(options, out):
             "instructions": result.instructions,
             "utilization": round(result.mean_utilization, 4),
         }
-        if options.json:
-            print(json.dumps(payload), file=out)
-        else:
-            print(f"result: {payload.pop('result')!r}", file=out)
-            for key, value in payload.items():
-                print(f"  {key}: {value}", file=out)
-        return 0
-    program = _load(options.file, options.entry, options.optimize)
-    if options.engine == "interp":
-        interp = Interpreter(program)
-        value = interp.run(*args)
-        payload = {
-            "result": value,
-            "engine": "interpreter",
-            "instructions": interp.instructions_executed,
-            "critical_path": interp.critical_path,
-            "average_parallelism": round(interp.average_parallelism(), 3),
-        }
-    else:
-        config = MachineConfig(n_pes=options.pes,
-                               network_latency=options.latency)
-        machine = TaggedTokenMachine(program, config)
-        result = machine.run(*args)
-        payload = {
-            "result": result.value,
-            "engine": f"machine[{options.pes} PEs, latency "
-                      f"{options.latency}]",
+        snapshot = {
+            "engine": "vn",
             "time_cycles": result.time,
             "instructions": result.instructions,
-            "mean_alu_utilization": round(result.mean_alu_utilization, 4),
-            "network_tokens": result.counters.get("tokens_network", 0),
+            "utilization": result.mean_utilization,
         }
+        snapshot.update(
+            {f"counters.{k}": v for k, v in sorted(result.counters.items())}
+        )
+    else:
+        program = _load(options.file, options.entry, options.optimize)
+        if options.engine == "interp":
+            interp = Interpreter(program)
+            value = interp.run(*args)
+            payload = {
+                "result": value,
+                "engine": "interpreter",
+                "instructions": interp.instructions_executed,
+                "critical_path": interp.critical_path,
+                "average_parallelism": round(interp.average_parallelism(), 3),
+            }
+            snapshot = {
+                "engine": "interp",
+                "instructions": interp.instructions_executed,
+                "critical_path": interp.critical_path,
+                "average_parallelism": interp.average_parallelism(),
+            }
+        else:
+            config = MachineConfig(n_pes=options.pes,
+                                   network_latency=options.latency,
+                                   trace_bus=bus)
+            machine = TaggedTokenMachine(program, config)
+            result = machine.run(*args)
+            payload = {
+                "result": result.value,
+                "engine": f"machine[{options.pes} PEs, latency "
+                          f"{options.latency}]",
+                "time_cycles": result.time,
+                "instructions": result.instructions,
+                "mean_alu_utilization": round(result.mean_alu_utilization, 4),
+                "network_tokens": result.counters.get("tokens_network", 0),
+            }
+            snapshot = machine.metrics_snapshot()
+            snapshot["engine"] = "machine"
     if options.json:
         print(json.dumps(payload), file=out)
     else:
         print(f"result: {payload.pop('result')!r}", file=out)
         for key, value in payload.items():
             print(f"  {key}: {value}", file=out)
+    if trace_sink is not None:
+        trace_sink.close()
+        print(f"trace: {trace_sink.written} event(s) -> {options.trace}",
+              file=out)
+    _write_metrics(options, snapshot, out)
     if options.engine == "interp" and getattr(options, "profile", False):
         print("parallelism profile (instructions ready per step):", file=out)
         profile = interp.parallelism_profile
@@ -152,6 +223,81 @@ def _cmd_run(options, out):
             count = profile[step]
             bar = "#" * max(1, round(40 * count / peak))
             print(f"  t={step:<5} {bar} {count}", file=out)
+    return 0
+
+
+DEMO_ARGUMENT = 8  # stands in for omitted `trace` arguments
+
+
+def _trace_defaults(options):
+    """Fill in entry/args so a bare ``repro trace file --out t.json`` works.
+
+    With no ``--entry``, trace the *last* procedure in the file — demo
+    files define helpers first and the interesting program last (for
+    ``run`` the historical first-def default stands).  With no ``--args``,
+    every parameter gets :data:`DEMO_ARGUMENT`, a value small enough to
+    finish fast and large enough to drive loops around a few times.
+    """
+    from .lang import parse
+
+    with open(options.file, "r", encoding="utf-8") as fh:
+        ast = parse(fh.read())
+    entry = options.entry
+    if entry is None:
+        entry = ast.defs[-1].name
+    args = [_parse_value(a) for a in options.args]
+    if not args:
+        definition = next(d for d in ast.defs if d.name == entry)
+        args = [DEMO_ARGUMENT] * len(definition.params)
+    return entry, args
+
+
+def _cmd_trace(options, out):
+    """Run on a timed engine with a trace sink and export the timeline."""
+    entry, args = _trace_defaults(options)
+    options.entry = entry
+    bus = TraceBus()
+    if options.format == "chrome":
+        sink = bus.add_sink(ChromeTraceSink())
+    else:
+        sink = bus.add_sink(JsonlSink(options.out))
+    if options.engine == "vn":
+        from .vonneumann import run_sequential
+
+        with open(options.file, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        value, result = run_sequential(source, tuple(args),
+                                       entry=options.entry,
+                                       latency=options.latency,
+                                       trace_bus=bus)
+        time_cycles, instructions = result.time, result.instructions
+    else:
+        program = _load(options.file, options.entry, options.optimize)
+        config = MachineConfig(n_pes=options.pes,
+                               network_latency=options.latency,
+                               trace_bus=bus)
+        machine = TaggedTokenMachine(program, config)
+        result = machine.run(*args)
+        value = result.value
+        time_cycles, instructions = result.time, result.instructions
+    if options.format == "chrome":
+        sink.write(options.out, meta={
+            "source": options.file,
+            "engine": options.engine,
+            "args": [repr(a) for a in args],
+        })
+        events = len(sink)
+    else:
+        sink.close()
+        events = sink.written
+    print(f"result: {value!r}", file=out)
+    print(f"  time_cycles: {time_cycles}", file=out)
+    print(f"  instructions: {instructions}", file=out)
+    print(f"  trace: {events} event(s) -> {options.out} "
+          f"[{options.format}]", file=out)
+    if options.format == "chrome":
+        print("  view: load the file at https://ui.perfetto.dev or "
+              "chrome://tracing", file=out)
     return 0
 
 
@@ -176,6 +322,7 @@ def main(argv=None, out=None):
     options = build_parser().parse_args(argv)
     handler = {
         "run": _cmd_run,
+        "trace": _cmd_trace,
         "graph": _cmd_graph,
         "stats": _cmd_stats,
     }[options.command]

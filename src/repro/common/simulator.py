@@ -23,6 +23,7 @@ convention.
 
 import heapq
 import itertools
+import time
 
 from .errors import SimulationError
 
@@ -67,6 +68,8 @@ class Simulator:
         self._now = 0.0
         self._events_fired = 0
         self._quiescence_hooks = []
+        self.bus = None  # optional repro.obs.TraceBus
+        self.wall_seconds = 0.0  # host time spent inside run()
 
     # ------------------------------------------------------------------
     # Clock and bookkeeping
@@ -105,6 +108,14 @@ class Simulator:
         heapq.heappush(self._queue, event)
         return event
 
+    def attach_bus(self, bus):
+        """Publish kernel lifecycle events (run begin/end, quiescence) to
+        ``bus``.  The hot event loop itself is untouched — observability
+        of individual events belongs to the components that schedule
+        them, which know what the events mean."""
+        self.bus = bus
+        return bus
+
     def add_quiescence_hook(self, hook):
         """Register ``hook()`` to run when the event queue drains.
 
@@ -135,7 +146,23 @@ class Simulator:
 
         Returns the simulated time at which the run stopped.  Quiescence
         hooks are given a chance to refill the queue whenever it drains.
+        Wall-clock time spent here accumulates in :attr:`wall_seconds`
+        (kept out of the trace stream — traces stay deterministic).
         """
+        bus = self.bus
+        if bus is not None:
+            bus.emit(self._now, "sim", "run_begin", "", pending=self.pending)
+        wall_start = time.perf_counter()
+        try:
+            return self._run(until, max_events)
+        finally:
+            self.wall_seconds += time.perf_counter() - wall_start
+            if bus is not None:
+                bus.emit(self._now, "sim", "run_end", "",
+                         events=self._events_fired)
+
+    def _run(self, until, max_events):
+        bus = self.bus
         fired = 0
         while True:
             if max_events is not None and fired >= max_events:
@@ -145,6 +172,9 @@ class Simulator:
                 )
             next_event = self._peek()
             if next_event is None:
+                if bus is not None:
+                    bus.emit(self._now, "sim", "quiescent", "",
+                             events=self._events_fired)
                 if self._run_quiescence_hooks():
                     continue
                 return self._now

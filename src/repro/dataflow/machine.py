@@ -21,6 +21,7 @@ from ..common.simulator import Simulator
 from ..common.stats import Counter
 from ..istructure.heap import StructureRef
 from ..network.ideal import IdealNetwork
+from ..obs import MetricsRegistry, TraceBus
 from .mapping import HashMapping
 from .pe import ProcessingElement
 from .tags import Tag
@@ -52,6 +53,10 @@ class MachineConfig:
     is_write_time: float = 2.0  # write: 2x, presence-bit prefetch (§2.1)
     local_loopback: bool = True  # PE-local tokens bypass the network
     trace: bool = False  # record a TraceLog of machine events
+    #: A repro.obs.TraceBus to publish structured events to (JSONL or
+    #: Chrome-trace sinks, say).  Independent of ``trace``: with both
+    #: set, the TraceLog ring joins the same bus.
+    trace_bus: Optional[TraceBus] = None
     network_factory: Optional[Callable] = None  # (sim, n_ports) -> Network
     mapping_factory: Optional[Callable] = None  # (n_pes) -> mapping policy
     network_latency: float = 4.0  # used by the default IdealNetwork
@@ -110,11 +115,20 @@ class TaggedTokenMachine:
                 f"network has {self.network.n_ports} ports but machine "
                 f"has {self.n_pes} PEs"
             )
+        bus = self.config.trace_bus
+        if bus is None and self.config.trace:
+            bus = TraceBus()
+        self._bus = bus
+        self.trace = TraceLog(bus=bus) if self.config.trace else None
+        if bus is not None:
+            self.sim.attach_bus(bus)
+            attach = getattr(self.network, "attach_bus", None)
+            if attach is not None:
+                attach(bus, source="net")
         self.pes = [ProcessingElement(self, i, self.config) for i in range(self.n_pes)]
         for pe in self.pes:
             self.network.attach(pe.pe, self._network_delivery)
         self.counters = Counter()
-        self.trace = TraceLog() if self.config.trace else None
         self._next_sid = 0
         self._result = None
         self._result_time = None
@@ -179,9 +193,13 @@ class TaggedTokenMachine:
         pe = self.mapping.pe_of(tag)
         self.sim.schedule(0, self.pes[pe].receive, token.routed_to(pe))
 
-    def _trace_event(self, pe, kind, detail):
-        if self.trace is not None:
-            self.trace.record(self.sim.now, pe, kind, detail)
+    def _trace_event(self, pe, kind, detail, **fields):
+        # Call sites guard on ``self._bus is not None`` before building
+        # detail strings, so a machine without observability pays only
+        # that check.
+        bus = self._bus
+        if bus is not None:
+            bus.emit(self.sim.now, pe, kind, detail, **fields)
 
     def _program_result(self, value):
         if self._finished:
@@ -197,9 +215,14 @@ class TaggedTokenMachine:
     def _transmit(self, src_pe, token):
         if token.pe == src_pe and self.config.local_loopback:
             self.counters.add("tokens_local")
+            if self._bus is not None:
+                self._trace_event(src_pe, "route", "local", local=True)
             self.pes[src_pe].receive(token)
         else:
             self.counters.add("tokens_network")
+            if self._bus is not None:
+                self._trace_event(src_pe, "route", f"->pe{token.pe}",
+                                  local=False)
             self.network.send(src_pe, token.pe, token)
 
     def _network_delivery(self, packet):
@@ -219,6 +242,35 @@ class TaggedTokenMachine:
     # ------------------------------------------------------------------
     # Measurements
     # ------------------------------------------------------------------
+    def metrics_registry(self):
+        """Every instrument of this machine under hierarchical names
+        (``pe0.alu.busy``, ``net.latency.mean``, ...).  Built on demand
+        from live references — costs nothing until ``snapshot()``."""
+        registry = MetricsRegistry()
+        registry.register("machine", self.counters)
+        registry.register("sim.events_fired", lambda: self.sim.events_fired)
+        registry.register("sim.time", lambda: self.sim.now)
+        for pe in self.pes:
+            prefix = f"pe{pe.pe}"
+            registry.register(prefix, pe.counters)
+            registry.register(f"{prefix}.wm", pe.waiting_matching)
+            registry.register(f"{prefix}.fetch", pe.fetch)
+            registry.register(f"{prefix}.alu", pe.alu)
+            registry.register(f"{prefix}.out", pe.output)
+            registry.register(f"{prefix}.ctrl", pe.controller)
+            registry.register(f"{prefix}.match_occupancy", pe.match_occupancy)
+            registry.register(f"{prefix}.isc", pe.istructure.counters)
+            registry.register(f"{prefix}.isc.queue", pe.istructure.queue_depth)
+            registry.register(f"{prefix}.isc.unit", pe.istructure.utilization)
+        register_net = getattr(self.network, "register_metrics", None)
+        if register_net is not None:
+            register_net(registry, prefix="net")
+        return registry
+
+    def metrics_snapshot(self):
+        """One flat dict of every metric at the current simulated time."""
+        return self.metrics_registry().snapshot(now=self.sim.now)
+
     def instructions_executed(self):
         return sum(pe.counters["instructions"] for pe in self.pes)
 

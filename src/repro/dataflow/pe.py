@@ -73,6 +73,7 @@ class ProcessingElement:
             name=f"{name}.isc",
             read_cycles=config.is_read_time,
             write_cycles=config.is_write_time,
+            trace=self._isc_trace if machine._bus is not None else None,
         )
         self._match_store = {}
         self.match_occupancy = TimeWeighted()
@@ -126,16 +127,22 @@ class ProcessingElement:
             self.match_occupancy.update(
                 self.machine.sim.now, self._waiting_tokens()
             )
-            self.machine._trace_event(self.pe, "match", repr(token.tag))
+            if self.machine._bus is not None:
+                self.machine._trace_event(
+                    self.pe, "match", repr(token.tag),
+                    waiting=self._waiting_tokens(),
+                )
             self.fetch.submit((token.tag, slot), self._fetched)
         else:
             self.counters.add("tokens_parked")
             self.match_occupancy.update(
                 self.machine.sim.now, self._waiting_tokens()
             )
-            self.machine._trace_event(
-                self.pe, "park", f"{token.tag!r} p{token.port}"
-            )
+            if self.machine._bus is not None:
+                self.machine._trace_event(
+                    self.pe, "park", f"{token.tag!r} p{token.port}",
+                    waiting=self._waiting_tokens(),
+                )
 
     def _waiting_tokens(self):
         return sum(len(slot) for slot in self._match_store.values())
@@ -154,9 +161,13 @@ class ProcessingElement:
         effects = execute(self.machine.program, instruction, tag, operands)
         self.counters.add("instructions")
         self.counters.add(f"class_{OPCODE_CLASS[instruction.opcode].value}")
-        self.machine._trace_event(
-            self.pe, "exec", f"{tag!r} {instruction.opcode.value}"
-        )
+        if self.machine._bus is not None:
+            # dur = the ALU slice just finished; the Chrome exporter
+            # renders it as pipeline-stage occupancy on this PE's track.
+            self.machine._trace_event(
+                self.pe, "exec", f"{tag!r} {instruction.opcode.value}",
+                op=instruction.opcode.value, dur=self.config.alu_time,
+            )
         for effect in effects:
             self._emit(effect, tag)
 
@@ -209,7 +220,8 @@ class ProcessingElement:
     def _control(self, request):
         if isinstance(request, AllocRequest):
             ref = self.machine.allocate_structure(request.size, on_pe=self.pe)
-            self.machine._trace_event(self.pe, "alloc", repr(ref))
+            if self.machine._bus is not None:
+                self.machine._trace_event(self.pe, "alloc", repr(ref))
             for reply_tag, reply_port in request.replies:
                 instruction = self.machine.program.instruction(
                     reply_tag.code_block, reply_tag.statement
@@ -223,6 +235,9 @@ class ProcessingElement:
     # ------------------------------------------------------------------
     # I-structure reply path
     # ------------------------------------------------------------------
+    def _isc_trace(self, kind, detail, **fields):
+        self.machine._trace_event(self.pe, kind, detail, **fields)
+
     def _istructure_reply(self, reply, value):
         reply_tag, reply_port = reply
         instruction = self.machine.program.instruction(

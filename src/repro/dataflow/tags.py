@@ -15,6 +15,7 @@ by comparing them ("we can match up related tokens ... by comparing the
 tags that they carry").
 """
 
+import zlib
 from dataclasses import dataclass
 from typing import Optional
 
@@ -61,5 +62,11 @@ class Tag:
         return depth
 
     def __repr__(self):
-        context = "·" if self.context is None else f"u{id(self.context) & 0xFFFF:04x}"
+        # The context label must be a *structural* digest, not id():
+        # traces of identical runs have to be byte-identical.
+        if self.context is None:
+            context = "·"
+        else:
+            digest = zlib.crc32(repr(self.context).encode("utf-8"))
+            context = f"u{digest & 0xFFFF:04x}"
         return f"⟨{context},{self.code_block},{self.statement},{self.iteration}⟩"

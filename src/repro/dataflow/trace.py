@@ -5,46 +5,79 @@ event per significant action (instruction execution, token parking,
 matches, allocations, the final result) into a bounded ring buffer.
 Intended for debugging graphs and for teaching — the formatted trace
 reads like the paper's prose: tokens arriving, waiting, matching, firing.
+
+``TraceLog`` is now a thin compatibility shim over the observability
+layer (:mod:`repro.obs`): its storage is a
+:class:`~repro.obs.sinks.RingSink`, and it can join a
+:class:`~repro.obs.bus.TraceBus` so the same event stream that fills
+this ring also feeds JSONL or Chrome-trace sinks.  The historical API —
+``record``, ``events`` as ``(time, pe, kind, detail)`` tuples,
+``by_kind``, ``format`` — is unchanged.
 """
 
-from collections import deque
+from ..obs import RingSink, TraceEvent
 
 __all__ = ["TraceLog"]
 
 
 class TraceLog:
-    """A bounded ring buffer of (time, pe, kind, detail) events."""
+    """A bounded ring buffer of (time, pe, kind, detail) events.
 
-    def __init__(self, limit=100_000):
-        self.limit = limit
-        self._events = deque(maxlen=limit)
-        self.dropped = 0
-        self.recorded = 0
+    ``limit=None`` keeps everything; ``limit=0`` counts but stores
+    nothing.  ``dropped`` is exact for every limit (it is derived from
+    the recorded/retained difference rather than maintained by edge
+    detection, which went wrong for ``deque(maxlen=0)``).
+    """
+
+    def __init__(self, limit=100_000, bus=None):
+        self._sink = RingSink(limit)
+        self._bus = bus
+        if bus is not None:
+            bus.add_sink(self._sink)
+
+    @property
+    def limit(self):
+        return self._sink.limit
+
+    @property
+    def recorded(self):
+        return self._sink.recorded
+
+    @property
+    def dropped(self):
+        return self._sink.dropped
 
     def record(self, time, pe, kind, detail):
-        if len(self._events) == self.limit:
-            self.dropped += 1
-        self.recorded += 1
-        self._events.append((time, pe, kind, detail))
+        """Record one event directly (standalone use, without a bus)."""
+        self._sink.handle(TraceEvent(time, pe, kind, detail))
 
     @property
     def events(self):
-        return list(self._events)
+        return [event.as_tuple() for event in self._sink.events]
 
     def by_kind(self, kind):
-        return [e for e in self._events if e[2] == kind]
+        return [
+            event.as_tuple()
+            for event in self._sink.events
+            if event.kind == kind
+        ]
 
     def format(self, last=40):
-        """The trailing events, one line each."""
-        lines = []
-        for time, pe, kind, detail in list(self._events)[-last:]:
-            lines.append(f"t={time:<8g} pe{pe} {kind:<6} {detail}")
+        """The trailing events, one line each, under a count header."""
+        tail = self.events[-last:]
+        lines = [
+            f"trace: {self.recorded} event(s) recorded, showing last "
+            f"{len(tail)}"
+        ]
+        for time, pe, kind, detail in tail:
+            source = f"pe{pe}" if isinstance(pe, int) else str(pe)
+            lines.append(f"t={time:<8g} {source} {kind:<6} {detail}")
         if self.dropped:
             lines.append(f"... ({self.dropped} earlier events dropped)")
         return "\n".join(lines)
 
     def __len__(self):
-        return len(self._events)
+        return len(self._sink)
 
     def __repr__(self):
-        return f"<TraceLog events={len(self._events)} dropped={self.dropped}>"
+        return f"<TraceLog events={len(self._sink)} dropped={self.dropped}>"

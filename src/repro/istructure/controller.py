@@ -49,6 +49,7 @@ class IStructureController:
         write_cycles=2,
         drain_cycles_per_deferred=1,
         module=None,
+        trace=None,
     ):
         self.sim = sim
         self.deliver = deliver
@@ -62,6 +63,10 @@ class IStructureController:
         self.counters = Counter()
         self.queue_depth = TimeWeighted()
         self.utilization = UtilizationTracker()
+        #: Optional ``trace(kind, detail, **fields)`` observability hook;
+        #: None (the default) keeps the controller's hot path free of any
+        #: per-event work beyond this attribute check.
+        self._trace = trace
 
     # ------------------------------------------------------------------
     def submit(self, request):
@@ -91,11 +96,24 @@ class IStructureController:
             # A deferred read costs nothing extra now; it pays its
             # processing cycle when the write drains the list.
             value = self.module.read(request.key, request.reply)
-            if value is not DEFERRED:
+            if value is DEFERRED:
+                self.counters.add("reads_deferred")
+                if self._trace is not None:
+                    self._trace("is_defer", repr(request.key))
+            else:
+                self.counters.add("reads")
+                if self._trace is not None:
+                    self._trace("is_read", repr(request.key))
                 self.deliver(request.reply, value)
         else:
             drained = self.module.write(request.key, request.value)
             extra = self.drain_cycles_per_deferred * len(drained)
+            self.counters.add("writes")
+            if drained:
+                self.counters.add("reads_drained", len(drained))
+            if self._trace is not None:
+                self._trace("is_write", repr(request.key),
+                            drained=len(drained))
             for reply in drained:
                 self.deliver(reply, request.value)
         if extra > 0:

@@ -27,6 +27,25 @@ class Network:
         self.counters = Counter()
         self.latency = Histogram()
         self.hop_counts = Histogram()
+        self._bus = None
+        self._bus_source = name
+
+    # ------------------------------------------------------------------
+    def attach_bus(self, bus, source=None):
+        """Publish per-packet events (``net_inject``/``net_deliver``) to
+        a :class:`repro.obs.TraceBus` under track ``source``."""
+        self._bus = bus
+        if source is not None:
+            self._bus_source = source
+        return bus
+
+    def register_metrics(self, registry, prefix=None):
+        """Register this network's instruments under ``prefix``."""
+        prefix = prefix if prefix is not None else self.name
+        registry.register(prefix, self.counters)
+        registry.register(f"{prefix}.latency", self.latency)
+        registry.register(f"{prefix}.hops", self.hop_counts)
+        return registry
 
     # ------------------------------------------------------------------
     def attach(self, port, handler):
@@ -41,6 +60,9 @@ class Network:
         packet = Packet(src=src, dst=dst, payload=payload, size=size,
                         injected_at=self.sim.now)
         self.counters.add("injected")
+        if self._bus is not None:
+            self._bus.emit(self.sim.now, self._bus_source, "net_inject",
+                           f"{src}->{dst}", size=size)
         self._route(packet)
         return packet
 
@@ -54,8 +76,13 @@ class Network:
                 f"{self.name}: no handler attached at port {packet.dst}"
             )
         self.counters.add("delivered")
-        self.latency.observe(self.sim.now - packet.injected_at)
+        latency = self.sim.now - packet.injected_at
+        self.latency.observe(latency)
         self.hop_counts.observe(packet.hops)
+        if self._bus is not None:
+            self._bus.emit(self.sim.now, self._bus_source, "net_deliver",
+                           f"{packet.src}->{packet.dst}", latency=latency,
+                           hops=packet.hops)
         handler(packet)
 
     def _check_port(self, port):

@@ -37,6 +37,13 @@ class CrossbarNetwork(Network):
         server.submit(packet, self._deliver, service_time=packet.size * server.service_time)
 
     # ------------------------------------------------------------------
+    def register_metrics(self, registry, prefix=None):
+        prefix = prefix if prefix is not None else self.name
+        super().register_metrics(registry, prefix=prefix)
+        for index, port in enumerate(self.output_ports):
+            registry.register(f"{prefix}.out{index}", port)
+        return registry
+
     @staticmethod
     def crosspoint_count(n_ports):
         """Hardware cost of the switch: one crosspoint per (input, output)

@@ -95,6 +95,11 @@ class _SwitchOutput:
         combined.trace = [(self.stage, self.rail)]
         self.net._wait_buffers[(self.stage, self.rail, combined.pid)] = (first, second, x)
         self.net.counters.add("combines")
+        if self.net._bus is not None:
+            self.net._bus.emit(
+                self.net.sim.now, self.net._bus_source, "net_combine",
+                f"A={merged.address}", stage=self.stage, rail=self.rail,
+            )
         self.queue.append(combined)
         self._kick()
 
@@ -134,6 +139,23 @@ class CombiningOmegaNetwork:
         self._processor_handlers = [None] * self.n_ports
         self.counters = Counter()
         self.round_trip_latency = Histogram()
+        self._bus = None
+        self._bus_source = name
+
+    # ------------------------------------------------------------------
+    def attach_bus(self, bus, source=None):
+        """Publish combine/split/delivery events to a TraceBus."""
+        self._bus = bus
+        if source is not None:
+            self._bus_source = source
+        return bus
+
+    def register_metrics(self, registry, prefix=None):
+        """Register the omega network's instruments under ``prefix``."""
+        prefix = prefix if prefix is not None else self.name
+        registry.register(prefix, self.counters)
+        registry.register(f"{prefix}.round_trip", self.round_trip_latency)
+        return registry
 
     # ------------------------------------------------------------------
     def attach_memory(self, port, handler):
@@ -195,6 +217,10 @@ class CombiningOmegaNetwork:
         if buffered is not None:
             first, second, x = buffered
             self.counters.add("splits")
+            if self._bus is not None:
+                self._bus.emit(self.sim.now, self._bus_source, "net_split",
+                               f"A={record.payload.address}", stage=stage,
+                               rail=rail)
             # first receives (A); second receives (A) + x.
             self._return_hop(first, value, len(first.trace) - 2)
             self._return_hop(second, value + x, len(second.trace) - 2)

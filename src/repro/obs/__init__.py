@@ -1,0 +1,32 @@
+"""Observability: structured trace bus, metrics registry, trace export.
+
+The paper's entire argument is carried by observables — ALU utilization
+and idle time (§1.2), waiting-matching occupancy, token and message
+counts (§2.2) — so this package makes every timed model emit them in one
+uniform way:
+
+* :class:`TraceBus` + sinks (:class:`RingSink`, :class:`JsonlSink`,
+  :class:`ChromeTraceSink`) — typed per-event telemetry; a Chrome-format
+  export opens in Perfetto as a per-PE timeline;
+* :class:`MetricsRegistry` — the existing ``repro.common.stats``
+  primitives under hierarchical names with one ``snapshot()`` call.
+
+Everything is opt-in and near-zero-cost when off: machines guard each
+emission on a single ``is not None`` check.  See docs/OBSERVABILITY.md.
+"""
+
+from .bus import TraceBus
+from .events import KINDS, TraceEvent
+from .registry import MetricsRegistry
+from .sinks import ChromeTraceSink, JsonlSink, RingSink, validate_chrome_trace
+
+__all__ = [
+    "KINDS",
+    "ChromeTraceSink",
+    "JsonlSink",
+    "MetricsRegistry",
+    "RingSink",
+    "TraceBus",
+    "TraceEvent",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,64 @@
+"""The trace bus: one emit call, any number of pluggable sinks.
+
+Machine models hold an optional bus reference and guard every emission
+with ``if bus is not None`` (and, for emissions whose *arguments* are
+expensive to build, ``bus.enabled``), so a machine constructed without
+observability pays one attribute load per potential event and nothing
+more.  With a bus attached, each event is materialized once and handed
+to every sink in registration order — the order is part of the
+determinism contract (two identical runs feed identical event sequences
+to identical sinks).
+"""
+
+from .events import TraceEvent
+
+__all__ = ["TraceBus"]
+
+
+class TraceBus:
+    """Dispatches :class:`TraceEvent` records to registered sinks."""
+
+    __slots__ = ("_sinks",)
+
+    def __init__(self, *sinks):
+        self._sinks = []
+        for sink in sinks:
+            self.add_sink(sink)
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self):
+        """True when at least one sink will observe emissions."""
+        return bool(self._sinks)
+
+    @property
+    def sinks(self):
+        return list(self._sinks)
+
+    def add_sink(self, sink):
+        """Register ``sink`` (anything with ``handle(event)``)."""
+        self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink):
+        self._sinks.remove(sink)
+
+    def close(self):
+        """Close every sink that supports it (file sinks flush here)."""
+        for sink in self._sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+    # ------------------------------------------------------------------
+    def emit(self, time, source, kind, detail="", **fields):
+        """Publish one event to every sink.  No-op with no sinks."""
+        if not self._sinks:
+            return None
+        event = TraceEvent(time, source, kind, detail, fields or None)
+        for sink in self._sinks:
+            sink.handle(event)
+        return event
+
+    def __repr__(self):
+        return f"<TraceBus sinks={len(self._sinks)}>"

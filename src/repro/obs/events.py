@@ -1,0 +1,83 @@
+"""The structured event record every observability sink consumes.
+
+An event is the smallest unit of "something happened in the machine":
+a token matched, an instruction fired, a packet was delivered, a read
+deferred on a presence bit.  The fields mirror the tuple the original
+``TraceLog`` ring buffer stored — ``(time, source, kind, detail)`` —
+plus an open ``fields`` dict for typed measurements (service durations,
+latencies, queue depths) that the Chrome-trace exporter turns into
+duration events and the JSONL sink serializes verbatim.
+
+``source`` identifies the hardware unit: a PE number (int) for the
+dataflow machine, a processor id for the von Neumann models, or a short
+string (``"net"``, ``"sim"``, ``"-"``) for shared components.
+"""
+
+__all__ = ["TraceEvent", "KINDS"]
+
+#: The event taxonomy (documented in docs/OBSERVABILITY.md).  Emitters are
+#: not restricted to this set, but everything the built-in instrumentation
+#: produces is listed here so sinks and tests can rely on the names.
+KINDS = (
+    # Tagged-token dataflow machine
+    "exec",        # instruction fired in a PE's ALU (dur = ALU service time)
+    "match",       # waiting-matching store completed an activity
+    "park",        # token parked awaiting its partner
+    "alloc",       # PE controller allocated an I-structure
+    "route",       # output section handed a token to the interconnect
+    "result",      # RETURN consumed the halt continuation
+    # I-structure controller
+    "is_read",     # read satisfied immediately
+    "is_defer",    # read deferred on an unset presence bit
+    "is_write",    # write performed (fields: drained = readers released)
+    # Packet networks
+    "net_inject",  # packet entered the network
+    "net_deliver", # packet delivered (fields: latency, hops)
+    "net_combine", # omega switch combined two FETCH-AND-ADD packets
+    "net_split",   # omega switch split a combined reply
+    # von Neumann processors
+    "vn_exec",     # instruction issued (fields: op)
+    "vn_stall",    # memory reference completed (fields: dur = stall cycles)
+    "vn_retry",    # full/empty RETRY response, busy-wait re-issue
+    "vn_switch",   # multithreaded processor switched hardware contexts
+    "vn_halt",     # processor halted
+    # Kernel
+    "run_begin",   # Simulator.run() entered (fields: pending)
+    "quiescent",   # event queue drained; quiescence hooks consulted
+    "run_end",     # Simulator.run() returned (fields: events)
+)
+
+
+class TraceEvent:
+    """One structured observation at a simulated instant."""
+
+    __slots__ = ("time", "source", "kind", "detail", "fields")
+
+    def __init__(self, time, source, kind, detail="", fields=None):
+        self.time = time
+        self.source = source
+        self.kind = kind
+        self.detail = detail
+        self.fields = fields
+
+    def as_tuple(self):
+        """The legacy ``TraceLog`` record shape."""
+        return (self.time, self.source, self.kind, self.detail)
+
+    def to_json_dict(self):
+        """A flat, JSON-serializable dict (stable key order via sort)."""
+        record = {
+            "t": self.time,
+            "src": self.source,
+            "kind": self.kind,
+            "detail": self.detail,
+        }
+        if self.fields:
+            record.update(self.fields)
+        return record
+
+    def __repr__(self):
+        return (
+            f"TraceEvent(t={self.time}, src={self.source!r}, "
+            f"kind={self.kind!r}, detail={self.detail!r})"
+        )

@@ -1,0 +1,226 @@
+"""Event sinks: in-memory ring, JSONL stream, Chrome ``trace_event`` JSON.
+
+All three consume :class:`~repro.obs.events.TraceEvent` records from a
+:class:`~repro.obs.bus.TraceBus`:
+
+* :class:`RingSink` — a bounded ring buffer, the back-compat store behind
+  the legacy ``repro.dataflow.TraceLog`` API;
+* :class:`JsonlSink` — one JSON object per line, written as events arrive;
+  byte-identical across identical runs (the determinism tests rely on it);
+* :class:`ChromeTraceSink` — accumulates events in the Chrome
+  ``trace_event`` format (JSON Object Format, ``{"traceEvents": [...]}``)
+  so a run opens directly in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing`` as a per-PE timeline.  Events carrying a ``dur``
+  field become complete ("X") duration slices; everything else becomes a
+  thread-scoped instant ("i").
+
+Simulated cycles are exported as microseconds (1 cycle = 1 us) — trace
+viewers need a time unit and cycles are what the models measure.
+"""
+
+import json
+from collections import deque
+
+__all__ = [
+    "RingSink",
+    "JsonlSink",
+    "ChromeTraceSink",
+    "validate_chrome_trace",
+]
+
+
+class RingSink:
+    """Keeps the last ``limit`` events; counts everything it ever saw.
+
+    ``limit=None`` means unbounded; ``limit=0`` is a valid configuration
+    that stores nothing and counts every event as dropped (the
+    ``deque(maxlen=0)`` edge case the original ring buffer mishandled:
+    ``dropped`` is now *derived* — recorded minus retained — so it is
+    exact for every limit, including 0 and None).
+    """
+
+    def __init__(self, limit=100_000):
+        if limit is not None and limit < 0:
+            raise ValueError(f"ring limit must be >= 0 or None, got {limit}")
+        self.limit = limit
+        self._events = deque(maxlen=limit)
+        self.recorded = 0
+
+    def handle(self, event):
+        self.recorded += 1
+        if self.limit != 0:
+            self._events.append(event)
+
+    @property
+    def dropped(self):
+        return self.recorded - len(self._events)
+
+    @property
+    def events(self):
+        return list(self._events)
+
+    def __len__(self):
+        return len(self._events)
+
+    def __repr__(self):
+        return f"<RingSink events={len(self._events)} dropped={self.dropped}>"
+
+
+class JsonlSink:
+    """Serializes each event as one sorted-key JSON line, immediately.
+
+    Pass an open file-like object (kept open) or a path (opened and owned;
+    :meth:`close` closes it).
+    """
+
+    def __init__(self, target):
+        if hasattr(target, "write"):
+            self._fh = target
+            self._owns = False
+        else:
+            self._fh = open(target, "w", encoding="utf-8")
+            self._owns = True
+        self.written = 0
+
+    def handle(self, event):
+        self._fh.write(json.dumps(event.to_json_dict(), sort_keys=True,
+                                  default=repr))
+        self._fh.write("\n")
+        self.written += 1
+
+    def close(self):
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+    def __repr__(self):
+        return f"<JsonlSink written={self.written}>"
+
+
+class ChromeTraceSink:
+    """Accumulates Chrome ``trace_event`` records; ``write()`` emits JSON.
+
+    Each distinct event source becomes one track (thread): PE numbers map
+    to ``pe<N>`` tracks, string sources (``"net"``, ``"sim"``, ``"-"``)
+    keep their names.  Track ids are assigned in first-seen order, which
+    is deterministic because the simulation kernel is.
+    """
+
+    PROCESS_NAME = "repro"
+
+    def __init__(self, cycle_us=1.0):
+        self.cycle_us = cycle_us
+        self._trace_events = []
+        self._tids = {}
+
+    def _tid(self, source):
+        tid = self._tids.get(source)
+        if tid is None:
+            tid = len(self._tids) + 1
+            self._tids[source] = tid
+            self._trace_events.append({
+                "ph": "M", "pid": 0, "tid": tid, "name": "thread_name",
+                "args": {"name": self.track_name(source)},
+            })
+        return tid
+
+    @staticmethod
+    def track_name(source):
+        return f"pe{source}" if isinstance(source, int) else str(source)
+
+    def handle(self, event):
+        record = {
+            "name": event.kind,
+            "cat": "repro",
+            "pid": 0,
+            "tid": self._tid(event.source),
+            "ts": event.time * self.cycle_us,
+            "args": {"detail": event.detail},
+        }
+        fields = event.fields
+        if fields:
+            dur = fields.get("dur")
+            for key, value in fields.items():
+                if key != "dur":
+                    record["args"][key] = value
+        else:
+            dur = None
+        if dur is not None:
+            record["ph"] = "X"
+            record["dur"] = dur * self.cycle_us
+            # The machines report completion times; Chrome wants starts.
+            record["ts"] -= record["dur"]
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        self._trace_events.append(record)
+
+    # ------------------------------------------------------------------
+    def to_json(self, meta=None):
+        events = [{
+            "ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+            "args": {"name": self.PROCESS_NAME},
+        }]
+        events.extend(self._trace_events)
+        payload = {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+        }
+        if meta:
+            payload["otherData"] = dict(meta)
+        return payload
+
+    def write(self, path, meta=None):
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json(meta=meta), fh, default=repr)
+        return path
+
+    def __len__(self):
+        return len(self._trace_events)
+
+    def __repr__(self):
+        return (
+            f"<ChromeTraceSink events={len(self._trace_events)} "
+            f"tracks={len(self._tids)}>"
+        )
+
+
+_REQUIRED_BY_PHASE = {
+    "X": ("name", "pid", "tid", "ts", "dur"),
+    "i": ("name", "pid", "tid", "ts"),
+    "M": ("name", "pid"),
+}
+
+
+def validate_chrome_trace(payload):
+    """Check ``payload`` against the Chrome trace_event JSON Object Format.
+
+    Returns the list of non-metadata events; raises ``ValueError`` with a
+    precise message on the first violation.  Used by the tests and the CI
+    smoke job to assert that exported traces will actually load.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("trace must be a JSON object (Object Format)")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents must be a non-empty list")
+    data_events = []
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{index}] is not an object")
+        phase = event.get("ph")
+        required = _REQUIRED_BY_PHASE.get(phase)
+        if required is None:
+            raise ValueError(
+                f"traceEvents[{index}] has unsupported phase {phase!r}"
+            )
+        for key in required:
+            if key not in event:
+                raise ValueError(
+                    f"traceEvents[{index}] (ph={phase}) missing {key!r}"
+                )
+        if phase != "M":
+            data_events.append(event)
+    if not data_events:
+        raise ValueError("trace contains only metadata events")
+    return data_events

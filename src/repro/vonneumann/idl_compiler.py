@@ -359,11 +359,12 @@ class _SeqCompiler:
 
 
 def run_sequential(source, args, entry=None, latency=1.0, memory_time=1.0,
-                   cpu_time=1.0):
+                   cpu_time=1.0, trace_bus=None):
     """Compile and execute on a single stalling processor.
 
     Returns ``(value, VNResult)`` — the fair von Neumann comparator for a
-    dataflow run of the same source.
+    dataflow run of the same source.  ``trace_bus`` forwards to
+    :class:`VNMachine` for structured observability.
     """
     from .machine import VNMachine
 
@@ -373,7 +374,8 @@ def run_sequential(source, args, entry=None, latency=1.0, memory_time=1.0,
             f"entry takes {len(param_regs)} arguments, got {len(args)}"
         )
     machine = VNMachine(1, memory="dancehall", latency=latency,
-                        memory_time=memory_time, cpu_time=cpu_time)
+                        memory_time=memory_time, cpu_time=cpu_time,
+                        trace_bus=trace_bus)
     processor = machine.add_processor(text, regs=dict(zip(param_regs, args)))
     # Expression-deep programs need a wider register file than the
     # architectural 32; the simulator indulges us.

@@ -53,8 +53,11 @@ class VNMachine:
                  memory_time=10.0, bus_time=2.0, latency=4.0, n_modules=None,
                  network_factory=None, cpu_time=1.0, retry_backoff=0.0,
                  contexts=None, switch_time=0.0, placement="interleaved",
-                 block_size=1024, write_policy="write_back"):
+                 block_size=1024, write_policy="write_back", trace_bus=None):
         self.sim = Simulator()
+        self.bus = trace_bus
+        if trace_bus is not None:
+            self.sim.attach_bus(trace_bus)
         self.n_procs = n_procs
         self.cpu_time = cpu_time
         self.retry_backoff = retry_backoff
@@ -74,6 +77,11 @@ class VNMachine:
             )
         else:
             raise MachineError(f"unknown memory organization {memory!r}")
+        if trace_bus is not None:
+            network = getattr(self.memory, "network", None)
+            attach = getattr(network, "attach_bus", None)
+            if attach is not None:
+                attach(trace_bus, source="net")
         self.processors = []
         self._halted = 0
 
@@ -89,6 +97,7 @@ class VNMachine:
         )
         if regs:
             proc.set_regs(regs)
+        proc.bus = self.bus
         self.memory.attach_processor(proc.proc_id)
         self.processors.append(proc)
         return proc
@@ -104,6 +113,7 @@ class VNMachine:
         for source, regs in sources_and_regs:
             program = assemble(source) if isinstance(source, str) else source
             proc.add_context(program, regs=regs)
+        proc.bus = self.bus
         self.memory.attach_processor(proc.proc_id)
         self.processors.append(proc)
         return proc
@@ -144,6 +154,34 @@ class VNMachine:
             ),
             counters=self._merged_counters(),
         )
+
+    def metrics_registry(self):
+        """Every instrument of this multiprocessor under hierarchical
+        names (``proc0.instructions``, ``memory.*``, ``net.latency``)."""
+        from ..obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.register("sim.events_fired", lambda: self.sim.events_fired)
+        registry.register("sim.time", lambda: self.sim.now)
+        for proc in self.processors:
+            prefix = f"proc{proc.proc_id}"
+            registry.register(prefix, proc.counters)
+            registry.register(f"{prefix}.busy_cycles",
+                              lambda p=proc: p.busy_cycles)
+            registry.register(f"{prefix}.utilization",
+                              lambda p=proc: p.utilization())
+        memory_counters = getattr(self.memory, "counters", None)
+        if memory_counters is not None:
+            registry.register("memory", memory_counters)
+        network = getattr(self.memory, "network", None)
+        register_net = getattr(network, "register_metrics", None)
+        if register_net is not None:
+            register_net(registry, prefix="net")
+        return registry
+
+    def metrics_snapshot(self):
+        """One flat dict of every metric at the current simulated time."""
+        return self.metrics_registry().snapshot(now=self.sim.now)
 
     def _merged_counters(self):
         merged = {}

@@ -82,6 +82,8 @@ class MultithreadedProcessor:
         self.finish_time = None
         self.counters = Counter()
         self._last_context = None
+        self.bus = None  # optional repro.obs.TraceBus (set by VNMachine)
+        self._src = f"proc{proc_id}"  # trace track name
 
     # ------------------------------------------------------------------
     def add_context(self, program, regs=None, n_regs=32):
@@ -127,6 +129,9 @@ class MultithreadedProcessor:
             overhead = self.switch_time
             self.switch_cycles += overhead
             self.counters.add("context_switches")
+            if self.bus is not None:
+                self.bus.emit(self.sim.now, self._src, "vn_switch",
+                              f"ctx{context.index}", ctx=context.index)
         self._last_context = context
         self.sim.schedule(overhead, self._execute, context)
 
@@ -140,6 +145,9 @@ class MultithreadedProcessor:
         self.counters.add("instructions")
         context.instructions += 1
         self.busy_cycles += self.cpu_time
+        if self.bus is not None:
+            self.bus.emit(self.sim.now, self._src, "vn_exec", op.name,
+                          op=op.name, ctx=context.index, pc=context.pc)
         view = _ContextView(self, context)
 
         if op in ALU_OPS:
@@ -175,6 +183,10 @@ class MultithreadedProcessor:
     def _memory_done(self, context, instr, request, response):
         if response is RETRY:
             self.counters.add("retries")
+            if self.bus is not None:
+                self.bus.emit(self.sim.now, self._src, "vn_retry",
+                              instr.op.name, ctx=context.index,
+                              address=request.address)
             self.sim.schedule(self.retry_backoff, self._issue, context, instr, request)
             return
         if instr.op in (Op.LOAD, Op.TESTSET, Op.FAA, Op.READF):
@@ -188,6 +200,9 @@ class MultithreadedProcessor:
     def _halt(self):
         self._running = False
         self.finish_time = self.sim.now
+        if self.bus is not None:
+            self.bus.emit(self.sim.now, self._src, "vn_halt", "",
+                          instructions=self.counters["instructions"])
         if self.on_halt is not None:
             self.on_halt(self)
 

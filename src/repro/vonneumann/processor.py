@@ -38,6 +38,9 @@ class Processor:
         self.start_time = None
         self.finish_time = None
         self.counters = Counter()
+        self.bus = None  # optional repro.obs.TraceBus (set by VNMachine)
+        self._src = f"proc{proc_id}"  # trace track name
+        self._mem_issued_at = None
 
     # ------------------------------------------------------------------
     def set_regs(self, values):
@@ -60,6 +63,9 @@ class Processor:
         op = instr.op
         self.counters.add("instructions")
         self.busy_cycles += self.cpu_time
+        if self.bus is not None:
+            self.bus.emit(self.sim.now, self._src, "vn_exec", op.name,
+                          op=op.name, pc=self.pc)
 
         if op in ALU_OPS:
             self.counters.add("alu_ops")
@@ -75,6 +81,7 @@ class Processor:
         elif op in MEMORY_OPS:
             self.counters.add("memory_ops")
             request = self._memory_request(instr)
+            self._mem_issued_at = self.sim.now
             self.sim.schedule(self.cpu_time, self._issue, instr, request)
         elif op is Op.HALT:
             self._halt()
@@ -91,8 +98,16 @@ class Processor:
     def _memory_done(self, instr, request, response):
         if response is RETRY:
             self.counters.add("retries")
+            if self.bus is not None:
+                self.bus.emit(self.sim.now, self._src, "vn_retry",
+                              instr.op.name, address=request.address)
             self.sim.schedule(self.retry_backoff, self._issue, instr, request)
             return
+        if self.bus is not None:
+            # The stall slice: issue to response, the §1.2.2 idle time.
+            self.bus.emit(self.sim.now, self._src, "vn_stall", instr.op.name,
+                          dur=self.sim.now - self._mem_issued_at,
+                          address=request.address)
         if instr.op in (Op.LOAD, Op.TESTSET, Op.FAA, Op.READF):
             self.regs[instr.rd] = response
         self.pc += 1
@@ -101,6 +116,9 @@ class Processor:
     def _halt(self):
         self.halted = True
         self.finish_time = self.sim.now
+        if self.bus is not None:
+            self.bus.emit(self.sim.now, self._src, "vn_halt", "",
+                          instructions=self.counters["instructions"])
         if self.on_halt is not None:
             self.on_halt(self)
 
