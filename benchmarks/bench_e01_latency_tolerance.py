@@ -11,12 +11,16 @@ Both machines sweep the same one-way network latency.  The von Neumann
 column is a single-context processor with a 4:1 compute-to-load ratio; the
 dataflow column runs the (parallel) matmul workload on 4 PEs through an
 equally slow network.
+
+Ported to the sweep engine: each latency point runs both machines in one
+pure worker; the slowdown columns (relative to the first latency) are
+computed at assembly time.
 """
 
 from repro.analysis import Table, von_neumann_utilization
-from repro.dataflow import MachineConfig, TaggedTokenMachine
+from repro.exp import Experiment
+from repro.machines import registry
 from repro.vonneumann import VNMachine, programs
-from repro.workloads import compile_workload
 
 LATENCIES = [1, 2, 5, 10, 20, 50, 100]
 
@@ -32,14 +36,19 @@ def run_von_neumann(latency, iterations=60, alu_per_load=4):
 
 
 def run_dataflow(latency, n=5, n_pes=4):
-    program, _, _ = compile_workload("matmul")
-    machine = TaggedTokenMachine(
-        program, MachineConfig(n_pes=n_pes, network_latency=latency)
-    )
-    return machine.run(n).time
+    model = registry.create("ttda", n_pes=n_pes, network_latency=latency)
+    return model.run(workload="matmul", args=(n,)).metric("time")
 
 
-def run_experiment(latencies=LATENCIES):
+def run_point(config):
+    """Both machines at one latency; slowdown bases come at assembly."""
+    latency = config["latency"]
+    vn_time, vn_util = run_von_neumann(latency)
+    df_time = run_dataflow(latency)
+    return [latency, vn_time, vn_util, df_time]
+
+
+def _assemble(experiment, values):
     table = Table(
         "E1  Latency tolerance: von Neumann stall vs dataflow overlap "
         "(paper §1.1 Issue 1, §2.3)",
@@ -50,16 +59,31 @@ def run_experiment(latencies=LATENCIES):
             "vN model: r/(r+L_roundtrip), r = cycles of work per reference",
         ],
     )
-    vn_base = run_von_neumann(latencies[0])[0]
-    df_base = run_dataflow(latencies[0])
-    for latency in latencies:
-        vn_time, vn_util = run_von_neumann(latency)
-        df_time = run_dataflow(latency)
+    vn_base = values[0][1]
+    df_base = values[0][3]
+    for latency, vn_time, vn_util, df_time in values:
         # useful cycles per reference: 1 load issue + 4 alu + ~2 loop ctrl
         model = von_neumann_utilization(7, 2 * latency + 1)
         table.add_row(latency, vn_util, model, vn_time / vn_base,
                       df_time / df_base)
     return table
+
+
+def build_sweep(latencies=LATENCIES):
+    return Experiment(
+        name="e01_latency_tolerance",
+        run=run_point,
+        grid=[{"latency": latency} for latency in latencies],
+        assemble=_assemble,
+    )
+
+
+SWEEPS = {"e01_latency_tolerance": build_sweep()}
+
+
+def run_experiment(latencies=LATENCIES):
+    experiment = build_sweep(latencies)
+    return experiment.table(experiment.run_inline())
 
 
 # ---------------------------------------------------------------------------

@@ -7,34 +7,68 @@ on even highly parallel programs."
 
 Sweep the remote-reference fraction for intra-cluster and inter-cluster
 victims and compare against the closed-form prediction.
+
+Ported to the sweep engine: each fraction is one pure run that measures
+both victim distances on a freshly built Cm* via the machine registry.
 """
 
 from repro.analysis import Table
-from repro.machines import locality_sweep
+from repro.exp import Experiment
+from repro.machines import registry
 
 FRACTIONS = [0.0, 0.05, 0.1, 0.2, 0.35, 0.5]
 
 
-def run_experiment(fractions=FRACTIONS, n_clusters=4, cluster_size=4):
+def run_point(config):
+    """Intra- and inter-cluster utilization at one remote fraction."""
+    model = registry.create("cmstar", n_clusters=config["n_clusters"],
+                            cluster_size=config["cluster_size"])
+    intra = model.run(remote_fraction=config["fraction"],
+                      remote_kind="intracluster")
+    inter = model.run(remote_fraction=config["fraction"],
+                      remote_kind="intercluster")
+    return [
+        config["fraction"],
+        intra.metric("utilization"),
+        inter.metric("utilization"),
+        inter.metric("predicted_utilization"),
+    ]
+
+
+def _assemble(experiment, values):
+    first = experiment.grid[0]
     table = Table(
         "E4  Cm* processor utilization vs remote-reference fraction "
         "(paper §1.2.2)",
         ["remote fraction", "util (intra-cluster)", "util (inter-cluster)",
          "model (inter)"],
         notes=[
-            f"{n_clusters} clusters x {cluster_size} processors; every "
-            "processor idles during its remote references",
+            f"{first['n_clusters']} clusters x {first['cluster_size']} "
+            "processors; every processor idles during its remote references",
         ],
     )
-    intra = locality_sweep(fractions, n_clusters=n_clusters,
-                           cluster_size=cluster_size,
-                           remote_kind="intracluster")
-    inter = locality_sweep(fractions, n_clusters=n_clusters,
-                           cluster_size=cluster_size,
-                           remote_kind="intercluster")
-    for (f, u_intra, _), (_, u_inter, model) in zip(intra, inter):
-        table.add_row(f, u_intra, u_inter, model)
+    for row in values:
+        table.add_row(*row)
     return table
+
+
+def build_sweep(fractions=FRACTIONS, n_clusters=4, cluster_size=4):
+    return Experiment(
+        name="e04_cmstar_locality",
+        run=run_point,
+        grid=[{"fraction": fraction, "n_clusters": n_clusters,
+               "cluster_size": cluster_size} for fraction in fractions],
+        assemble=_assemble,
+    )
+
+
+SWEEPS = {"e04_cmstar_locality": build_sweep()}
+
+
+def run_experiment(fractions=FRACTIONS, n_clusters=4, cluster_size=4):
+    experiment = build_sweep(fractions, n_clusters=n_clusters,
+                             cluster_size=cluster_size)
+    return experiment.table(experiment.run_inline())
 
 
 def test_e04_shape(benchmark):

@@ -9,15 +9,41 @@ simultaneously.  Without combining the hot memory port serializes all n
 requests; with combining the switches fold them into a tree, at the price
 of combine/split work in the network (the "substantial hardware
 complexity" — we count it).
+
+Ported to the sweep engine: every (size, combining) point is one pure
+run, so ``repro bench`` executes the grid across workers and caches it.
 """
 
 from repro.analysis import Table
-from repro.machines import run_hotspot
+from repro.exp import Experiment
+from repro.machines import registry
 
 STAGES = [2, 3, 4, 5, 6]
 
 
-def run_experiment(stage_counts=STAGES):
+def run_point(config):
+    """One hot-spot run; returns the table cells for this grid point."""
+    result = registry.create("ultracomputer", stages=config["stages"],
+                             combining=config["combining"]).run()
+    # serializability: the FETCH-AND-ADD sum must survive combining
+    assert result.metric("final_value") == result.metric("n_procs")
+    return [
+        result.metric("n_procs"),
+        config["combining"],
+        result.metric("memory_arrivals"),
+        result.metric("max_round_trip"),
+        result.metric("total_time"),
+        result.metric("combines"),
+    ]
+
+
+def _grid(stage_counts):
+    return [{"stages": stages, "combining": combining}
+            for stages in stage_counts
+            for combining in (False, True)]
+
+
+def _assemble(experiment, values):
     table = Table(
         "E5  FETCH-AND-ADD hot spot: combining vs non-combining omega "
         "network (paper §1.2.3)",
@@ -29,15 +55,26 @@ def run_experiment(stage_counts=STAGES):
             "correctness (sum preserved, distinct old values) asserted per run",
         ],
     )
-    for stages in stage_counts:
-        for combining in (False, True):
-            result = run_hotspot(stages, combining=combining)
-            assert result.final_value == result.n_procs  # serializability
-            table.add_row(
-                result.n_procs, combining, result.memory_arrivals,
-                result.max_round_trip, result.total_time, result.combines,
-            )
+    for row in values:
+        table.add_row(*row)
     return table
+
+
+def build_sweep(stage_counts=STAGES):
+    return Experiment(
+        name="e05_fetch_and_add",
+        run=run_point,
+        grid=_grid(stage_counts),
+        assemble=_assemble,
+    )
+
+
+SWEEPS = {"e05_fetch_and_add": build_sweep()}
+
+
+def run_experiment(stage_counts=STAGES):
+    experiment = build_sweep(stage_counts)
+    return experiment.table(experiment.run_inline())
 
 
 def test_e05_shape(benchmark):

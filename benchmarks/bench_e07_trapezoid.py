@@ -8,13 +8,19 @@ numeric answer against scipy, and reports the graph's dynamic behaviour:
 instructions, critical path, and average parallelism as the interval
 count grows — the loop unfolding in tag space that justifies "given that
 the program being executed is sufficiently parallel" (§2.3).
+
+Ported to the sweep engine: each interval count is one pure run (compile,
+interpret, scipy cross-check) so ``repro bench`` fans the grid out across
+workers and caches converged points.
 """
 
 import math
 
 from repro.analysis import Table
-from repro.dataflow import Interpreter, MachineConfig, TaggedTokenMachine
+from repro.dataflow import Interpreter
+from repro.exp import Experiment
 from repro.lang import compile_source
+from repro.machines import registry
 from repro.workloads import TRAPEZOID
 
 INTERVALS = [4, 8, 16, 32, 64, 128]
@@ -36,7 +42,20 @@ def scipy_reference(n, a=0.0, b=1.0):
     return float(trapezoid(1 / (1 + xs * xs), xs))
 
 
-def run_experiment(interval_counts=INTERVALS):
+def run_point(config):
+    """One interval count: integrate, cross-check, report graph dynamics."""
+    n = config["intervals"]
+    value, interp = integrate(n)
+    reference = scipy_reference(n)
+    assert abs(value - reference) < 1e-12, "engine disagrees with scipy"
+    return [
+        n, value, reference, abs(value - math.pi / 4),
+        interp.instructions_executed, interp.critical_path,
+        interp.average_parallelism(),
+    ]
+
+
+def _assemble(experiment, values):
     table = Table(
         "E7  Fig 2-2: trapezoidal rule on the dataflow machine "
         "(paper §2.2.1)",
@@ -47,24 +66,33 @@ def run_experiment(interval_counts=INTERVALS):
             "avg parallelism = instructions / critical path (unbounded PEs)",
         ],
     )
-    for n in interval_counts:
-        value, interp = integrate(n)
-        reference = scipy_reference(n)
-        assert abs(value - reference) < 1e-12, "engine disagrees with scipy"
-        table.add_row(
-            n, value, reference, abs(value - math.pi / 4),
-            interp.instructions_executed, interp.critical_path,
-            interp.average_parallelism(),
-        )
+    for row in values:
+        table.add_row(*row)
     return table
 
 
+def build_sweep(interval_counts=INTERVALS):
+    return Experiment(
+        name="e07_trapezoid",
+        run=run_point,
+        grid=[{"intervals": n} for n in interval_counts],
+        assemble=_assemble,
+    )
+
+
+SWEEPS = {"e07_trapezoid": build_sweep()}
+
+
+def run_experiment(interval_counts=INTERVALS):
+    experiment = build_sweep(interval_counts)
+    return experiment.table(experiment.run_inline())
+
+
 def run_on_machine(n=32, n_pes=4):
-    """The same program on the timed multi-PE machine."""
-    program = compile_source(TRAPEZOID, entry="trapezoid")
-    machine = TaggedTokenMachine(program, MachineConfig(n_pes=n_pes))
+    """The same program on the timed multi-PE machine (via the registry)."""
     h = 1.0 / n
-    return machine.run(0.0, 1.0, n, h)
+    model = registry.create("ttda", n_pes=n_pes)
+    return model.run(workload="trapezoid", args=(0.0, 1.0, n, h))
 
 
 def test_e07_shape(benchmark):
@@ -81,8 +109,8 @@ def test_e07_shape(benchmark):
 
 def test_e07_timed_machine(benchmark):
     result = benchmark.pedantic(run_on_machine, rounds=1, iterations=1)
-    assert abs(result.value - scipy_reference(32)) < 1e-12
-    assert result.time > 0
+    assert abs(result.metric("value") - scipy_reference(32)) < 1e-12
+    assert result.metric("time") > 0
 
 
 if __name__ == "__main__":

@@ -13,7 +13,7 @@ friendly nearest-neighbour pattern, and a 32x faster ALU, barely move it.
 """
 
 from repro.analysis import Table
-from repro.machines import CMConfig, ConnectionMachineModel, IlliacIVModel
+from repro.machines import IlliacIV, registry
 
 
 def run_experiment(groups_log2=10, rounds=6):
@@ -29,18 +29,18 @@ def run_experiment(groups_log2=10, rounds=6):
     )
     for pattern in ("neighbor", "random"):
         for word_bits in (32, 1):
-            config = CMConfig(groups_log2=groups_log2, word_bits=word_bits)
-            result = ConnectionMachineModel(config).run_graph_workload(
-                rounds=rounds, pattern=pattern
-            )
-            table.add_row(pattern, word_bits, config.n_groups,
+            model = registry.create("connection_machine",
+                                    groups_log2=groups_log2,
+                                    word_bits=word_bits)
+            result = model.run_graph_workload(rounds=rounds, pattern=pattern)
+            table.add_row(pattern, word_bits, model.cm_config.n_groups,
                           result.comm_fraction, result.max_link_load,
                           result.mean_hops)
     return table
 
 
 def illiac_table():
-    model = IlliacIVModel()
+    model = IlliacIV()
     table = Table(
         "E8b  Illiac IV: uniform-shift serialization (paper §1.2.5)",
         ["transfer pattern", "shift instructions"],

@@ -6,60 +6,104 @@ storage, adding PEs speeds programs up without reprogramming — the
 sweep the PE count; the mapping-policy ablation (hash vs by-context)
 quantifies the locality/balance trade the mapping information of §2.2.2
 controls.
+
+Ported to the sweep engine: every (workload, PE count) point is one pure
+run through the machine registry; the speedup column (relative to each
+workload's smallest PE count) is computed at assembly time.
 """
 
 from repro.analysis import Table, speedup
-from repro.dataflow import ByContextMapping, MachineConfig, TaggedTokenMachine
-from repro.workloads import compile_workload
+from repro.exp import Experiment
+from repro.machines import registry
 
 PE_COUNTS = [1, 2, 4, 8, 16]
 
 
-def run_point(workload, args, n_pes, mapping="hash"):
-    program, reference, _ = compile_workload(workload)
-    config = MachineConfig(n_pes=n_pes)
-    if mapping == "context":
-        config.mapping_factory = lambda n: ByContextMapping(n)
-    machine = TaggedTokenMachine(program, config)
-    result = machine.run(*args)
-    assert result.value == reference(*args)
-    return result
+def run_point(config):
+    """One (workload, PE count, mapping) run on the tagged-token machine."""
+    model = registry.create("ttda", n_pes=config["n_pes"],
+                            mapping=config.get("mapping", "hash"))
+    result = model.run(workload=config["workload"],
+                       args=tuple(config["args"]))
+    return [
+        result.metric("time"),
+        result.metric("mean_alu_utilization"),
+        result.metric("tokens_network"),
+        result.metric("tokens_local"),
+    ]
 
 
-def run_experiment(pe_counts=PE_COUNTS, matmul_n=5, wavefront_n=7):
+def _scaling_grid(pe_counts, matmul_n, wavefront_n):
+    return [{"workload": workload, "args": list(args), "n_pes": n_pes,
+             "mapping": "hash"}
+            for workload, args in (("matmul", (matmul_n,)),
+                                   ("wavefront", (wavefront_n,)))
+            for n_pes in pe_counts]
+
+
+def _assemble_scaling(experiment, values):
     table = Table(
         "E10  Tagged-token machine scaling (paper §2.3, §3)",
         ["PEs", "workload", "time", "speedup", "mean ALU util",
          "network tokens"],
         notes=["same program, same arguments; only the PE count changes"],
     )
-    for workload, args in (("matmul", (matmul_n,)),
-                           ("wavefront", (wavefront_n,))):
-        base = None
-        for n_pes in pe_counts:
-            result = run_point(workload, args, n_pes)
-            if base is None:
-                base = result.time
-            table.add_row(
-                n_pes, workload, result.time, speedup(base, result.time),
-                result.mean_alu_utilization,
-                result.counters.get("tokens_network", 0),
-            )
+    base = None
+    base_workload = None
+    for config, (time, util, net_tokens, _) in zip(experiment.grid, values):
+        if config["workload"] != base_workload:
+            base_workload = config["workload"]
+            base = time
+        table.add_row(config["n_pes"], config["workload"], time,
+                      speedup(base, time), util, net_tokens)
     return table
 
 
-def mapping_ablation(n_pes=8, matmul_n=5):
+def build_sweep(pe_counts=PE_COUNTS, matmul_n=5, wavefront_n=7):
+    return Experiment(
+        name="e10_ttda_scaling",
+        run=run_point,
+        grid=_scaling_grid(pe_counts, matmul_n, wavefront_n),
+        assemble=_assemble_scaling,
+    )
+
+
+def _assemble_ablation(experiment, values):
     table = Table(
         "E10b  Mapping policy ablation: hash vs by-context (paper §2.2.2)",
         ["policy", "time", "network tokens", "local tokens"],
         notes=["by-context trades load balance for locality"],
     )
-    for policy in ("hash", "context"):
-        result = run_point("matmul", (matmul_n,), n_pes, mapping=policy)
-        table.add_row(policy, result.time,
-                      result.counters.get("tokens_network", 0),
-                      result.counters.get("tokens_local", 0))
+    for config, (time, _, net_tokens, local_tokens) in zip(experiment.grid,
+                                                           values):
+        table.add_row(config["mapping"], time, net_tokens, local_tokens)
     return table
+
+
+def build_ablation(n_pes=8, matmul_n=5):
+    return Experiment(
+        name="e10b_mapping_ablation",
+        run=run_point,
+        grid=[{"workload": "matmul", "args": [matmul_n], "n_pes": n_pes,
+               "mapping": policy} for policy in ("hash", "context")],
+        assemble=_assemble_ablation,
+    )
+
+
+SWEEPS = {
+    "e10_ttda_scaling": build_sweep(),
+    "e10b_mapping_ablation": build_ablation(),
+}
+
+
+def run_experiment(pe_counts=PE_COUNTS, matmul_n=5, wavefront_n=7):
+    experiment = build_sweep(pe_counts, matmul_n, wavefront_n)
+    return experiment.table(experiment.run_inline())
+
+
+def mapping_ablation(n_pes=8, matmul_n=5):
+    experiment = build_ablation(n_pes, matmul_n)
+    return experiment.table(experiment.run_inline())
 
 
 def test_e10_shape(benchmark):

@@ -7,15 +7,33 @@ performance level grows at least quadratically.  This reliance on
 technology doesn't solve the memory latency problem; it merely circumvents
 it."  Plus the semaphore observation: "the performance cost of this
 relative to, say, an ALU operation is rather high."
+
+Ported to the sweep engine: each port count is one pure run through the
+machine registry; the growth columns (relative to the smallest size) are
+computed at assembly time.  The semaphore costing is a one-point sweep.
 """
 
 from repro.analysis import Table
-from repro.machines import crossbar_scaling_table, semaphore_cost
+from repro.exp import Experiment
+from repro.machines import registry
 
 PORTS = [2, 4, 8, 16, 32]
 
 
-def run_experiment(port_counts=PORTS):
+def run_point(config):
+    """One C.mmp array-sum run at a given crossbar size."""
+    model = registry.create("cmmp", n_procs=config["ports"])
+    result = model.run(workload="array_sum",
+                       iterations=config.get("iterations", 40))
+    return [
+        result.metric("n_procs"),
+        result.metric("crosspoints"),
+        result.metric("mean_latency"),
+        result.metric("mean_utilization"),
+    ]
+
+
+def _assemble(experiment, values):
     table = Table(
         "E13  C.mmp crossbar: cost vs latency scaling (paper §1.2.1)",
         ["ports", "crosspoints", "cost growth", "mean latency",
@@ -25,17 +43,37 @@ def run_experiment(port_counts=PORTS):
             "uniform disjoint-address workload (conflict-light)",
         ],
     )
-    rows = crossbar_scaling_table(port_counts)
-    base_cost = rows[0][1]
-    base_latency = rows[0][2]
-    for n, cost, latency, utilization in rows:
+    base_cost = values[0][1]
+    base_latency = values[0][2]
+    for n, cost, latency, utilization in values:
         table.add_row(n, cost, cost / base_cost, latency,
                       latency / base_latency, utilization)
     return table
 
 
-def semaphore_table(n_procs=8):
-    cycles, alu, ratio = semaphore_cost(n_procs=n_procs)
+def build_sweep(port_counts=PORTS):
+    return Experiment(
+        name="e13_cmmp_crossbar",
+        run=run_point,
+        grid=[{"ports": ports, "iterations": 40} for ports in port_counts],
+        assemble=_assemble,
+    )
+
+
+def run_semaphore_point(config):
+    """One Hydra-style semaphore costing run."""
+    model = registry.create("cmmp", n_procs=config["n_procs"])
+    result = model.run(workload="semaphore",
+                       increments=config.get("increments", 16))
+    return [
+        result.metric("cycles_per_section"),
+        result.metric("alu_cycles"),
+        result.metric("ratio"),
+    ]
+
+
+def _assemble_semaphore(experiment, values):
+    cycles, alu, ratio = values[0]
     table = Table(
         "E13b  Hydra-style semaphore cost (paper §1.2.1)",
         ["measurement", "value"],
@@ -44,6 +82,31 @@ def semaphore_table(n_procs=8):
     table.add_row("cycles per ALU operation", alu)
     table.add_row("ratio", ratio)
     return table
+
+
+def build_semaphore(n_procs=8):
+    return Experiment(
+        name="e13b_semaphore_cost",
+        run=run_semaphore_point,
+        grid=[{"n_procs": n_procs, "increments": 16}],
+        assemble=_assemble_semaphore,
+    )
+
+
+SWEEPS = {
+    "e13_cmmp_crossbar": build_sweep(),
+    "e13b_semaphore_cost": build_semaphore(),
+}
+
+
+def run_experiment(port_counts=PORTS):
+    experiment = build_sweep(port_counts)
+    return experiment.table(experiment.run_inline())
+
+
+def semaphore_table(n_procs=8):
+    experiment = build_semaphore(n_procs)
+    return experiment.table(experiment.run_inline())
 
 
 def test_e13_shape(benchmark):

@@ -16,7 +16,7 @@ true dependence graph — more than any real compiler gets):
 
 from repro.analysis import Table
 from repro.dataflow import Interpreter, MachineConfig, TaggedTokenMachine
-from repro.machines import VLIWModel
+from repro.machines import registry
 from repro.workloads import compile_workload
 
 WIDTHS = [1, 2, 4, 8, 16, 32, 64]
@@ -35,7 +35,7 @@ def run_width_sweep(widths=WIDTHS, workload="trapezoid"):
             "marginal gain = speedup(width) / speedup(previous width)",
         ],
     )
-    rows = VLIWModel().width_sweep(interp, widths)
+    rows = registry.create("vliw").width_sweep(interp, widths)
     prev_speedup = None
     for width, cycles, speedup in rows:
         marginal = 1.0 if prev_speedup is None else speedup / prev_speedup
@@ -49,9 +49,9 @@ def run_latency_surprise(latencies=(1, 5, 10, 20, 50), workload="matmul",
     program, _, args = compile_workload(workload)
     interp = Interpreter(program)
     interp.run(*args)
-    schedule = VLIWModel(issue_width=issue_width, assumed_latency=1).compile(
-        interp
-    )
+    schedule = registry.create(
+        "vliw", issue_width=issue_width, assumed_latency=1
+    ).compile(interp)
     table = Table(
         "E14b  Latency surprise: lockstep VLIW vs tagged-token overlap "
         "(paper §1.2.4)",

@@ -16,7 +16,7 @@ Kmaps/intercluster bus instead.
 """
 
 from repro.analysis import Table
-from repro.machines import locality_sweep
+from repro.machines import registry
 
 FRACTIONS = [0.0, 0.1, 0.2, 0.35, 0.5]
 CONTEXTS = [1, 2, 4, 8]
@@ -33,13 +33,16 @@ def run_experiment(fractions=FRACTIONS, context_counts=CONTEXTS,
             "K = hardware contexts per computer module (K=1 is the real Cm*)",
         ],
     )
+    model = registry.create("cmstar", n_clusters=n_clusters,
+                            cluster_size=cluster_size)
     columns = []
     for k in context_counts:
-        rows = locality_sweep(
-            fractions, n_clusters=n_clusters, cluster_size=cluster_size,
-            n_refs=n_refs, remote_kind="intercluster", contexts=k,
-        )
-        columns.append([util for _, util, _ in rows])
+        columns.append([
+            model.run(remote_fraction=fraction, n_refs=n_refs,
+                      remote_kind="intercluster",
+                      contexts=k).metric("utilization")
+            for fraction in fractions
+        ])
     for i, fraction in enumerate(fractions):
         table.add_row(fraction, *[col[i] for col in columns])
     return table

@@ -9,7 +9,7 @@ in the library show up in the benchmark history.
 from repro.common import Simulator
 from repro.dataflow import Interpreter, MachineConfig, TaggedTokenMachine
 from repro.istructure import IStructureModule
-from repro.machines import run_hotspot
+from repro.machines import registry
 from repro.workloads import compile_workload
 from repro.workloads.handbuilt import build_sum_loop
 
@@ -72,7 +72,9 @@ def test_machine_throughput_small(benchmark):
 
 
 def test_omega_hotspot_throughput(benchmark):
+    model = registry.create("ultracomputer", stages=5, combining=True)
+
     def run():
-        return run_hotspot(5, combining=True).final_value
+        return model.hotspot().final_value
 
     assert benchmark(run) == 32

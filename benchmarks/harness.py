@@ -1,53 +1,33 @@
 """Shared plumbing for the experiment benchmarks.
 
 Every experiment module exposes ``run_experiment(...) -> Table`` (or a
-small set of named runners).  The pytest-benchmark wrappers time a
-representative configuration and assert the *shape* of the result — who
-wins, by roughly what factor, where the crossover falls — mirroring the
-claim-by-claim records in EXPERIMENTS.md.
+small set of named runners), and the parallel-sweep ones additionally
+declare ``SWEEPS = {table_name: repro.exp.Experiment}`` so ``repro
+bench`` / ``run_all.py`` can fan their grids out across workers.  The
+pytest-benchmark wrappers time a representative configuration and assert
+the *shape* of the result — who wins, by roughly what factor, where the
+crossover falls — mirroring the claim-by-claim records in EXPERIMENTS.md.
 
 Run any module directly (``python benchmarks/bench_e01_....py``) to print
 its full table and write it under ``benchmarks/results/`` — a ``.txt``
 rendering for humans and a ``.json`` telemetry file for tooling.
+
+Cell parsing is the canonical :func:`repro.exp.tables.parse_cell`
+(re-exported here as ``_parse_cell``): numeric-looking cells — including
+``"inf"``, ``"nan"``, the ``"-"`` NaN rendering, and ``"1e3x"``-style
+speedups — round-trip to floats instead of leaking into the JSON
+telemetry as strings.
 """
 
 import json
 import os
 
+from repro.exp.tables import parse_cell as _parse_cell
+from repro.exp.tables import table_rows
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
-
-def table_rows(table):
-    """A Table's rows as a list of {column: cell} dicts.
-
-    Cells are the already-formatted strings the text rendering shows;
-    numeric-looking cells are converted back to int/float so the JSON is
-    usable for plotting without re-parsing.
-    """
-    rows = []
-    for row in table.rows:
-        entry = {}
-        for column, cell in zip(table.columns, row):
-            entry[column] = _parse_cell(cell)
-        rows.append(entry)
-    return rows
-
-
-def _parse_cell(cell):
-    if not isinstance(cell, str):
-        return cell
-    text = cell.strip()
-    for caster in (int, float):
-        try:
-            return caster(text)
-        except ValueError:
-            continue
-    if text.endswith("x"):  # speedup columns like "3.2x"
-        try:
-            return float(text[:-1])
-        except ValueError:
-            pass
-    return text
+__all__ = ["RESULTS_DIR", "table_rows", "write_json", "write_table"]
 
 
 def write_json(rows, name, meta=None):

@@ -1,26 +1,30 @@
 """Regenerate every experiment table under benchmarks/results/.
 
-Run:  python benchmarks/run_all.py [--only SUBSTRING]
+Run:  python benchmarks/run_all.py [--only SUBSTRING] [--jobs N]
+                                   [--no-cache] [--timeout SECONDS]
+
+Execution is farmed out by the sweep engine in :mod:`repro.exp`:
+modules that declare ``SWEEPS`` run grid-parallel (one worker per
+parameter point), the rest run one table per worker, and every finished
+run is cached on disk (``benchmarks/.expcache``) keyed by a content hash
+of (config, code version) — so a second invocation is served almost
+entirely from cache and editing a module invalidates exactly its runs.
 
 Each table is written as .txt + .json, and an aggregate telemetry file
 ``BENCH_results.json`` (experiment name, table shape, wall-clock seconds)
-lands at the repository root.
+lands at the repository root.  ``repro bench`` is the same thing as a
+CLI subcommand.
 """
 
 import argparse
-import importlib
-import json
 import os
 import sys
-import time
 
-from harness import table_rows, write_table
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-AGGREGATE_PATH = os.path.join(
-    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-    "BENCH_results.json",
-)
+from repro.exp.bench import run_suite
 
+#: (module, [(table_function, output_name)]) — the full suite.
 EXPERIMENTS = [
     ("bench_e01_latency_tolerance", [("run_experiment", "e01_latency_tolerance")]),
     ("bench_e02_sync_granularity", [("run_experiment", "e02_sync_granularity")]),
@@ -65,41 +69,25 @@ def main(argv=None):
     parser.add_argument("--only", default=None, metavar="SUBSTRING",
                         help="run only experiments whose module or table "
                              "name contains SUBSTRING")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: cpu count; "
+                             "0 = inline, no workers)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not update the result cache")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-run timeout before terminate + one retry")
     options = parser.parse_args(argv)
 
-    telemetry = []
-    for module_name, runners in EXPERIMENTS:
-        selected = [
-            (fn_name, out_name) for fn_name, out_name in runners
-            if options.only is None
-            or options.only in module_name or options.only in out_name
-        ]
-        if not selected:
-            continue
-        module = importlib.import_module(module_name)
-        for fn_name, out_name in selected:
-            start = time.time()
-            table = getattr(module, fn_name)()
-            wall = time.time() - start
-            write_table(table, out_name, meta={"wall_seconds": round(wall, 3)})
-            print(f"[{wall:6.1f}s] {out_name}\n", file=sys.stderr)
-            telemetry.append({
-                "experiment": out_name,
-                "module": module_name,
-                "title": table.title,
-                "rows": len(table.rows),
-                "columns": list(table.columns),
-                "wall_seconds": round(wall, 3),
-                "data": table_rows(table),
-            })
-
-    with open(AGGREGATE_PATH, "w", encoding="utf-8") as fh:
-        json.dump({"experiments": telemetry}, fh, indent=2, sort_keys=True,
-                  default=repr)
-        fh.write("\n")
-    total = sum(entry["wall_seconds"] for entry in telemetry)
-    print(f"[{total:6.1f}s] total -> {AGGREGATE_PATH}", file=sys.stderr)
+    aggregate = run_suite(
+        only=options.only,
+        jobs=options.jobs,
+        no_cache=options.no_cache,
+        timeout=options.timeout,
+        bench_dir=os.path.dirname(os.path.abspath(__file__)),
+    )
+    return 1 if aggregate["failures"] else 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -5,51 +5,51 @@ Cm*'s locality ceiling, the Ultracomputer's combining switches, the VLIW
 width plateau, and the Connection Machine's communication dominance —
 each annotated with the paper's sentence it reproduces.
 
+Every machine is constructed through the unified registry
+(``repro.machines.registry``), the same API the sweep engine uses.
+
 Run:  python examples/survey_tour.py
 """
 
 from repro.dataflow import Interpreter
-from repro.machines import (
-    CMConfig,
-    ConnectionMachineModel,
-    VLIWModel,
-    crossbar_scaling_table,
-    locality_sweep,
-    run_hotspot,
-    semaphore_cost,
-)
+from repro.machines import registry
 from repro.workloads import compile_workload
 
 
 def cmmp():
     print("C.mmp (§1.2.1) — 'cost ... grows at least quadratically'")
-    rows = crossbar_scaling_table([2, 4, 8, 16], workload_iterations=12)
-    for n, cost, latency, util in rows:
-        print(f"  {n:>2} ports: {cost:>4} crosspoints, "
-              f"latency {latency:5.1f}, utilization {util:.2f}")
-    cycles, _, ratio = semaphore_cost(n_procs=4, increments=8)
-    print(f"  semaphore: {cycles:.1f} cycles per critical section "
-          f"({ratio:.0f}x an ALU op)\n")
+    for ports in (2, 4, 8, 16):
+        result = registry.create("cmmp", n_procs=ports).run(
+            workload="array_sum", iterations=12)
+        print(f"  {ports:>2} ports: {result.metric('crosspoints'):>4} "
+              f"crosspoints, latency {result.metric('mean_latency'):5.1f}, "
+              f"utilization {result.metric('mean_utilization'):.2f}")
+    sem = registry.create("cmmp", n_procs=4).run(workload="semaphore",
+                                                 increments=8)
+    print(f"  semaphore: {sem.metric('cycles_per_section'):.1f} cycles per "
+          f"critical section ({sem.metric('ratio'):.0f}x an ALU op)\n")
 
 
 def cmstar():
     print("Cm* (§1.2.2) — 'greater interprocessor distances translated "
           "into ... decreased processor utilization'")
-    for fraction, util, _ in locality_sweep([0.0, 0.1, 0.3, 0.5],
-                                            n_clusters=2, cluster_size=2,
-                                            n_refs=30):
-        print(f"  {fraction * 100:4.0f}% remote refs -> utilization {util:.3f}")
+    model = registry.create("cmstar", n_clusters=2, cluster_size=2)
+    for fraction in (0.0, 0.1, 0.3, 0.5):
+        result = model.run(remote_fraction=fraction, n_refs=30)
+        print(f"  {fraction * 100:4.0f}% remote refs -> utilization "
+              f"{result.metric('utilization'):.3f}")
     print()
 
 
 def ultracomputer():
     print("NYU Ultracomputer (§1.2.3) — combining FETCH-AND-ADD")
     for combining in (False, True):
-        result = run_hotspot(5, combining=combining)
+        result = registry.create("ultracomputer", stages=5,
+                                 combining=combining).run()
         label = "with combining   " if combining else "without combining"
-        print(f"  {label}: {result.memory_arrivals:>3} hot-port arrivals "
-              f"for {result.n_procs} processors, "
-              f"worst round trip {result.max_round_trip:.0f}")
+        print(f"  {label}: {result.metric('memory_arrivals'):>3} hot-port "
+              f"arrivals for {result.metric('n_procs')} processors, "
+              f"worst round trip {result.metric('max_round_trip'):.0f}")
     print()
 
 
@@ -58,7 +58,7 @@ def vliw():
     program, _, args = compile_workload("trapezoid")
     interp = Interpreter(program)
     interp.run(*args)
-    for width, cycles, speedup in VLIWModel().width_sweep(
+    for width, cycles, speedup in registry.create("vliw").width_sweep(
             interp, [1, 4, 8, 32]):
         print(f"  width {width:>2}: {cycles:>5} cycles "
               f"(speedup {speedup:.2f})")
@@ -68,7 +68,7 @@ def vliw():
 def connection_machine():
     print("Connection Machine (§1.2.5) — 'almost all (90%?, 99%?) of its "
           "time communicating'")
-    model = ConnectionMachineModel(CMConfig(groups_log2=9))
+    model = registry.create("connection_machine", groups_log2=9)
     for pattern in ("neighbor", "random"):
         result = model.run_graph_workload(rounds=5, pattern=pattern)
         print(f"  {pattern:>8} traffic: {result.comm_fraction * 100:5.1f}% "

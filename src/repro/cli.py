@@ -9,6 +9,9 @@
     python -m repro graph program.id            # text listing (Fig 2-2 style)
     python -m repro graph program.id --dot      # Graphviz DOT on stdout
     python -m repro stats program.id            # structural statistics
+    python -m repro bench --jobs 4 --only e07   # parallel experiment sweep
+    python -m repro machine                     # list registered machines
+    python -m repro machine ultracomputer --set stages=5 --workload spacing=0.5
 
 The entry procedure defaults to the first ``def`` in the file; override
 with ``--entry``.
@@ -103,6 +106,41 @@ def build_parser():
     stats.add_argument("file")
     stats.add_argument("--entry", default=None)
     stats.add_argument("--optimize", action="store_true")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the experiment suite through the parallel sweep engine",
+    )
+    bench.add_argument("--only", default=None, metavar="SUBSTRING",
+                       help="run only experiments whose module or table "
+                            "name contains SUBSTRING")
+    bench.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes (default: cpu count; "
+                            "0 = inline)")
+    bench.add_argument("--no-cache", action="store_true",
+                       help="ignore and do not update the result cache")
+    bench.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-run timeout before terminate + one retry")
+    bench.add_argument("--bench-dir", default=None, metavar="DIR",
+                       help="benchmarks directory (default: auto-detect)")
+    bench.add_argument("--trace", metavar="FILE", default=None,
+                       help="write sweep progress events as JSONL")
+
+    machine = sub.add_parser(
+        "machine",
+        help="construct a registered machine model and run one workload",
+    )
+    machine.add_argument("name", nargs="?", default=None,
+                         help="registry name (omit to list the registry)")
+    machine.add_argument("--set", dest="config", nargs="*", default=[],
+                         metavar="KEY=VALUE",
+                         help="constructor config, e.g. stages=5")
+    machine.add_argument("--workload", nargs="*", default=[],
+                         metavar="KEY=VALUE",
+                         help="run() arguments, e.g. workload=graph rounds=4")
+    machine.add_argument("--json", action="store_true",
+                         help="emit the SimResult as JSON")
     return parser
 
 
@@ -317,6 +355,68 @@ def _cmd_stats(options, out):
     return 0
 
 
+def _parse_kv(pairs, what):
+    """``["a=1", "b=true"]`` -> {"a": 1, "b": True} with typed values."""
+    out = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"{what} arguments must be KEY=VALUE, "
+                             f"got {pair!r}")
+        key, _, value = pair.partition("=")
+        out[key] = _parse_value(value)
+    return out
+
+
+def _cmd_bench(options, out):
+    """Run the benchmark suite through the repro.exp sweep engine."""
+    from .exp.bench import run_suite
+    from .obs import JsonlSink, TraceBus
+
+    bus = None
+    sink = None
+    if options.trace:
+        bus = TraceBus()
+        sink = bus.add_sink(JsonlSink(options.trace))
+    aggregate = run_suite(
+        only=options.only,
+        jobs=options.jobs,
+        no_cache=options.no_cache,
+        timeout=options.timeout,
+        bench_dir=options.bench_dir,
+        bus=bus,
+    )
+    if sink is not None:
+        sink.close()
+        print(f"sweep trace: {sink.written} event(s) -> {options.trace}",
+              file=out)
+    return 1 if aggregate["failures"] else 0
+
+
+def _cmd_machine(options, out):
+    """Uniformly construct and run any registered machine model."""
+    from .machines import registry
+
+    if options.name is None:
+        for name in registry.names():
+            cls = registry.get(name)
+            doc = (cls.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:<20} {doc}", file=out)
+        return 0
+    model = registry.create(options.name,
+                            **_parse_kv(options.config, "--set"))
+    result = model.run(**_parse_kv(options.workload, "--workload"))
+    if options.json:
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True,
+                         default=repr), file=out)
+    else:
+        print(f"machine: {result.machine}", file=out)
+        for section in ("config", "workload", "metrics"):
+            print(f"  {section}:", file=out)
+            for key, value in sorted(getattr(result, section).items()):
+                print(f"    {key}: {value}", file=out)
+    return 0
+
+
 def main(argv=None, out=None):
     out = out if out is not None else sys.stdout
     options = build_parser().parse_args(argv)
@@ -325,6 +425,8 @@ def main(argv=None, out=None):
         "trace": _cmd_trace,
         "graph": _cmd_graph,
         "stats": _cmd_stats,
+        "bench": _cmd_bench,
+        "machine": _cmd_machine,
     }[options.command]
     try:
         return handler(options, out)

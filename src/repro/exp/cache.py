@@ -1,0 +1,109 @@
+"""The sweep result cache: content-addressed, invalidated by code change.
+
+Every completed run is stored as one JSON file::
+
+    <root>/<experiment>/<key>.json
+
+where ``key = sha256(experiment name, canonical config JSON, code
+version)``.  The code version is a content fingerprint of the source
+that produced the result — the :mod:`repro` package tree plus any
+``code_paths`` the experiment names (its benchmark module, typically) —
+so editing a model or a bench module invalidates exactly the runs whose
+code changed, while re-running an untouched sweep is pure cache hits.
+
+Only successful runs are cached; timeouts and errors are always retried
+on the next invocation.
+"""
+
+import functools
+import hashlib
+import json
+import os
+
+__all__ = ["ResultCache", "code_fingerprint", "config_key"]
+
+
+def _iter_source_files(path):
+    """Yield the .py files under ``path`` (or ``path`` itself), sorted."""
+    if os.path.isfile(path):
+        yield path
+        return
+    for dirpath, dirnames, filenames in os.walk(path):
+        dirnames.sort()
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+@functools.lru_cache(maxsize=None)
+def code_fingerprint(*paths):
+    """A stable hash of the *contents* of the given source files/trees.
+
+    Content-based (not mtime-based) so checkouts and CI machines agree;
+    memoized per process because the engine asks once per run.
+    """
+    digest = hashlib.sha256()
+    for path in paths:
+        root = os.path.abspath(path)
+        for filename in _iter_source_files(root):
+            digest.update(os.path.relpath(filename, root).encode())
+            with open(filename, "rb") as fh:
+                digest.update(fh.read())
+    return digest.hexdigest()[:16]
+
+
+def repro_fingerprint():
+    """Fingerprint of the repro package source itself."""
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    return code_fingerprint(package_root)
+
+
+def config_key(experiment_name, config, code_version):
+    """The cache key: content hash of (experiment, config, code-version)."""
+    blob = json.dumps(
+        {"experiment": experiment_name, "config": config,
+         "code_version": code_version},
+        sort_keys=True, separators=(",", ":"), default=repr,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:32]
+
+
+class ResultCache:
+    """Directory-backed store of finished run values."""
+
+    def __init__(self, root):
+        self.root = os.path.abspath(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, experiment_name, key):
+        return os.path.join(self.root, experiment_name, f"{key}.json")
+
+    def get(self, experiment_name, key):
+        """(found, value) — ``found`` False on miss or unreadable entry."""
+        path = self._path(experiment_name, key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, entry.get("value")
+
+    def put(self, experiment_name, key, config, code_version, value):
+        """Persist one successful run value (atomic rename)."""
+        path = self._path(experiment_name, key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry = {
+            "experiment": experiment_name,
+            "config": config,
+            "code_version": code_version,
+            "value": value,
+        }
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh, sort_keys=True, default=repr)
+            fh.write("\n")
+        os.replace(tmp, path)

@@ -1,0 +1,282 @@
+"""The sweep executor: fan a grid out across worker processes.
+
+One worker process per run (not a long-lived pool) so that a per-run
+timeout can be *enforced* — the scheduler terminates the process, retries
+once, and records a structured failure row instead of crashing or
+hanging the sweep.  Up to ``jobs`` workers are live at once; finished
+slots are refilled immediately, so the wall clock approaches
+``serial_time / jobs`` for uniform grids.
+
+Determinism contract: records are returned in grid order, and a run's
+value depends only on its config (the :class:`Experiment` purity rule),
+so ``--jobs 1`` and ``--jobs 4`` produce identical values —
+:func:`records_payload` (without timing) is byte-identical JSON.
+
+With a :class:`~repro.exp.cache.ResultCache` attached, each config is
+looked up by content hash of (experiment, config, code-version) first;
+hits never spawn a worker.  Progress streams through a
+:class:`repro.obs.TraceBus` as ``sweep_begin`` / ``sweep_task`` /
+``sweep_end`` events.
+"""
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _wait_connections
+from typing import Any, Optional
+
+from .cache import config_key, repro_fingerprint
+
+__all__ = ["RunRecord", "records_payload", "run_experiment"]
+
+#: Statuses a run can end in.  ``ok`` is the only cached one.
+STATUSES = ("ok", "error", "timeout")
+
+
+@dataclass
+class RunRecord:
+    """The structured outcome of one grid point."""
+
+    index: int
+    config: dict
+    status: str = "ok"
+    value: Any = None
+    error: Optional[str] = None
+    attempts: int = 0
+    wall_seconds: float = 0.0
+    cached: bool = False
+    cache_key: Optional[str] = None
+
+    @property
+    def ok(self):
+        return self.status == "ok"
+
+    def payload(self, include_timing=True):
+        """A JSON-able dict; drop wall-clock noise for byte-identical
+        comparisons across job counts."""
+        out = {
+            "index": self.index,
+            "config": self.config,
+            "status": self.status,
+            "value": self.value,
+            "error": self.error,
+            "attempts": self.attempts,
+            "cached": self.cached,
+        }
+        if include_timing:
+            out["wall_seconds"] = round(self.wall_seconds, 3)
+        return out
+
+
+def records_payload(records, include_timing=False):
+    """The canonical JSON-able form of a sweep's records (grid order)."""
+    ordered = sorted(records, key=lambda record: record.index)
+    return [record.payload(include_timing=include_timing)
+            for record in ordered]
+
+
+def _worker_main(conn, run, config):
+    """Child-process body: run one config, ship the outcome back."""
+    try:
+        value = run(config)
+        conn.send(("ok", value, None))
+    except BaseException:  # noqa: BLE001 — the parent turns this into a row
+        try:
+            conn.send(("error", None, traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Task:
+    """One live worker and the run it owns."""
+
+    index: int
+    attempt: int
+    process: Any
+    conn: Any
+    started: float
+    deadline: Optional[float] = None
+    cache_key: Optional[str] = None
+
+
+def _spawn(context, experiment, index, attempt, timeout):
+    parent_conn, child_conn = context.Pipe(duplex=False)
+    process = context.Process(
+        target=_worker_main,
+        args=(child_conn, experiment.run, experiment.grid[index]),
+        name=f"sweep-{experiment.name}-{index}",
+        daemon=True,
+    )
+    process.start()
+    child_conn.close()
+    now = time.monotonic()
+    return _Task(
+        index=index, attempt=attempt, process=process, conn=parent_conn,
+        started=now, deadline=(now + timeout) if timeout else None,
+    )
+
+
+def _collect(task):
+    """Read the worker's message (or diagnose its death); reap it."""
+    try:
+        if task.conn.poll():
+            message = task.conn.recv()
+        else:
+            message = None
+    except (EOFError, OSError):
+        message = None
+    task.conn.close()
+    task.process.join()
+    if message is None:
+        code = task.process.exitcode
+        message = ("error", None,
+                   f"worker exited without a result (exit code {code})")
+    return message
+
+
+def _emit(bus, clock_start, kind, detail="", **fields):
+    if bus is not None:
+        bus.emit(round(time.monotonic() - clock_start, 6), "sweep", kind,
+                 detail, **fields)
+
+
+def run_experiment(experiment, jobs=None, cache=None, timeout=None,
+                   retries=1, bus=None, progress=None):
+    """Execute every config in ``experiment.grid``; returns RunRecords
+    in grid order.
+
+    ``jobs``: worker processes (default ``os.cpu_count()``); ``0`` runs
+    the grid inline in this process (no isolation, no timeout — the
+    debugging path).  ``timeout``: seconds per attempt; an expired worker
+    is terminated and the run retried up to ``retries`` more times before
+    a ``timeout`` record is written.  ``cache``: a
+    :class:`~repro.exp.cache.ResultCache`; hits skip execution entirely.
+    ``bus``: a :class:`repro.obs.TraceBus` for progress telemetry.
+    ``progress``: callable invoked with each finished :class:`RunRecord`.
+    """
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    clock_start = time.monotonic()
+    code_version = repro_fingerprint() if cache is not None else None
+    if cache is not None and experiment.code_paths:
+        from .cache import code_fingerprint
+
+        code_version += "+" + code_fingerprint(
+            *[os.path.abspath(p) for p in experiment.code_paths])
+
+    records = {}
+    pending = []
+    _emit(bus, clock_start, "sweep_begin", experiment.name,
+          configs=len(experiment.grid), jobs=jobs)
+
+    def finish(record):
+        records[record.index] = record
+        _emit(bus, clock_start, "sweep_task",
+              f"{experiment.name}[{record.index}] {record.status}",
+              index=record.index, status=record.status,
+              attempts=record.attempts, cached=record.cached,
+              wall=round(record.wall_seconds, 4))
+        if progress is not None:
+            progress(record)
+
+    # ------------------------------------------------------------------
+    # cache pass
+    for index, config in enumerate(experiment.grid):
+        key = None
+        if cache is not None:
+            key = config_key(experiment.name, config, code_version)
+            found, value = cache.get(experiment.name, key)
+            if found:
+                finish(RunRecord(index=index, config=config, status="ok",
+                                 value=value, cached=True, cache_key=key))
+                continue
+        pending.append((index, 0, key))
+
+    def record_outcome(index, attempt, key, message, wall):
+        status, value, error = message
+        config = experiment.grid[index]
+        if status == "ok":
+            if cache is not None:
+                cache.put(experiment.name, key, config, code_version, value)
+            finish(RunRecord(index=index, config=config, status="ok",
+                             value=value, attempts=attempt + 1,
+                             wall_seconds=wall, cache_key=key))
+            return None
+        if attempt < retries:
+            return (index, attempt + 1, key)  # reschedule
+        finish(RunRecord(index=index, config=config, status=status,
+                         error=error, attempts=attempt + 1,
+                         wall_seconds=wall, cache_key=key))
+        return None
+
+    # ------------------------------------------------------------------
+    # inline path (jobs=0): no processes, no timeout enforcement
+    if jobs == 0:
+        while pending:
+            index, attempt, key = pending.pop(0)
+            started = time.monotonic()
+            try:
+                message = ("ok", experiment.run(experiment.grid[index]), None)
+            except Exception:  # noqa: BLE001
+                message = ("error", None, traceback.format_exc())
+            retry = record_outcome(index, attempt, key, message,
+                                   time.monotonic() - started)
+            if retry is not None:
+                pending.insert(0, retry)
+    else:
+        context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn")
+        running = []
+        while pending or running:
+            while pending and len(running) < jobs:
+                index, attempt, key = pending.pop(0)
+                task = _spawn(context, experiment, index, attempt, timeout)
+                task.cache_key = key
+                running.append(task)
+
+            now = time.monotonic()
+            deadlines = [t.deadline for t in running if t.deadline]
+            wait_for = min(deadlines) - now if deadlines else None
+            ready = _wait_connections(
+                [t.conn for t in running],
+                timeout=max(0.0, wait_for) if wait_for is not None else None,
+            )
+
+            now = time.monotonic()
+            still_running = []
+            for task in running:
+                if task.conn in ready:
+                    message = _collect(task)
+                    retry = record_outcome(task.index, task.attempt,
+                                           task.cache_key, message,
+                                           now - task.started)
+                    if retry is not None:
+                        pending.append(retry)
+                elif task.deadline is not None and now >= task.deadline:
+                    task.process.terminate()
+                    task.process.join()
+                    task.conn.close()
+                    message = ("timeout", None,
+                               f"run exceeded {timeout}s and was terminated")
+                    retry = record_outcome(task.index, task.attempt,
+                                           task.cache_key, message,
+                                           now - task.started)
+                    if retry is not None:
+                        pending.append(retry)
+                else:
+                    still_running.append(task)
+            running = still_running
+
+    ordered = [records[index] for index in sorted(records)]
+    _emit(bus, clock_start, "sweep_end", experiment.name,
+          ok=sum(1 for r in ordered if r.ok),
+          failed=sum(1 for r in ordered if not r.ok),
+          cached=sum(1 for r in ordered if r.cached),
+          wall=round(time.monotonic() - clock_start, 4))
+    return ordered

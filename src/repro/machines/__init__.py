@@ -1,7 +1,15 @@
 """Models of the surveyed machines (S10 in DESIGN.md, §1.2 of the paper).
 
-Each module builds a machine in the image of one survey subject and
-exposes the measurement the paper's critique of it rests on:
+Every machine is constructible through one door::
+
+    from repro.machines import registry
+    model = registry.create("ultracomputer", stages=5)
+    result = model.run()            # -> repro.machines.api.SimResult
+
+Registered names: ``ttda``, ``hep``, ``cmstar``, ``cmmp``,
+``ultracomputer``, ``connection_machine``, ``vliw`` — the paper's own
+machine plus the six survey subjects.  Each module still documents the
+measurement the paper's critique of its machine rests on:
 
 * :mod:`cmmp` — crossbar cost scaling and semaphore overhead;
 * :mod:`cmstar` — utilization vs. remote-reference fraction;
@@ -10,34 +18,71 @@ exposes the measurement the paper's critique of it rests on:
 * :mod:`connection_machine` — SIMD communication dominance; Illiac IV
   shift serialization;
 * :mod:`hep` — barrel-pipeline saturation and full/empty busy-waiting
-  (footnote 2).
+  (footnote 2);
+* :mod:`ttda` — the tagged-token dataflow machine of §2, adapted to the
+  same API.
+
+The pre-registry entry points (``build_cmmp``, ``run_hotspot``,
+``locality_sweep``, ``VLIWModel(...)``, ...) still work but emit
+``DeprecationWarning``; new code should go through the registry.
 """
 
-from .cmmp import build_cmmp, crossbar_scaling_table, semaphore_cost
-from .cmstar import build_cmstar, locality_kernel, locality_sweep
-from .hep import build_hep, producer_consumer_traffic, saturation_table
+from . import registry
+from .api import MachineModel, SimResult
+from .cmmp import CmmpModel, build_cmmp, crossbar_scaling_table, semaphore_cost
+from .cmstar import (
+    CmstarModel,
+    build_cmstar,
+    locality_kernel,
+    locality_sweep,
+)
+from .hep import (
+    HepModel,
+    build_hep,
+    producer_consumer_traffic,
+    saturation_table,
+)
 from .connection_machine import (
     CMConfig,
     CMResult,
+    ConnectionMachine,
     ConnectionMachineModel,
+    IlliacIV,
     IlliacIVModel,
 )
-from .ultracomputer import UltraResult, hotspot_sweep, run_hotspot
-from .vliw import StaticSchedule, VLIWModel, schedule_length
+from .ttda import TtdaModel
+from .ultracomputer import (
+    UltracomputerModel,
+    UltraResult,
+    hotspot_sweep,
+    run_hotspot,
+)
+from .vliw import StaticSchedule, VliwModel, VLIWModel, schedule_length
 
 __all__ = [
     "CMConfig",
     "CMResult",
+    "CmmpModel",
+    "CmstarModel",
+    "ConnectionMachine",
     "ConnectionMachineModel",
+    "HepModel",
+    "IlliacIV",
     "IlliacIVModel",
+    "MachineModel",
+    "SimResult",
     "StaticSchedule",
+    "TtdaModel",
     "UltraResult",
+    "UltracomputerModel",
     "VLIWModel",
+    "VliwModel",
     "build_cmmp",
     "build_cmstar",
     "build_hep",
     "crossbar_scaling_table",
     "producer_consumer_traffic",
+    "registry",
     "saturation_table",
     "hotspot_sweep",
     "locality_kernel",

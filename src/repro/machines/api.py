@@ -1,0 +1,118 @@
+"""The unified machine-model API every survey machine implements.
+
+Before this module existed each machine exposed its own idiom —
+``ultracomputer.run_hotspot`` was a free function, the Connection
+Machine returned a bespoke ``CMResult``, the VLIW model handed back
+ad-hoc tuples — so every caller (benchmarks, CLI, sweep engine) needed
+per-machine glue.  Now there is one contract:
+
+* :class:`MachineModel` — constructed with keyword *machine* parameters
+  (``registry.create(name, **config)``), run with keyword *workload*
+  parameters (``model.run(**workload)``);
+* :class:`SimResult` — the shared result record: which machine, which
+  config, which workload, and a flat ``metrics`` dict of measurements.
+
+``SimResult`` is JSON-serializable (``as_dict``/``from_dict``) so the
+sweep engine in :mod:`repro.exp` can cache and ship results across
+process boundaries without machine-specific code.
+
+The original entry points survive as thin shims that emit
+``DeprecationWarning`` (see :func:`deprecated_call`) so external callers
+keep working while in-repo code migrates to the registry.
+"""
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, Protocol, runtime_checkable
+
+__all__ = [
+    "MachineModel",
+    "SimResult",
+    "deprecated_call",
+    "suppress_deprecation",
+]
+
+
+@dataclass
+class SimResult:
+    """What one machine run measured, in machine-independent shape.
+
+    ``metrics`` maps measurement name -> value (numbers for everything
+    the paper plots; the odd string/bool for labels).  ``config`` echoes
+    the constructor parameters and ``workload`` the ``run()`` arguments,
+    so a ``SimResult`` is self-describing — the sweep engine stores it
+    verbatim and any row of any experiment table can be rebuilt from it.
+    """
+
+    machine: str
+    config: Dict[str, Any] = field(default_factory=dict)
+    workload: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    def metric(self, name):
+        """One measurement; raises KeyError naming the known metrics."""
+        try:
+            return self.metrics[name]
+        except KeyError:
+            known = ", ".join(sorted(self.metrics))
+            raise KeyError(
+                f"{self.machine!r} run has no metric {name!r} "
+                f"(has: {known})"
+            ) from None
+
+    def as_dict(self):
+        """A plain-dict form, safe to JSON-serialize and cache."""
+        return {
+            "machine": self.machine,
+            "config": dict(self.config),
+            "workload": dict(self.workload),
+            "metrics": dict(self.metrics),
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(
+            machine=payload["machine"],
+            config=dict(payload.get("config", {})),
+            workload=dict(payload.get("workload", {})),
+            metrics=dict(payload.get("metrics", {})),
+        )
+
+
+@runtime_checkable
+class MachineModel(Protocol):
+    """The contract a registered machine model satisfies.
+
+    ``name`` is the registry key; ``config`` the constructor parameters
+    actually in effect (defaults filled in); ``run(**workload)`` executes
+    one workload and returns a :class:`SimResult`.
+    """
+
+    name: str
+    config: Dict[str, Any]
+
+    def run(self, **workload) -> SimResult:
+        ...
+
+
+def deprecated_call(old, new):
+    """Emit the standard shim warning: ``old`` is deprecated, use ``new``."""
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class suppress_deprecation(warnings.catch_warnings):
+    """Silence DeprecationWarning inside a ``with`` block.
+
+    The registry models are implemented *on top of* some legacy entry
+    points during the migration; this keeps their internal use of a shim
+    from warning at the user, who called the new API.
+    """
+
+    def __enter__(self):
+        log = super().__enter__()
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return log

@@ -3,27 +3,33 @@
 Two of the paper's observations about C.mmp are made measurable here:
 
 * the crossbar's cost "grows at least quadratically" while its latency is
-  held flat — :func:`crossbar_scaling_table`;
+  held flat — the ``array_sum`` workload of :class:`CmmpModel`;
 * Hydra's semaphore synchronization costs far more than an ALU operation
-  — :func:`semaphore_cost`, which measures cycles per critical section
-  against the one-cycle ALU baseline.
+  — the ``semaphore`` workload, which measures cycles per critical
+  section against the one-cycle ALU baseline.
 
 The machine itself is a :class:`~repro.vonneumann.machine.VNMachine` in
 the dancehall organization with a :class:`CrossbarNetwork`, uncached (as
 C.mmp effectively was: "only one processor in the machine was ever fitted
 with [a cache] ... the reason is, quite simply, the cache coherence
 problem").
+
+:class:`CmmpModel` is the registry entry point; the historical free
+functions survive as deprecation shims.
 """
 
 from ..network.crossbar import CrossbarNetwork
 from ..vonneumann.machine import VNMachine
 from ..vonneumann import programs
+from .api import SimResult, deprecated_call
+from .registry import register
 
-__all__ = ["build_cmmp", "crossbar_scaling_table", "semaphore_cost"]
+__all__ = ["CmmpModel", "build_cmmp", "crossbar_scaling_table",
+           "semaphore_cost"]
 
 
-def build_cmmp(n_procs=16, memory_time=3.0, switch_latency=1.0,
-               port_service_time=1.0):
+def _build_cmmp(n_procs=16, memory_time=3.0, switch_latency=1.0,
+                port_service_time=1.0):
     """A C.mmp-shaped machine: n processors x n memory ports, crossbar."""
 
     def network_factory(sim, n_ports):
@@ -38,46 +44,104 @@ def build_cmmp(n_procs=16, memory_time=3.0, switch_latency=1.0,
     )
 
 
-def crossbar_scaling_table(port_counts, workload_iterations=40):
-    """For each size: crosspoint cost, and measured reference latency.
+@register("cmmp")
+class CmmpModel:
+    """Registry model: the crossbar machine plus its two workloads."""
 
-    The point of the table is the *divergence*: cost is O(n^2) while the
-    uncontended latency stays flat — C.mmp "circumvents" rather than
-    solves the latency problem, and only up to the size you can afford.
-    Returns [(n, crosspoints, mean_latency, utilization)].
-    """
-    rows = []
-    for n in port_counts:
-        machine = build_cmmp(n_procs=n)
-        # Every processor sums a disjoint slice: uniform, conflict-light.
+    def __init__(self, n_procs=16, memory_time=3.0, switch_latency=1.0,
+                 port_service_time=1.0):
+        self.config = {
+            "n_procs": n_procs,
+            "memory_time": memory_time,
+            "switch_latency": switch_latency,
+            "port_service_time": port_service_time,
+        }
+
+    def build(self):
+        """The underlying (empty) :class:`VNMachine`."""
+        return _build_cmmp(**self.config)
+
+    # ------------------------------------------------------------------
+    def _run_array_sum(self, iterations):
+        """Conflict-light disjoint sums: latency and utilization under a
+        uniform load, plus the quadratic crosspoint cost."""
+        n = self.config["n_procs"]
+        machine = self.build()
         for pid in range(n):
             base = 1000 + pid  # interleaved: stride-n addresses per proc
-            source = programs.array_sum(base, workload_iterations)
+            source = programs.array_sum(base, iterations)
             machine.add_processor(source, regs={1: pid})
         result = machine.run()
         network = machine.memory.network
-        rows.append(
-            (
-                n,
-                CrossbarNetwork.crosspoint_count(n),
-                network.mean_latency(),
-                result.mean_utilization,
-            )
-        )
+        return {
+            "n_procs": n,
+            "crosspoints": CrossbarNetwork.crosspoint_count(n),
+            "mean_latency": network.mean_latency(),
+            "mean_utilization": result.mean_utilization,
+            "time": result.time,
+        }
+
+    def _run_semaphore(self, increments):
+        """Cycles per lock-protected critical section vs the ALU op."""
+        n = self.config["n_procs"]
+        machine = self.build()
+        machine.load_spmd(programs.shared_counter_spinlock(0, 1, increments))
+        result = machine.run()
+        sections = n * increments
+        cycles_per_section = result.time / sections
+        alu_cycles = machine.cpu_time
+        return {
+            "n_procs": n,
+            "cycles_per_section": cycles_per_section,
+            "alu_cycles": alu_cycles,
+            "ratio": cycles_per_section / alu_cycles,
+        }
+
+    def run(self, workload="array_sum", iterations=40, increments=16):
+        if workload == "array_sum":
+            metrics = self._run_array_sum(iterations)
+            spec = {"workload": workload, "iterations": iterations}
+        elif workload == "semaphore":
+            metrics = self._run_semaphore(increments)
+            spec = {"workload": workload, "increments": increments}
+        else:
+            raise ValueError(f"unknown cmmp workload {workload!r} "
+                             "(array_sum, semaphore)")
+        return SimResult(machine=self.name, config=dict(self.config),
+                         workload=spec, metrics=metrics)
+
+
+# ---------------------------------------------------------------------------
+# deprecation shims
+# ---------------------------------------------------------------------------
+
+def build_cmmp(n_procs=16, memory_time=3.0, switch_latency=1.0,
+               port_service_time=1.0):
+    """Deprecated shim — use ``registry.create("cmmp", ...).build()``."""
+    deprecated_call("repro.machines.build_cmmp",
+                    'registry.create("cmmp", ...).build()')
+    return _build_cmmp(n_procs=n_procs, memory_time=memory_time,
+                       switch_latency=switch_latency,
+                       port_service_time=port_service_time)
+
+
+def crossbar_scaling_table(port_counts, workload_iterations=40):
+    """Deprecated shim — [(n, crosspoints, mean_latency, utilization)]."""
+    deprecated_call("repro.machines.crossbar_scaling_table",
+                    'registry.create("cmmp", n_procs=n).run("array_sum")')
+    rows = []
+    for n in port_counts:
+        metrics = CmmpModel(n_procs=n)._run_array_sum(workload_iterations)
+        rows.append((n, metrics["crosspoints"], metrics["mean_latency"],
+                     metrics["mean_utilization"]))
     return rows
 
 
 def semaphore_cost(n_procs=4, increments=16, memory_time=3.0):
-    """Cycles per lock-protected critical section vs. the 1-cycle ALU op.
-
-    Returns (cycles_per_section, alu_op_cycles, ratio).  The ratio is the
-    paper's "performance cost of this relative to, say, an ALU operation
-    is rather high".
-    """
-    machine = build_cmmp(n_procs=n_procs, memory_time=memory_time)
-    machine.load_spmd(programs.shared_counter_spinlock(0, 1, increments))
-    result = machine.run()
-    sections = n_procs * increments
-    cycles_per_section = result.time / sections
-    alu_cycles = machine.cpu_time
-    return cycles_per_section, alu_cycles, cycles_per_section / alu_cycles
+    """Deprecated shim — (cycles_per_section, alu_cycles, ratio)."""
+    deprecated_call("repro.machines.semaphore_cost",
+                    'registry.create("cmmp", ...).run("semaphore")')
+    metrics = CmmpModel(n_procs=n_procs,
+                        memory_time=memory_time)._run_semaphore(increments)
+    return (metrics["cycles_per_section"], metrics["alu_cycles"],
+            metrics["ratio"])

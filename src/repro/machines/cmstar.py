@@ -8,23 +8,29 @@ into longer memory reference times and decreased processor utilization"
 on the number of processors that could cooperate on even highly parallel
 programs".
 
-:func:`locality_sweep` reproduces the Deminet-style measurement: processor
-utilization as a function of the fraction of references that leave the
-local memory, for intra-cluster and inter-cluster targets.
+:class:`CmstarModel` is the registry entry point; its ``run`` reproduces
+the Deminet-style measurement — processor utilization at one
+remote-reference fraction — and ``contexts > 1`` builds the machine the
+paper only speculates about ("It would be interesting to speculate on the
+behavior of Cm* if micro-tasking processors had been used", §1.2.2).  The
+historical free functions survive as deprecation shims.
 """
 
 from ..analysis.metrics import von_neumann_utilization
 from ..network.hierarchy import HierarchicalNetwork
 from ..vonneumann.machine import VNMachine
+from .api import SimResult, deprecated_call
+from .registry import register
 
-__all__ = ["build_cmstar", "locality_kernel", "locality_sweep"]
+__all__ = ["CmstarModel", "build_cmstar", "locality_kernel",
+           "locality_sweep"]
 
 #: Local memory block per computer module (words).
 LOCAL_BLOCK = 1024
 
 
-def build_cmstar(n_clusters=4, cluster_size=4, kmap_time=3.0,
-                 intercluster_time=9.0, local_time=1.0, memory_time=2.0):
+def _build_cmstar(n_clusters=4, cluster_size=4, kmap_time=3.0,
+                  intercluster_time=9.0, local_time=1.0, memory_time=2.0):
     """A Cm*-shaped machine: one memory module co-located with each
     processor, clusters joined by Kmaps and an intercluster bus."""
     n = n_clusters * cluster_size
@@ -82,40 +88,44 @@ def locality_kernel(pid, n_procs, cluster_size, n_refs, remote_fraction,
     return "\n".join(lines)
 
 
-def locality_sweep(remote_fractions, n_clusters=4, cluster_size=4,
-                   n_refs=50, think_ops=2, remote_kind="intercluster",
-                   kmap_time=3.0, intercluster_time=9.0, local_time=1.0,
-                   memory_time=2.0, contexts=1):
-    """Measured utilization vs. remote-reference fraction.
+@register("cmstar")
+class CmstarModel:
+    """Registry model: the hierarchical-cluster machine."""
 
-    Returns rows ``(fraction, utilization, predicted)`` where the
-    prediction applies the Issue 1 closed form with the latency mix this
-    fraction implies.
+    def __init__(self, n_clusters=4, cluster_size=4, kmap_time=3.0,
+                 intercluster_time=9.0, local_time=1.0, memory_time=2.0):
+        self.config = {
+            "n_clusters": n_clusters,
+            "cluster_size": cluster_size,
+            "kmap_time": kmap_time,
+            "intercluster_time": intercluster_time,
+            "local_time": local_time,
+            "memory_time": memory_time,
+        }
 
-    ``contexts > 1`` builds the machine the paper only speculates about —
-    "It would be interesting to speculate on the behavior of Cm* if
-    micro-tasking processors had been used" (§1.2.2) — by giving every
-    computer module a HEP-style multithreaded processor running
-    ``contexts`` copies of the kernel.
-    """
-    n = n_clusters * cluster_size
-    local_rt = 2 * local_time + memory_time
-    if remote_kind == "intracluster":
-        remote_rt = 2 * kmap_time + memory_time
-    else:
-        remote_rt = 2 * (kmap_time + intercluster_time + kmap_time) + memory_time
-    # cycles of useful work per reference: movi + load issue + think
-    work = 2 + think_ops
-    rows = []
-    for fraction in remote_fractions:
-        machine = build_cmstar(
-            n_clusters, cluster_size, kmap_time=kmap_time,
-            intercluster_time=intercluster_time, local_time=local_time,
-            memory_time=memory_time,
-        )
+    def build(self):
+        """The underlying (empty) :class:`VNMachine`."""
+        return _build_cmstar(**self.config)
+
+    def _point(self, remote_fraction, n_refs, think_ops, remote_kind,
+               contexts):
+        """(measured utilization, closed-form prediction) at one mix."""
+        config = self.config
+        n = config["n_clusters"] * config["cluster_size"]
+        local_rt = 2 * config["local_time"] + config["memory_time"]
+        if remote_kind == "intracluster":
+            remote_rt = 2 * config["kmap_time"] + config["memory_time"]
+        else:
+            remote_rt = (2 * (config["kmap_time"]
+                              + config["intercluster_time"]
+                              + config["kmap_time"])
+                         + config["memory_time"])
+        # cycles of useful work per reference: movi + load issue + think
+        work = 2 + think_ops
+        machine = self.build()
         for pid in range(n):
             source = locality_kernel(
-                pid, n, cluster_size, n_refs, fraction,
+                pid, n, config["cluster_size"], n_refs, remote_fraction,
                 remote_kind=remote_kind, think_ops=think_ops,
             )
             if contexts <= 1:
@@ -125,7 +135,63 @@ def locality_sweep(remote_fractions, n_clusters=4, cluster_size=4,
                     [(source, {1: pid}) for _ in range(contexts)]
                 )
         result = machine.run()
-        mixed_latency = (1 - fraction) * local_rt + fraction * remote_rt
+        mixed_latency = ((1 - remote_fraction) * local_rt
+                         + remote_fraction * remote_rt)
         predicted = von_neumann_utilization(work, mixed_latency)
-        rows.append((fraction, result.mean_utilization, predicted))
+        return result.mean_utilization, predicted
+
+    def run(self, remote_fraction=0.0, n_refs=50, think_ops=2,
+            remote_kind="intercluster", contexts=1):
+        utilization, predicted = self._point(
+            remote_fraction, n_refs, think_ops, remote_kind, contexts)
+        return SimResult(
+            machine=self.name,
+            config=dict(self.config),
+            workload={
+                "remote_fraction": remote_fraction,
+                "n_refs": n_refs,
+                "think_ops": think_ops,
+                "remote_kind": remote_kind,
+                "contexts": contexts,
+            },
+            metrics={
+                "utilization": utilization,
+                "predicted_utilization": predicted,
+                "n_procs": (self.config["n_clusters"]
+                            * self.config["cluster_size"]),
+            },
+        )
+
+
+# ---------------------------------------------------------------------------
+# deprecation shims
+# ---------------------------------------------------------------------------
+
+def build_cmstar(n_clusters=4, cluster_size=4, kmap_time=3.0,
+                 intercluster_time=9.0, local_time=1.0, memory_time=2.0):
+    """Deprecated shim — use ``registry.create("cmstar", ...).build()``."""
+    deprecated_call("repro.machines.build_cmstar",
+                    'registry.create("cmstar", ...).build()')
+    return _build_cmstar(n_clusters=n_clusters, cluster_size=cluster_size,
+                         kmap_time=kmap_time,
+                         intercluster_time=intercluster_time,
+                         local_time=local_time, memory_time=memory_time)
+
+
+def locality_sweep(remote_fractions, n_clusters=4, cluster_size=4,
+                   n_refs=50, think_ops=2, remote_kind="intercluster",
+                   kmap_time=3.0, intercluster_time=9.0, local_time=1.0,
+                   memory_time=2.0, contexts=1):
+    """Deprecated shim — rows ``(fraction, utilization, predicted)``."""
+    deprecated_call("repro.machines.locality_sweep",
+                    'registry.create("cmstar", ...).run(remote_fraction=f)')
+    model = CmstarModel(n_clusters=n_clusters, cluster_size=cluster_size,
+                        kmap_time=kmap_time,
+                        intercluster_time=intercluster_time,
+                        local_time=local_time, memory_time=memory_time)
+    rows = []
+    for fraction in remote_fractions:
+        utilization, predicted = model._point(fraction, n_refs, think_ops,
+                                              remote_kind, contexts)
+        rows.append((fraction, utilization, predicted))
     return rows

@@ -19,15 +19,26 @@ graph-exploration workloads.
 Illiac IV's restriction is modelled separately: a single instruction
 drives one uniform grid shift, so processors needing different directions
 serialize, and everyone waits for the farthest transfer.
+
+:class:`ConnectionMachine` is the registry entry point
+(``registry.create("connection_machine", groups_log2=10)``); its
+``illiac_shifts`` workload covers the Illiac IV restriction.  The legacy
+:class:`ConnectionMachineModel` / :class:`IlliacIVModel` constructors
+still work but emit ``DeprecationWarning``.
 """
 
 import random
 from dataclasses import dataclass
 
+from .api import SimResult, deprecated_call
+from .registry import register
+
 __all__ = [
     "CMConfig",
     "CMResult",
+    "ConnectionMachine",
     "ConnectionMachineModel",
+    "IlliacIV",
     "IlliacIVModel",
 ]
 
@@ -74,11 +85,60 @@ class CMResult:
         return self.comm_time / total if total > 0 else 0.0
 
 
-class ConnectionMachineModel:
-    """SIMD rounds of (ALU phase, hypercube communication phase)."""
+class IlliacIV:
+    """The 8x8 end-around grid with one uniform shift per instruction."""
 
-    def __init__(self, config=None):
-        self.config = config if config is not None else CMConfig()
+    def __init__(self, rows=8, cols=8, shift_time=1.0):
+        self.rows = rows
+        self.cols = cols
+        self.shift_time = shift_time
+
+    def shifts_needed(self, transfers):
+        """Instructions to realize per-processor transfers.
+
+        ``transfers`` is a list of (d_row, d_col) displacements, one per
+        active processor.  A single instruction shifts *every* processor
+        one step in *one* direction, so the instruction count is the sum
+        over the four directions of the largest magnitude requested —
+        processors wanting east and west cannot share an instruction
+        ("two machine instructions had to be executed"), and everyone
+        waits for the farthest transfer.
+        """
+        north = max((max(0, -dr) for dr, _ in transfers), default=0)
+        south = max((max(0, dr) for dr, _ in transfers), default=0)
+        west = max((max(0, -dc) for _, dc in transfers), default=0)
+        east = max((max(0, dc) for _, dc in transfers), default=0)
+        return north + south + west + east
+
+    def transfer_time(self, transfers):
+        return self.shifts_needed(transfers) * self.shift_time
+
+
+@register("connection_machine")
+class ConnectionMachine:
+    """Registry model: SIMD rounds of (ALU phase, hypercube communication
+    phase), plus the Illiac IV grid-shift restriction as a workload."""
+
+    def __init__(self, groups_log2=10, procs_per_group=64, word_bits=32,
+                 message_bits=32, bit_time=1.0, illiac_rows=8,
+                 illiac_cols=8, illiac_shift_time=1.0):
+        self.cm_config = CMConfig(
+            groups_log2=groups_log2, procs_per_group=procs_per_group,
+            word_bits=word_bits, message_bits=message_bits,
+            bit_time=bit_time,
+        )
+        self.illiac = IlliacIV(rows=illiac_rows, cols=illiac_cols,
+                               shift_time=illiac_shift_time)
+        self.config = {
+            "groups_log2": groups_log2,
+            "procs_per_group": procs_per_group,
+            "word_bits": word_bits,
+            "message_bits": message_bits,
+            "bit_time": bit_time,
+            "illiac_rows": illiac_rows,
+            "illiac_cols": illiac_cols,
+            "illiac_shift_time": illiac_shift_time,
+        }
 
     # ------------------------------------------------------------------
     def route_round(self, messages):
@@ -90,7 +150,7 @@ class ConnectionMachineModel:
         for the longest path.  The global completion flag makes this a
         barrier: the round's time is the max, not the mean.
         """
-        config = self.config
+        config = self.cm_config
         link_load = {}
         total_hops = 0
         max_hops = 0
@@ -122,7 +182,7 @@ class ConnectionMachineModel:
         graph (each group messages a uniformly random group);
         ``pattern="neighbor"`` is the friendly grid case (one-hop).
         """
-        config = self.config
+        config = self.cm_config
         rng = random.Random(seed)
         n = config.n_groups
         alu_time = 0.0
@@ -157,31 +217,77 @@ class ConnectionMachineModel:
             mean_hops=hops_acc / rounds if rounds else 0.0,
         )
 
+    def run(self, workload="graph", rounds=8, messages_per_group=1,
+            alu_ops_per_round=1, pattern="random", seed=7, transfers=None):
+        """Run one SIMD workload; returns a :class:`SimResult`.
 
-class IlliacIVModel:
-    """The 8x8 end-around grid with one uniform shift per instruction."""
+        ``workload="graph"`` is the Connection Machine communication
+        experiment; ``workload="illiac_shifts"`` applies the Illiac IV
+        uniform-shift restriction to a list of per-processor transfers.
+        """
+        if workload == "graph":
+            result = self.run_graph_workload(
+                rounds=rounds, messages_per_group=messages_per_group,
+                alu_ops_per_round=alu_ops_per_round, pattern=pattern,
+                seed=seed)
+            spec = {"workload": workload, "rounds": rounds,
+                    "messages_per_group": messages_per_group,
+                    "alu_ops_per_round": alu_ops_per_round,
+                    "pattern": pattern, "seed": seed}
+            metrics = {
+                "alu_time": result.alu_time,
+                "comm_time": result.comm_time,
+                "total_time": result.total_time,
+                "comm_fraction": result.comm_fraction,
+                "rounds": result.rounds,
+                "messages": result.messages,
+                "max_link_load": result.max_link_load,
+                "mean_hops": result.mean_hops,
+                "n_processors": self.cm_config.n_processors,
+            }
+        elif workload == "illiac_shifts":
+            shifts = [tuple(t) for t in (transfers or [])]
+            spec = {"workload": workload,
+                    "transfers": [list(t) for t in shifts]}
+            metrics = {
+                "shifts": self.illiac.shifts_needed(shifts),
+                "transfer_time": self.illiac.transfer_time(shifts),
+            }
+        else:
+            raise ValueError(f"unknown connection_machine workload "
+                             f"{workload!r} (graph, illiac_shifts)")
+        return SimResult(machine=self.name, config=dict(self.config),
+                         workload=spec, metrics=metrics)
+
+
+# ---------------------------------------------------------------------------
+# deprecation shims
+# ---------------------------------------------------------------------------
+
+class ConnectionMachineModel(ConnectionMachine):
+    """Deprecated alias — use ``registry.create("connection_machine")``.
+
+    Keeps the historical signature (one optional :class:`CMConfig`)."""
+
+    def __init__(self, config=None):
+        deprecated_call("repro.machines.ConnectionMachineModel",
+                        'registry.create("connection_machine", ...)')
+        config = config if config is not None else CMConfig()
+        super().__init__(
+            groups_log2=config.groups_log2,
+            procs_per_group=config.procs_per_group,
+            word_bits=config.word_bits,
+            message_bits=config.message_bits,
+            bit_time=config.bit_time,
+        )
+
+
+class IlliacIVModel(IlliacIV):
+    """Deprecated alias — use ``registry.create("connection_machine")``
+    with the ``illiac_shifts`` workload (or :class:`IlliacIV`)."""
 
     def __init__(self, rows=8, cols=8, shift_time=1.0):
-        self.rows = rows
-        self.cols = cols
-        self.shift_time = shift_time
-
-    def shifts_needed(self, transfers):
-        """Instructions to realize per-processor transfers.
-
-        ``transfers`` is a list of (d_row, d_col) displacements, one per
-        active processor.  A single instruction shifts *every* processor
-        one step in *one* direction, so the instruction count is the sum
-        over the four directions of the largest magnitude requested —
-        processors wanting east and west cannot share an instruction
-        ("two machine instructions had to be executed"), and everyone
-        waits for the farthest transfer.
-        """
-        north = max((max(0, -dr) for dr, _ in transfers), default=0)
-        south = max((max(0, dr) for dr, _ in transfers), default=0)
-        west = max((max(0, -dc) for _, dc in transfers), default=0)
-        east = max((max(0, dc) for _, dc in transfers), default=0)
-        return north + south + west + east
-
-    def transfer_time(self, transfers):
-        return self.shifts_needed(transfers) * self.shift_time
+        deprecated_call("repro.machines.IlliacIVModel",
+                        'registry.create("connection_machine", ...)'
+                        '.run(workload="illiac_shifts", ...)')
+        super().__init__(rows=rows, cols=cols, shift_time=shift_time)

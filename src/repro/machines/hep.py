@@ -10,20 +10,24 @@ The paper's two observations about the HEP, both measurable here:
   read list.  Unsatisfiable requests result in a busy-waiting condition"
   — the memory-traffic cost I-structures were designed to remove.
 
-``build_hep`` assembles the machine: one multithreaded barrel processor
-(the HEP PEM) over an interleaved memory system with full/empty bits.
-``saturation_table`` reproduces the machine's characteristic curve:
-throughput rising with context count until the pipeline saturates.
+:class:`HepModel` is the registry entry point.  Its ``compute_loop``
+workload reproduces the machine's characteristic curve (throughput rising
+with context count until the pipeline saturates); ``producer_consumer``
+measures the busy-wait traffic of full/empty synchronization.  The
+historical free functions survive as deprecation shims.
 """
 
 from ..analysis.report import Table
 from ..vonneumann import VNMachine, programs
+from .api import SimResult, deprecated_call
+from .registry import register
 
-__all__ = ["build_hep", "saturation_table", "producer_consumer_traffic"]
+__all__ = ["HepModel", "build_hep", "saturation_table",
+           "producer_consumer_traffic"]
 
 
-def build_hep(contexts=8, latency=8.0, memory_time=1.0, retry_backoff=4.0,
-              source=None, regs_of=None):
+def _build_hep(contexts=8, latency=8.0, memory_time=1.0, retry_backoff=4.0,
+               source=None, regs_of=None):
     """One barrel processor with ``contexts`` register sets.
 
     ``source`` (default: a load/compute kernel) is loaded into every
@@ -44,24 +48,7 @@ def build_hep(contexts=8, latency=8.0, memory_time=1.0, retry_backoff=4.0,
     return machine
 
 
-def saturation_table(context_counts=(1, 2, 4, 8, 16, 32), latency=8.0):
-    """Pipeline utilization vs context count — the HEP's defining curve."""
-    table = Table(
-        "HEP pipeline saturation (Smith 1978 / paper footnote 2)",
-        ["contexts", "pipeline utilization", "instructions/cycle"],
-        notes=[f"one-way memory latency {latency} cycles"],
-    )
-    for contexts in context_counts:
-        machine = build_hep(contexts=contexts, latency=latency)
-        result = machine.run()
-        processor = machine.processors[0]
-        utilization = processor.utilization()
-        ipc = result.instructions / result.time if result.time else 0.0
-        table.add_row(contexts, utilization, ipc)
-    return table
-
-
-def producer_consumer_traffic(n=16, producer_work=24, retry_backoff=4.0):
+def _producer_consumer(n, producer_work, retry_backoff):
     """Busy-wait traffic of HEP-style full/empty synchronization.
 
     Two contexts on one barrel processor share an array: the producer
@@ -85,3 +72,96 @@ def producer_consumer_traffic(n=16, producer_work=24, retry_backoff=4.0):
     requests = machine.memory.counters["accesses"]
     assert machine.peek(99) == sum(k * k for k in range(n))
     return result, retries, requests / n
+
+
+@register("hep")
+class HepModel:
+    """Registry model: one HEP barrel processor over full/empty memory."""
+
+    def __init__(self, contexts=8, latency=8.0, memory_time=1.0,
+                 retry_backoff=4.0):
+        self.config = {
+            "contexts": contexts,
+            "latency": latency,
+            "memory_time": memory_time,
+            "retry_backoff": retry_backoff,
+        }
+
+    def build(self, source=None, regs_of=None):
+        """The underlying :class:`VNMachine`, contexts loaded."""
+        return _build_hep(source=source, regs_of=regs_of, **self.config)
+
+    def run(self, workload="compute_loop", iterations=16, loads_per_iter=1,
+            alu_ops_per_iter=2, n=16, producer_work=24):
+        config = self.config
+        if workload == "compute_loop":
+            source = programs.compute_loop(iterations,
+                                           loads_per_iter=loads_per_iter,
+                                           alu_ops_per_iter=alu_ops_per_iter)
+            machine = self.build(source=source)
+            result = machine.run()
+            processor = machine.processors[0]
+            metrics = {
+                "contexts": config["contexts"],
+                "utilization": processor.utilization(),
+                "instructions": result.instructions,
+                "time": result.time,
+                "ipc": (result.instructions / result.time
+                        if result.time else 0.0),
+            }
+            spec = {"workload": workload, "iterations": iterations,
+                    "loads_per_iter": loads_per_iter,
+                    "alu_ops_per_iter": alu_ops_per_iter}
+        elif workload == "producer_consumer":
+            result, retries, per_element = _producer_consumer(
+                n, producer_work, config["retry_backoff"])
+            metrics = {
+                "time": result.time,
+                "instructions": result.instructions,
+                "retries": retries,
+                "requests_per_element": per_element,
+            }
+            spec = {"workload": workload, "n": n,
+                    "producer_work": producer_work}
+        else:
+            raise ValueError(f"unknown hep workload {workload!r} "
+                             "(compute_loop, producer_consumer)")
+        return SimResult(machine=self.name, config=dict(config),
+                         workload=spec, metrics=metrics)
+
+
+# ---------------------------------------------------------------------------
+# deprecation shims
+# ---------------------------------------------------------------------------
+
+def build_hep(contexts=8, latency=8.0, memory_time=1.0, retry_backoff=4.0,
+              source=None, regs_of=None):
+    """Deprecated shim — use ``registry.create("hep", ...).build()``."""
+    deprecated_call("repro.machines.build_hep",
+                    'registry.create("hep", ...).build()')
+    return _build_hep(contexts=contexts, latency=latency,
+                      memory_time=memory_time, retry_backoff=retry_backoff,
+                      source=source, regs_of=regs_of)
+
+
+def saturation_table(context_counts=(1, 2, 4, 8, 16, 32), latency=8.0):
+    """Deprecated shim — the HEP's defining utilization-vs-contexts curve."""
+    deprecated_call("repro.machines.saturation_table",
+                    'registry.create("hep", contexts=c).run()')
+    table = Table(
+        "HEP pipeline saturation (Smith 1978 / paper footnote 2)",
+        ["contexts", "pipeline utilization", "instructions/cycle"],
+        notes=[f"one-way memory latency {latency} cycles"],
+    )
+    for contexts in context_counts:
+        result = HepModel(contexts=contexts, latency=latency).run()
+        table.add_row(contexts, result.metric("utilization"),
+                      result.metric("ipc"))
+    return table
+
+
+def producer_consumer_traffic(n=16, producer_work=24, retry_backoff=4.0):
+    """Deprecated shim — (result, retries, memory_requests_per_element)."""
+    deprecated_call("repro.machines.producer_consumer_traffic",
+                    'registry.create("hep").run("producer_consumer")')
+    return _producer_consumer(n, producer_work, retry_backoff)

@@ -10,6 +10,11 @@ The paper's two reservations are also surfaced: switch complexity (the
 count of combine/split operations the switches performed) and the fact
 that "the issue of processor latency has not been specifically addressed"
 (round-trip latency still grows with log n even when combining works).
+
+:class:`UltracomputerModel` is the registry entry point
+(``registry.create("ultracomputer", stages=5)``); the historical free
+functions :func:`run_hotspot` and :func:`hotspot_sweep` survive as
+deprecation shims.
 """
 
 from dataclasses import dataclass
@@ -17,8 +22,11 @@ from dataclasses import dataclass
 from ..common.queueing import FifoServer
 from ..common.simulator import Simulator
 from ..network.omega import CombiningOmegaNetwork, FetchAddRequest
+from .api import SimResult, deprecated_call
+from .registry import register
 
-__all__ = ["UltraResult", "run_hotspot", "hotspot_sweep"]
+__all__ = ["UltraResult", "UltracomputerModel", "run_hotspot",
+           "hotspot_sweep"]
 
 
 @dataclass
@@ -42,8 +50,8 @@ class UltraResult:
         return self.memory_arrivals / self.n_procs
 
 
-def run_hotspot(stages, combining=True, requests_per_proc=1,
-                switch_time=1.0, memory_time=2.0, spacing=0.0):
+def _run_hotspot(stages, combining=True, requests_per_proc=1,
+                 switch_time=1.0, memory_time=2.0, spacing=0.0):
     """All 2**stages processors FETCH-AND-ADD address 0.
 
     ``spacing`` staggers injections (0 = the worst-case synchronous burst
@@ -96,7 +104,68 @@ def run_hotspot(stages, combining=True, requests_per_proc=1,
     )
 
 
+@register("ultracomputer")
+class UltracomputerModel:
+    """Registry model: a 2**stages-port combining omega hot-spot machine."""
+
+    def __init__(self, stages=4, combining=True, switch_time=1.0,
+                 memory_time=2.0):
+        self.config = {
+            "stages": stages,
+            "combining": combining,
+            "switch_time": switch_time,
+            "memory_time": memory_time,
+        }
+
+    def hotspot(self, requests_per_proc=1, spacing=0.0):
+        """The raw :class:`UltraResult` of one hot-spot run."""
+        return _run_hotspot(
+            self.config["stages"],
+            combining=self.config["combining"],
+            requests_per_proc=requests_per_proc,
+            switch_time=self.config["switch_time"],
+            memory_time=self.config["memory_time"],
+            spacing=spacing,
+        )
+
+    def run(self, requests_per_proc=1, spacing=0.0):
+        result = self.hotspot(requests_per_proc=requests_per_proc,
+                              spacing=spacing)
+        return SimResult(
+            machine=self.name,
+            config=dict(self.config),
+            workload={"requests_per_proc": requests_per_proc,
+                      "spacing": spacing},
+            metrics={
+                "n_procs": result.n_procs,
+                "combining": result.combining,
+                "total_time": result.total_time,
+                "final_value": result.final_value,
+                "mean_round_trip": result.mean_round_trip,
+                "max_round_trip": result.max_round_trip,
+                "memory_arrivals": result.memory_arrivals,
+                "serialization_factor": result.serialization_factor,
+                "combines": result.combines,
+                "splits": result.splits,
+                "replies": result.replies,
+            },
+        )
+
+
+def run_hotspot(stages, combining=True, requests_per_proc=1,
+                switch_time=1.0, memory_time=2.0, spacing=0.0):
+    """Deprecated shim — use ``registry.create("ultracomputer", ...)``."""
+    deprecated_call("repro.machines.run_hotspot",
+                    'registry.create("ultracomputer", ...).hotspot(...)')
+    return _run_hotspot(stages, combining=combining,
+                        requests_per_proc=requests_per_proc,
+                        switch_time=switch_time, memory_time=memory_time,
+                        spacing=spacing)
+
+
 def hotspot_sweep(stage_counts, combining=True, **kwargs):
-    """One :func:`run_hotspot` per machine size."""
-    return [run_hotspot(stages, combining=combining, **kwargs)
+    """Deprecated shim — one hot-spot run per machine size."""
+    deprecated_call("repro.machines.hotspot_sweep",
+                    "repro.exp sweeps over registry models")
+    return [_run_hotspot(stages, combining=combining, **kwargs)
             for stages in stage_counts]

@@ -13,12 +13,18 @@ The model here gives the VLIW its best case: a perfect list schedule of
 the program's ideal parallelism profile (obtained from the dataflow
 reference interpreter — the compiler is granted an oracle).  Latency
 surprises then charge the full excess to the machine, lockstep-style.
+
+:class:`VliwModel` is the registry entry point; constructing the legacy
+:class:`VLIWModel` still works but emits ``DeprecationWarning``.
 """
 
 import math
 from dataclasses import dataclass
 
-__all__ = ["VLIWModel", "schedule_length", "StaticSchedule"]
+from .api import SimResult, deprecated_call
+from .registry import register
+
+__all__ = ["VliwModel", "VLIWModel", "schedule_length", "StaticSchedule"]
 
 
 def schedule_length(parallelism_profile, issue_width):
@@ -61,12 +67,30 @@ class StaticSchedule:
         return total_ops / slots if slots > 0 else 0.0
 
 
-class VLIWModel:
-    """Compile (statically schedule) a dataflow program for a VLIW."""
+@register("vliw")
+class VliwModel:
+    """Registry model: statically schedule a dataflow program for a VLIW.
+
+    The constructor takes machine parameters (issue width, the latency
+    the compiler assumes).  ``compile``/``width_sweep`` operate on a
+    *finished* reference-interpreter run; ``run`` does the whole thing —
+    interpret a named workload, schedule it, and optionally spring a
+    latency surprise.
+    """
 
     def __init__(self, issue_width=8, assumed_latency=1.0):
-        self.issue_width = issue_width
-        self.assumed_latency = assumed_latency
+        self.config = {
+            "issue_width": issue_width,
+            "assumed_latency": assumed_latency,
+        }
+
+    @property
+    def issue_width(self):
+        return self.config["issue_width"]
+
+    @property
+    def assumed_latency(self):
+        return self.config["assumed_latency"]
 
     def compile(self, interpreter):
         """Build the oracle schedule from a *finished* reference
@@ -93,3 +117,50 @@ class VLIWModel:
             cycles = schedule_length(interpreter.parallelism_profile, width)
             rows.append((width, cycles, base / cycles if cycles else 0.0))
         return rows
+
+    def run(self, workload="trapezoid", args=None, actual_latency=None):
+        """Interpret ``workload``, compile it, report the schedule.
+
+        ``actual_latency`` (default: the assumed latency) models the
+        latency surprise: the lockstep stall charges every excess cycle
+        to the whole machine.
+        """
+        from ..dataflow import Interpreter
+        from ..workloads import compile_workload
+
+        program, _, default_args = compile_workload(workload)
+        run_args = tuple(args) if args is not None else tuple(default_args)
+        interpreter = Interpreter(program)
+        interpreter.run(*run_args)
+        schedule = self.compile(interpreter)
+        latency = (actual_latency if actual_latency is not None
+                   else self.assumed_latency)
+        total_ops = interpreter.instructions_executed
+        return SimResult(
+            machine=self.name,
+            config=dict(self.config),
+            workload={"workload": workload, "args": list(run_args),
+                      "actual_latency": latency},
+            metrics={
+                "schedule_cycles": schedule.length_cycles,
+                "n_memory_ops": schedule.n_memory_ops,
+                "execution_time": schedule.execution_time(latency),
+                "utilization": schedule.utilization(latency, total_ops),
+                "total_ops": total_ops,
+                "speedup_vs_scalar": (
+                    schedule_length(interpreter.parallelism_profile, 1)
+                    / schedule.length_cycles
+                    if schedule.length_cycles else 0.0
+                ),
+            },
+        )
+
+
+class VLIWModel(VliwModel):
+    """Deprecated alias — use ``registry.create("vliw", ...)``."""
+
+    def __init__(self, issue_width=8, assumed_latency=1.0):
+        deprecated_call("repro.machines.VLIWModel",
+                        'registry.create("vliw", ...)')
+        super().__init__(issue_width=issue_width,
+                         assumed_latency=assumed_latency)

@@ -45,6 +45,11 @@ KINDS = (
     "run_begin",   # Simulator.run() entered (fields: pending)
     "quiescent",   # event queue drained; quiescence hooks consulted
     "run_end",     # Simulator.run() returned (fields: events)
+    # Sweep engine (repro.exp; time = wall seconds since sweep start)
+    "sweep_begin", # a parameter sweep started (fields: configs, jobs)
+    "sweep_task",  # one grid point finished (fields: index, status,
+                   # attempts, cached, wall)
+    "sweep_end",   # sweep finished (fields: ok, failed, cached, wall)
 )
 
 

@@ -1,0 +1,223 @@
+"""The sweep engine: grids, caching, timeouts, determinism, cell parsing."""
+
+import json
+import time
+
+import pytest
+
+from repro.exp import (
+    Experiment,
+    ResultCache,
+    code_fingerprint,
+    grid,
+    parse_cell,
+    payload_to_table,
+    records_payload,
+    run_experiment,
+    table_to_payload,
+)
+from repro.exp.cache import config_key
+from repro.machines import registry
+
+
+# ---------------------------------------------------------------------------
+# Worker functions must be module-level (picklable) for the engine.
+# ---------------------------------------------------------------------------
+
+def square(config):
+    return config["x"] * config["x"]
+
+
+def fail_on_three(config):
+    if config["x"] == 3:
+        raise ValueError("three is right out")
+    return config["x"]
+
+
+def slow_run(config):
+    time.sleep(config.get("sleep", 5.0))
+    return "done"
+
+
+def run_model_spec(config):
+    model = registry.create(config["machine"], **config.get("config", {}))
+    return model.run(**config.get("workload", {})).as_dict()
+
+
+class TestGrid:
+    def test_cartesian_product_in_declaration_order(self):
+        configs = grid(a=[1, 2], b=["x", "y"])
+        assert configs == [
+            {"a": 1, "b": "x"}, {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"}, {"a": 2, "b": "y"},
+        ]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Experiment(name="e", run=square, grid=[])
+
+
+class TestEngineInline:
+    def test_run_inline_preserves_order(self):
+        experiment = Experiment(name="sq", run=square, grid=grid(x=[1, 2, 3]))
+        assert experiment.run_inline() == [1, 4, 9]
+
+    def test_jobs_zero_runs_without_workers(self):
+        experiment = Experiment(name="sq", run=square, grid=grid(x=[2, 4]))
+        records = run_experiment(experiment, jobs=0)
+        assert [r.value for r in records] == [4, 16]
+        assert all(r.ok for r in records)
+
+
+class TestEngineWorkers:
+    def test_results_ordered_by_grid_index(self):
+        experiment = Experiment(name="sq", run=square,
+                                grid=grid(x=list(range(8))))
+        records = run_experiment(experiment, jobs=4)
+        assert [r.index for r in records] == list(range(8))
+        assert [r.value for r in records] == [x * x for x in range(8)]
+
+    def test_failure_rows_are_structured(self):
+        experiment = Experiment(name="f", run=fail_on_three,
+                                grid=grid(x=[1, 3]))
+        records = run_experiment(experiment, jobs=2)
+        ok, bad = records
+        assert ok.ok and ok.value == 1
+        assert not bad.ok
+        assert bad.status == "error"
+        assert "three is right out" in bad.error
+        assert bad.attempts == 2  # one retry before giving up
+
+    def test_timeout_then_retry_then_failure_row(self):
+        experiment = Experiment(name="slow", run=slow_run,
+                                grid=[{"sleep": 30.0}])
+        start = time.monotonic()
+        records = run_experiment(experiment, jobs=1, timeout=0.3)
+        elapsed = time.monotonic() - start
+        (record,) = records
+        assert record.status == "timeout"
+        assert record.attempts == 2
+        assert not record.ok
+        assert elapsed < 10  # terminated, not waited out
+
+    def test_jobs_1_and_jobs_4_byte_identical(self):
+        experiment = Experiment(name="sq", run=square,
+                                grid=grid(x=list(range(6))))
+        serial = json.dumps(records_payload(run_experiment(experiment,
+                                                           jobs=1)),
+                            sort_keys=True)
+        fanned = json.dumps(records_payload(run_experiment(experiment,
+                                                           jobs=4)),
+                            sort_keys=True)
+        assert serial == fanned
+
+    def test_models_run_through_engine(self):
+        experiment = Experiment(
+            name="models",
+            run=run_model_spec,
+            grid=[{"machine": "ultracomputer",
+                   "config": {"stages": 3, "combining": True}},
+                  {"machine": "cmmp", "config": {"n_procs": 4}}],
+        )
+        records = run_experiment(experiment, jobs=2)
+        assert all(r.ok for r in records)
+        assert records[0].value["metrics"]["final_value"] == 8
+        assert records[1].value["metrics"]["crosspoints"] == 16
+
+
+class TestCache:
+    def _experiment(self):
+        return Experiment(name="sq", run=square, grid=grid(x=[1, 2, 3]))
+
+    def test_second_run_is_served_from_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        experiment = self._experiment()
+        first = run_experiment(experiment, jobs=0, cache=cache)
+        assert all(not r.cached for r in first)
+        assert cache.misses == 3
+        second = run_experiment(experiment, jobs=0, cache=cache)
+        assert all(r.cached for r in second)
+        assert cache.hits == 3
+        assert [r.value for r in second] == [1, 4, 9]
+
+    def test_config_change_invalidates_exactly_that_point(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_experiment(self._experiment(), jobs=0, cache=cache)
+        grown = Experiment(name="sq", run=square, grid=grid(x=[1, 2, 4]))
+        records = run_experiment(grown, jobs=0, cache=cache)
+        assert [r.cached for r in records] == [True, True, False]
+
+    def test_code_version_changes_key(self, tmp_path):
+        key_a = config_key("e", {"x": 1}, "aaaa")
+        key_b = config_key("e", {"x": 1}, "bbbb")
+        assert key_a != key_b
+
+    def test_key_is_insensitive_to_dict_order(self):
+        assert config_key("e", {"a": 1, "b": 2}, "v") == (
+            config_key("e", {"b": 2, "a": 1}, "v"))
+
+    def test_failures_are_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        experiment = Experiment(name="f", run=fail_on_three,
+                                grid=grid(x=[3]))
+        run_experiment(experiment, jobs=1, cache=cache)
+        records = run_experiment(experiment, jobs=1, cache=cache)
+        assert not records[0].cached  # errors re-run every time
+
+    def test_code_fingerprint_tracks_content(self, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text("A = 1\n")
+        before = code_fingerprint(str(tmp_path))
+        code_fingerprint.cache_clear()
+        module.write_text("A = 2\n")
+        after = code_fingerprint(str(tmp_path))
+        assert before != after
+
+
+class TestRegistryRoundTrip:
+    @pytest.mark.parametrize("name", ["cmmp", "cmstar", "connection_machine",
+                                      "hep", "ttda", "ultracomputer", "vliw"])
+    def test_every_model_runs_and_serializes(self, name):
+        model = registry.create(name)
+        assert model.name == name
+        result = model.run()
+        assert result.machine == name
+        # The SimResult round-trips through JSON (cache/IPC requirement).
+        payload = json.loads(json.dumps(result.as_dict()))
+        assert payload["machine"] == name
+        assert payload["metrics"] == pytest.approx(result.metrics)
+
+
+class TestParseCell:
+    @pytest.mark.parametrize("cell,expected", [
+        ("3", 3),
+        ("3.25", 3.25),
+        ("1e3", 1000.0),
+        ("inf", float("inf")),
+        ("3.2x", 3.2),
+        ("1e3x", 1000.0),
+        ("infx", float("inf")),
+    ])
+    def test_numeric_cells(self, cell, expected):
+        assert parse_cell(cell) == expected
+
+    def test_nan_and_dash(self):
+        assert parse_cell("nan") != parse_cell("nan")  # NaN
+        assert parse_cell("-") != parse_cell("-")  # Table renders NaN as "-"
+
+    @pytest.mark.parametrize("cell", ["yes", "matmul", "1_0", "x", "0x10",
+                                      "", "3 4"])
+    def test_non_numeric_cells_stay_strings(self, cell):
+        assert parse_cell(cell) == cell.strip()
+
+    def test_table_payload_round_trip(self):
+        from repro.analysis import Table
+        table = Table("T", ["a", "b"], notes=["n"])
+        table.add_row(1, float("nan"))
+        table.add_row(float("inf"), "label")
+        payload = table_to_payload(table)
+        assert payload["data"][0]["a"] == 1
+        rebuilt = payload_to_table(payload)
+        assert rebuilt.rows == table.rows
+        assert rebuilt.columns == table.columns
+        assert rebuilt.notes == table.notes

@@ -4,20 +4,20 @@ import pytest
 
 from repro.common import MachineError
 from repro.dataflow import Interpreter, MachineConfig, TaggedTokenMachine
-from repro.machines import build_hep, producer_consumer_traffic, saturation_table
+from repro.machines import registry
 from repro.workloads.handbuilt import build_add_constant
 
 
 class TestHep:
     def test_saturation_curve(self):
-        table = saturation_table(context_counts=(1, 4, 16), latency=8)
-        utils = [float(x) for x in table.column("pipeline utilization")]
+        utils = [registry.create("hep", contexts=k,
+                                 latency=8).run().metric("utilization")
+                 for k in (1, 4, 16)]
         assert utils[0] < utils[1] < utils[2]
         assert utils[2] > 0.8  # 16 contexts cover latency 8
 
     def test_build_hep_runs_custom_source(self):
-        machine = build_hep(
-            contexts=3,
+        machine = registry.create("hep", contexts=3).build(
             source="movi r2, 7\nmovi r3, 100\nadd r4, r2, r1\n"
                    "store r4, r3, 0\nhalt",
             regs_of=lambda index: {1: index, 3: 0},
@@ -30,19 +30,18 @@ class TestHep:
         assert machine.peek(100) in (7, 8, 9)
 
     def test_producer_consumer_traffic_exceeds_two_per_element(self):
-        _, retries, per_element = producer_consumer_traffic(
-            n=12, producer_work=24
-        )
-        assert retries > 0
-        assert per_element > 2.0  # busy-waiting inflates traffic
+        result = registry.create("hep").run(
+            workload="producer_consumer", n=12, producer_work=24)
+        assert result.metric("retries") > 0
+        # busy-waiting inflates traffic
+        assert result.metric("requests_per_element") > 2.0
 
     def test_fast_producer_needs_no_retries(self):
-        _, retries, per_element = producer_consumer_traffic(
-            n=12, producer_work=0, retry_backoff=8.0
-        )
+        result = registry.create("hep", retry_backoff=8.0).run(
+            workload="producer_consumer", n=12, producer_work=0)
         # The barrel interleaves producer and consumer; with no filler
         # work the producer stays ahead most of the time.
-        assert per_element < 3.0
+        assert result.metric("requests_per_element") < 3.0
 
 
 class TestSingleUseGuards:

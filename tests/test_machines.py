@@ -1,62 +1,73 @@
 """Tests for the survey machine models (C.mmp, Cm*, Ultracomputer, VLIW,
-Connection Machine / Illiac IV)."""
+Connection Machine / Illiac IV), driven through the unified registry API."""
 
 import pytest
 
 from repro.dataflow import Interpreter
-from repro.machines import (
-    CMConfig,
-    ConnectionMachineModel,
-    IlliacIVModel,
-    VLIWModel,
-    build_cmstar,
-    crossbar_scaling_table,
-    locality_sweep,
-    run_hotspot,
-    schedule_length,
-    semaphore_cost,
-)
+from repro.machines import IlliacIV, registry, schedule_length
 from repro.workloads.handbuilt import build_array_pipeline, build_sum_loop
+
+
+class TestRegistry:
+    def test_all_seven_models_registered(self):
+        assert registry.names() == [
+            "cmmp", "cmstar", "connection_machine", "hep", "ttda",
+            "ultracomputer", "vliw",
+        ]
+
+    def test_create_applies_config(self):
+        model = registry.create("cmmp", n_procs=8)
+        assert model.name == "cmmp"
+        assert model.config["n_procs"] == 8
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(KeyError, match="ultracomputer"):
+            registry.get("ultra")
 
 
 class TestCmmp:
     def test_cost_grows_quadratically_latency_stays_flat(self):
-        rows = crossbar_scaling_table([2, 4, 8], workload_iterations=10)
-        ns = [row[0] for row in rows]
-        costs = [row[1] for row in rows]
-        latencies = [row[2] for row in rows]
-        assert costs == [n * n for n in ns]
+        results = [registry.create("cmmp", n_procs=n).run(
+                       workload="array_sum", iterations=10)
+                   for n in (2, 4, 8)]
+        costs = [r.metric("crosspoints") for r in results]
+        latencies = [r.metric("mean_latency") for r in results]
+        assert costs == [n * n for n in (2, 4, 8)]
         # Latency stays within a small constant factor while cost 16x's.
         assert max(latencies) < 4 * min(latencies)
 
     def test_semaphore_costs_much_more_than_alu(self):
-        cycles, alu, ratio = semaphore_cost(n_procs=4, increments=8)
-        assert ratio > 10  # "rather high" relative to an ALU op
+        result = registry.create("cmmp", n_procs=4).run(
+            workload="semaphore", increments=8)
+        assert result.metric("ratio") > 10  # "rather high" vs an ALU op
 
 
 class TestCmstar:
+    def _util(self, fraction, **kwargs):
+        model = registry.create("cmstar", n_clusters=2, cluster_size=2)
+        return model.run(remote_fraction=fraction, n_refs=30, **kwargs)
+
     def test_utilization_falls_with_remote_fraction(self):
-        rows = locality_sweep([0.0, 0.2, 0.5], n_clusters=2, cluster_size=2,
-                              n_refs=30)
-        utils = [u for _, u, _ in rows]
+        utils = [self._util(f).metric("utilization")
+                 for f in (0.0, 0.2, 0.5)]
         assert utils[0] > utils[1] > utils[2]
 
     def test_intercluster_hurts_more_than_intracluster(self):
-        intra = locality_sweep([0.5], n_clusters=2, cluster_size=2,
-                               n_refs=30, remote_kind="intracluster")
-        inter = locality_sweep([0.5], n_clusters=2, cluster_size=2,
-                               n_refs=30, remote_kind="intercluster")
-        assert inter[0][1] < intra[0][1]
+        intra = self._util(0.5, remote_kind="intracluster")
+        inter = self._util(0.5, remote_kind="intercluster")
+        assert inter.metric("utilization") < intra.metric("utilization")
 
     def test_prediction_tracks_measurement(self):
-        rows = locality_sweep([0.0, 0.3], n_clusters=2, cluster_size=2,
-                              n_refs=40)
-        for _, measured, predicted in rows:
-            assert measured == pytest.approx(predicted, rel=0.35)
+        model = registry.create("cmstar", n_clusters=2, cluster_size=2)
+        for fraction in (0.0, 0.3):
+            result = model.run(remote_fraction=fraction, n_refs=40)
+            assert result.metric("utilization") == pytest.approx(
+                result.metric("predicted_utilization"), rel=0.35)
 
     def test_local_references_bypass_kmap(self):
-        machine = build_cmstar(n_clusters=2, cluster_size=2)
         from repro.machines.cmstar import locality_kernel
+        machine = registry.create("cmstar", n_clusters=2,
+                                  cluster_size=2).build()
         machine.add_processor(locality_kernel(0, 4, 2, 20, 0.0), regs={1: 0})
         machine.run()
         network = machine.memory.network
@@ -66,28 +77,32 @@ class TestCmstar:
 
 
 class TestUltracomputer:
+    def _hotspot(self, stages, combining):
+        return registry.create("ultracomputer", stages=stages,
+                               combining=combining).hotspot()
+
     def test_fetch_and_add_sums_correctly(self):
-        result = run_hotspot(4, combining=True)
+        result = self._hotspot(4, combining=True)
         assert result.final_value == result.n_procs
 
     def test_combining_collapses_hot_port_traffic(self):
-        with_c = run_hotspot(5, combining=True)
-        without = run_hotspot(5, combining=False)
+        with_c = self._hotspot(5, combining=True)
+        without = self._hotspot(5, combining=False)
         assert with_c.memory_arrivals < without.memory_arrivals
         assert with_c.serialization_factor < 0.5
         assert without.serialization_factor == 1.0
 
     def test_combining_bounds_latency_growth(self):
-        small = run_hotspot(3, combining=True)
-        large = run_hotspot(6, combining=True)
-        small_nc = run_hotspot(3, combining=False)
-        large_nc = run_hotspot(6, combining=False)
+        small = self._hotspot(3, combining=True)
+        large = self._hotspot(6, combining=True)
+        small_nc = self._hotspot(3, combining=False)
+        large_nc = self._hotspot(6, combining=False)
         growth_c = large.max_round_trip / small.max_round_trip
         growth_nc = large_nc.max_round_trip / small_nc.max_round_trip
         assert growth_c < growth_nc  # combining turns ~n into ~log n
 
     def test_adds_bounded_by_log_n(self):
-        result = run_hotspot(5, combining=True)
+        result = self._hotspot(5, combining=True)
         # A full combine tree performs n-1 adds total; each *reference*
         # sees at most log2(n) of them on its path.
         assert result.combines <= result.n_procs - 1
@@ -102,7 +117,8 @@ class TestVLIW:
 
     def test_schedule_length_shrinks_then_flattens(self):
         interp = self._profile()
-        rows = VLIWModel().width_sweep(interp, [1, 2, 4, 8, 16, 64])
+        rows = registry.create("vliw").width_sweep(interp,
+                                                   [1, 2, 4, 8, 16, 64])
         cycles = [c for _, c, _ in rows]
         assert cycles[0] > cycles[2]  # width helps at first
         assert cycles[-1] == cycles[-2]  # ...then flattens (small-scale ||ism)
@@ -112,7 +128,8 @@ class TestVLIW:
     def test_latency_surprise_stalls_whole_machine(self):
         interp = Interpreter(build_array_pipeline())
         interp.run(8)
-        schedule = VLIWModel(issue_width=8, assumed_latency=2).compile(interp)
+        schedule = registry.create("vliw", issue_width=8,
+                                   assumed_latency=2).compile(interp)
         on_time = schedule.execution_time(actual_latency=2)
         late = schedule.execution_time(actual_latency=20)
         assert late > on_time
@@ -127,40 +144,100 @@ class TestVLIW:
 
 class TestConnectionMachine:
     def test_communication_dominates_on_random_graphs(self):
-        model = ConnectionMachineModel(CMConfig(groups_log2=8))
+        model = registry.create("connection_machine", groups_log2=8)
         result = model.run_graph_workload(rounds=4, messages_per_group=1)
         assert result.comm_fraction > 0.9  # the paper's "90%? 99%?"
 
     def test_neighbor_pattern_is_cheap(self):
-        model = ConnectionMachineModel(CMConfig(groups_log2=8))
+        model = registry.create("connection_machine", groups_log2=8)
         random_result = model.run_graph_workload(rounds=4, pattern="random")
         neighbor_result = model.run_graph_workload(rounds=4, pattern="neighbor")
         assert neighbor_result.comm_time < random_result.comm_time
         assert neighbor_result.mean_hops == 1.0
 
     def test_mean_hops_near_half_dimensions(self):
-        model = ConnectionMachineModel(CMConfig(groups_log2=10))
+        model = registry.create("connection_machine", groups_log2=10)
         result = model.run_graph_workload(rounds=2, pattern="random")
         assert result.mean_hops == pytest.approx(5.0, abs=0.5)
 
     def test_alu_speed_is_irrelevant(self):
-        fast = CMConfig(groups_log2=8, word_bits=1)
-        slow = CMConfig(groups_log2=8, word_bits=32)
-        t_fast = ConnectionMachineModel(fast).run_graph_workload(rounds=4)
-        t_slow = ConnectionMachineModel(slow).run_graph_workload(rounds=4)
+        t_fast = registry.create("connection_machine", groups_log2=8,
+                                 word_bits=1).run_graph_workload(rounds=4)
+        t_slow = registry.create("connection_machine", groups_log2=8,
+                                 word_bits=32).run_graph_workload(rounds=4)
         # A 32x faster ALU changes total time by well under 10%.
         assert t_slow.total_time < 1.1 * t_fast.total_time
 
 
 class TestIlliacIV:
     def test_opposite_directions_serialize(self):
-        model = IlliacIVModel()
+        model = IlliacIV()
         assert model.shifts_needed([(0, 1)]) == 1
         assert model.shifts_needed([(0, 1), (0, -1)]) == 2  # east and west
 
     def test_everyone_waits_for_farthest(self):
-        model = IlliacIVModel()
+        model = IlliacIV()
         assert model.shifts_needed([(0, 1), (3, 0)]) == 4
 
     def test_empty_transfer_set(self):
-        assert IlliacIVModel().shifts_needed([]) == 0
+        assert IlliacIV().shifts_needed([]) == 0
+
+
+class TestLegacyShims:
+    """The pre-registry entry points still work, under DeprecationWarning."""
+
+    def test_run_hotspot_warns_and_matches_model(self):
+        from repro.machines import run_hotspot
+        with pytest.warns(DeprecationWarning, match="registry"):
+            legacy = run_hotspot(4, combining=True)
+        fresh = registry.create("ultracomputer", stages=4,
+                                combining=True).hotspot()
+        assert legacy.final_value == fresh.final_value
+        assert legacy.memory_arrivals == fresh.memory_arrivals
+
+    def test_locality_sweep_warns_and_matches_model(self):
+        from repro.machines import locality_sweep
+        with pytest.warns(DeprecationWarning):
+            rows = locality_sweep([0.0, 0.5], n_clusters=2, cluster_size=2,
+                                  n_refs=30)
+        model = registry.create("cmstar", n_clusters=2, cluster_size=2)
+        for (fraction, util, predicted) in rows:
+            result = model.run(remote_fraction=fraction, n_refs=30)
+            assert util == result.metric("utilization")
+            assert predicted == result.metric("predicted_utilization")
+
+    def test_crossbar_and_semaphore_shims_warn(self):
+        from repro.machines import crossbar_scaling_table, semaphore_cost
+        with pytest.warns(DeprecationWarning):
+            rows = crossbar_scaling_table([2, 4], workload_iterations=10)
+        assert [row[1] for row in rows] == [4, 16]
+        with pytest.warns(DeprecationWarning):
+            cycles, alu, ratio = semaphore_cost(n_procs=4, increments=8)
+        assert ratio > 10
+
+    def test_legacy_classes_warn_and_delegate(self):
+        from repro.machines import (
+            CMConfig,
+            ConnectionMachineModel,
+            IlliacIVModel,
+            VLIWModel,
+        )
+        with pytest.warns(DeprecationWarning):
+            cm = ConnectionMachineModel(CMConfig(groups_log2=8))
+        assert cm.run_graph_workload(rounds=2).comm_fraction > 0
+        with pytest.warns(DeprecationWarning):
+            assert IlliacIVModel().shifts_needed([(0, 1)]) == 1
+        interp = Interpreter(build_sum_loop())
+        interp.run(12)
+        with pytest.warns(DeprecationWarning):
+            rows = VLIWModel().width_sweep(interp, [1, 4])
+        assert rows[0][1] > rows[1][1]
+
+    def test_build_shims_warn(self):
+        from repro.machines import build_cmmp, build_cmstar
+        with pytest.warns(DeprecationWarning):
+            machine = build_cmstar(n_clusters=2, cluster_size=2)
+        assert machine is not None
+        with pytest.warns(DeprecationWarning):
+            machine = build_cmmp(n_procs=2)
+        assert machine is not None

@@ -7,7 +7,7 @@ import pytest
 
 from repro.dataflow import MachineConfig, MachineResult, TaggedTokenMachine
 from repro.graph import format_block
-from repro.machines import build_cmmp
+from repro.machines import registry
 from repro.vonneumann import programs
 from repro.workloads.handbuilt import build_sum_loop
 
@@ -63,7 +63,7 @@ class TestHarness:
 
 class TestCmmpBuilder:
     def test_crossbar_machine_runs(self):
-        machine = build_cmmp(n_procs=4)
+        machine = registry.create("cmmp", n_procs=4).build()
         machine.load_spmd(programs.shared_counter_faa(1, 3))
         machine.run()
         assert machine.peek(1) == 12
