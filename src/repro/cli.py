@@ -9,7 +9,10 @@
     python -m repro graph program.id            # text listing (Fig 2-2 style)
     python -m repro graph program.id --dot      # Graphviz DOT on stdout
     python -m repro stats program.id            # structural statistics
+    python -m repro profile program.id --engine machine   # causal profile
+    python -m repro profile program.id --flow flow.json   # Perfetto overlay
     python -m repro bench --jobs 4 --only e07   # parallel experiment sweep
+    python -m repro bench --only e07 --check    # regression gate vs baseline
     python -m repro machine                     # list registered machines
     python -m repro machine ultracomputer --set stages=5 --workload spacing=0.5
 
@@ -107,6 +110,34 @@ def build_parser():
     stats.add_argument("--entry", default=None)
     stats.add_argument("--optimize", action="store_true")
 
+    profile = sub.add_parser(
+        "profile",
+        help="causal profile: cycle accounting + simulated critical path",
+    )
+    profile.add_argument("file", help="Id-like source file")
+    profile.add_argument("--entry", default=None,
+                         help="entry procedure (default: last def)")
+    profile.add_argument("--args", nargs="*", default=[],
+                         help="arguments (default: 8 per parameter)")
+    profile.add_argument("--engine", choices=("machine", "vn"),
+                         default="machine",
+                         help="timed engine to profile")
+    profile.add_argument("--pes", type=int, default=4,
+                         help="PE count (machine engine)")
+    profile.add_argument("--latency", type=float, default=4.0,
+                         help="network latency in cycles")
+    profile.add_argument("--optimize", action="store_true")
+    profile.add_argument("--path-nodes", type=int, default=12,
+                         metavar="N",
+                         help="critical-path events to print (default 12)")
+    profile.add_argument("--json", action="store_true",
+                         help="emit the full profile as JSON on stdout")
+    profile.add_argument("--out", metavar="FILE", default=None,
+                         help="also write the profile JSON to FILE")
+    profile.add_argument("--flow", metavar="FILE", default=None,
+                         help="write a Chrome trace with the critical path "
+                              "overlaid as flow events (open in Perfetto)")
+
     bench = sub.add_parser(
         "bench",
         help="run the experiment suite through the parallel sweep engine",
@@ -126,6 +157,16 @@ def build_parser():
                        help="benchmarks directory (default: auto-detect)")
     bench.add_argument("--trace", metavar="FILE", default=None,
                        help="write sweep progress events as JSONL")
+    bench.add_argument("--check", action="store_true",
+                       help="compare the fresh sweep against committed "
+                            "baselines; exit nonzero on regression")
+    bench.add_argument("--update-baselines", action="store_true",
+                       help="(re)write the baseline files from this sweep")
+    bench.add_argument("--baseline-dir", default=None, metavar="DIR",
+                       help="baseline directory "
+                            "(default: <benchmarks>/baselines)")
+    bench.add_argument("--check-out", metavar="FILE", default=None,
+                       help="write the structured check result as JSON")
 
     machine = sub.add_parser(
         "machine",
@@ -339,6 +380,75 @@ def _cmd_trace(options, out):
     return 0
 
 
+def _cmd_profile(options, out):
+    """Run under provenance tracing; report accounting + critical path."""
+    from .obs import RingSink
+    from .obs.analysis import build_profile, chrome_flow_events
+
+    entry, args = _trace_defaults(options)
+    options.entry = entry
+    bus = TraceBus(provenance=True)
+    ring = bus.add_sink(RingSink(limit=None))
+    chrome = bus.add_sink(ChromeTraceSink()) if options.flow else None
+
+    if options.engine == "vn":
+        from .obs.analysis import vn_accounting
+        from .vonneumann import run_sequential
+
+        with open(options.file, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        value, result, machine = run_sequential(
+            source, tuple(args), entry=entry, latency=options.latency,
+            trace_bus=bus, return_machine=True)
+        accounting = vn_accounting(machine, result, name="vn")
+    else:
+        from .obs.analysis import ttda_accounting
+
+        program = _load(options.file, entry, options.optimize)
+        config = MachineConfig(n_pes=options.pes,
+                               network_latency=options.latency,
+                               trace_bus=bus)
+        machine = TaggedTokenMachine(program, config)
+        result = machine.run(*args)
+        value = result.value
+        accounting = ttda_accounting(machine)
+    meta = {
+        "source": options.file,
+        "engine": options.engine,
+        "entry": entry,
+        "args": [repr(a) for a in args],
+        "result": value,
+        "time_cycles": result.time,
+        "instructions": result.instructions,
+    }
+    report = build_profile(ring.events, accounting, meta=meta)
+    if options.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True,
+                         default=repr), file=out)
+    else:
+        print(report.format(max_path_nodes=options.path_nodes), file=out)
+    if options.out:
+        with open(options.out, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True,
+                      default=repr)
+            fh.write("\n")
+        print(f"profile json -> {options.out}", file=out)
+    if chrome is not None:
+        if report.path is not None:
+            chrome.extend(chrome_flow_events(report.path, chrome.tid_of,
+                                             cycle_us=chrome.cycle_us))
+        chrome.write(options.flow, meta={
+            "source": options.file,
+            "engine": options.engine,
+            "args": [repr(a) for a in args],
+        })
+        print(f"flow trace: {len(chrome)} event(s) -> {options.flow}",
+              file=out)
+        print("  view: load the file at https://ui.perfetto.dev or "
+              "chrome://tracing", file=out)
+    return 0
+
+
 def _cmd_graph(options, out):
     program = _load(options.file, options.entry, options.optimize)
     if options.dot:
@@ -389,7 +499,31 @@ def _cmd_bench(options, out):
         sink.close()
         print(f"sweep trace: {sink.written} event(s) -> {options.trace}",
               file=out)
-    return 1 if aggregate["failures"] else 0
+    status = 1 if aggregate["failures"] else 0
+    if options.update_baselines or options.check:
+        import os
+
+        from .exp.bench import find_bench_dir
+        from .obs.analysis import check_suite, format_report, write_baselines
+
+        baseline_dir = options.baseline_dir or os.path.join(
+            find_bench_dir(options.bench_dir), "baselines")
+        entries = aggregate["experiments"]
+        if options.update_baselines:
+            paths = write_baselines(entries, baseline_dir)
+            print(f"baselines: {len(paths)} file(s) -> {baseline_dir}",
+                  file=out)
+        if options.check:
+            result = check_suite(entries, baseline_dir)
+            print(format_report(result), file=out)
+            if options.check_out:
+                with open(options.check_out, "w", encoding="utf-8") as fh:
+                    json.dump(result, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+                print(f"check result -> {options.check_out}", file=out)
+            if not result["ok"]:
+                status = 1
+    return status
 
 
 def _cmd_machine(options, out):
@@ -414,6 +548,16 @@ def _cmd_machine(options, out):
             print(f"  {section}:", file=out)
             for key, value in sorted(getattr(result, section).items()):
                 print(f"    {key}: {value}", file=out)
+        if result.accounting is not None:
+            from .obs.analysis import BUCKETS
+
+            acct = result.profile()
+            fractions = acct.fractions()
+            print(f"  accounting: window {acct.window:g} cycles x "
+                  f"{acct.n_units} unit(s)", file=out)
+            for bucket in BUCKETS:
+                print(f"    {bucket}: {acct.totals()[bucket]:g} "
+                      f"({100.0 * fractions[bucket]:.2f}%)", file=out)
     return 0
 
 
@@ -423,6 +567,7 @@ def main(argv=None, out=None):
     handler = {
         "run": _cmd_run,
         "trace": _cmd_trace,
+        "profile": _cmd_profile,
         "graph": _cmd_graph,
         "stats": _cmd_stats,
         "bench": _cmd_bench,

@@ -150,14 +150,16 @@ class Simulator:
         (kept out of the trace stream — traces stay deterministic).
         """
         bus = self.bus
-        if bus is not None:
+        if bus is not None and bus.enabled:
+            # ``pending`` walks the whole queue — only pay for it when a
+            # sink is actually listening.
             bus.emit(self._now, "sim", "run_begin", "", pending=self.pending)
         wall_start = time.perf_counter()
         try:
             return self._run(until, max_events)
         finally:
             self.wall_seconds += time.perf_counter() - wall_start
-            if bus is not None:
+            if bus is not None and bus.enabled:
                 bus.emit(self._now, "sim", "run_end", "",
                          events=self._events_fired)
 
@@ -172,7 +174,7 @@ class Simulator:
                 )
             next_event = self._peek()
             if next_event is None:
-                if bus is not None:
+                if bus is not None and bus.enabled:
                     bus.emit(self._now, "sim", "quiescent", "",
                              events=self._events_fired)
                 if self._run_quiescence_hooks():

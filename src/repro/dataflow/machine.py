@@ -119,6 +119,9 @@ class TaggedTokenMachine:
         if bus is None and self.config.trace:
             bus = TraceBus()
         self._bus = bus
+        # Causal provenance: only link events into a DAG when the bus was
+        # built with provenance=True (the ``repro profile`` path).
+        self._provenance = bus is not None and bus.provenance
         self.trace = TraceLog(bus=bus) if self.config.trace else None
         if bus is not None:
             self.sim.attach_bus(bus)
@@ -194,39 +197,54 @@ class TaggedTokenMachine:
         self.sim.schedule(0, self.pes[pe].receive, token.routed_to(pe))
 
     def _trace_event(self, pe, kind, detail, **fields):
-        # Call sites guard on ``self._bus is not None`` before building
-        # detail strings, so a machine without observability pays only
-        # that check.
+        # Call sites guard on ``self._bus is not None and bus.enabled``
+        # before building detail strings, so a machine without (active)
+        # observability pays only that check.  Returns the event's eid in
+        # provenance mode (None otherwise) so emitters can thread causes.
         bus = self._bus
         if bus is not None:
-            bus.emit(self.sim.now, pe, kind, detail, **fields)
+            return bus.emit_id(self.sim.now, pe, kind, detail, **fields)
+        return None
 
-    def _program_result(self, value):
+    def _program_result(self, value, cause=None):
         if self._finished:
             raise MachineError("program returned more than once")
         self._result = value
         self._result_time = self.sim.now
         self._finished = True
-        self._trace_event("-", "result", repr(value))
+        bus = self._bus
+        if bus is not None and bus.enabled:
+            self._trace_event("-", "result", repr(value), parent=cause)
 
     # ------------------------------------------------------------------
     # Interconnect
     # ------------------------------------------------------------------
     def _transmit(self, src_pe, token):
+        bus = self._bus
         if token.pe == src_pe and self.config.local_loopback:
             self.counters.add("tokens_local")
-            if self._bus is not None:
-                self._trace_event(src_pe, "route", "local", local=True)
+            if bus is not None and bus.enabled:
+                eid = self._trace_event(src_pe, "route", "local", local=True,
+                                        parent=token.cause)
+                if eid is not None:
+                    object.__setattr__(token, "cause", eid)
             self.pes[src_pe].receive(token)
         else:
             self.counters.add("tokens_network")
-            if self._bus is not None:
-                self._trace_event(src_pe, "route", f"->pe{token.pe}",
-                                  local=False)
-            self.network.send(src_pe, token.pe, token)
+            cause = token.cause
+            if bus is not None and bus.enabled:
+                eid = self._trace_event(src_pe, "route", f"->pe{token.pe}",
+                                        local=False, parent=token.cause)
+                if eid is not None:
+                    cause = eid
+            self.network.send(src_pe, token.pe, token, cause=cause)
 
     def _network_delivery(self, packet):
         token = packet.payload
+        if self._provenance and packet.cause is not None:
+            # The delivered token's history now runs through the network
+            # events (net_inject -> net_deliver) the packet accumulated.
+            object.__setattr__(token, "cause", packet.cause)
         self.pes[packet.dst].receive(token)
 
     # ------------------------------------------------------------------

@@ -46,11 +46,12 @@ __all__ = ["ProcessingElement", "AllocRequest"]
 class AllocRequest:
     """Payload of a d=2 token: allocate ``size`` cells, reply to ``replies``."""
 
-    __slots__ = ("size", "replies")
+    __slots__ = ("size", "replies", "cause")
 
-    def __init__(self, size, replies):
+    def __init__(self, size, replies, cause=None):
         self.size = size
         self.replies = replies
+        self.cause = cause  # provenance eid of the requesting event
 
 
 class ProcessingElement:
@@ -74,8 +75,11 @@ class ProcessingElement:
             read_cycles=config.is_read_time,
             write_cycles=config.is_write_time,
             trace=self._isc_trace if machine._bus is not None else None,
+            bus=machine._bus,
         )
         self._match_store = {}
+        # Provenance: park eids awaiting their match, keyed by tag.
+        self._match_causes = {}
         self.match_occupancy = TimeWeighted()
         self.counters = Counter()
 
@@ -99,11 +103,19 @@ class ProcessingElement:
                 self.waiting_matching.submit(token, self._match,
                                              service_time=service)
             else:
-                self.fetch.submit(((token.tag, {token.port: token.data})),
-                                  self._fetched)
+                self.fetch.submit(
+                    (token.tag, {token.port: token.data}, token.cause),
+                    self._fetched,
+                )
         elif token.kind is TokenKind.STRUCTURE:
+            if self.machine._provenance:
+                # The request predates any route/network events the token
+                # accumulated in flight; re-link it to the freshest one.
+                token.data.cause = token.cause
             self.istructure.submit(token.data)
         elif token.kind is TokenKind.CONTROL:
+            if self.machine._provenance:
+                token.data.cause = token.cause
             self.controller.submit(token.data, self._control)
         else:
             raise MachineError(f"unclassifiable token {token!r}")
@@ -121,28 +133,40 @@ class ProcessingElement:
                 f"port {token.port}"
             )
         slot[token.port] = token.data
+        bus = self.machine._bus
         if len(slot) == token.nt:
             del self._match_store[token.tag]
             self.counters.add("matches")
             self.match_occupancy.update(
                 self.machine.sim.now, self._waiting_tokens()
             )
-            if self.machine._bus is not None:
-                self.machine._trace_event(
+            cause = token.cause
+            if bus is not None and bus.enabled:
+                # The match joins this token's chain (parent) with the
+                # park events of the operands that arrived earlier.
+                eid = self.machine._trace_event(
                     self.pe, "match", repr(token.tag),
                     waiting=self._waiting_tokens(),
+                    parent=token.cause,
+                    joins=self._match_causes.pop(token.tag, None),
                 )
-            self.fetch.submit((token.tag, slot), self._fetched)
+                if eid is not None:
+                    cause = eid
+            elif self._match_causes:
+                self._match_causes.pop(token.tag, None)
+            self.fetch.submit((token.tag, slot, cause), self._fetched)
         else:
             self.counters.add("tokens_parked")
             self.match_occupancy.update(
                 self.machine.sim.now, self._waiting_tokens()
             )
-            if self.machine._bus is not None:
-                self.machine._trace_event(
+            if bus is not None and bus.enabled:
+                eid = self.machine._trace_event(
                     self.pe, "park", f"{token.tag!r} p{token.port}",
-                    waiting=self._waiting_tokens(),
+                    waiting=self._waiting_tokens(), parent=token.cause,
                 )
+                if eid is not None:
+                    self._match_causes.setdefault(token.tag, []).append(eid)
 
     def _waiting_tokens(self):
         return sum(len(slot) for slot in self._match_store.values())
@@ -151,33 +175,37 @@ class ProcessingElement:
     # Instruction fetch and ALU
     # ------------------------------------------------------------------
     def _fetched(self, enabled):
-        tag, by_port = enabled
+        tag, by_port, cause = enabled
         instruction = self.machine.program.instruction(tag.code_block, tag.statement)
-        self.alu.submit((instruction, tag, by_port), self._executed)
+        self.alu.submit((instruction, tag, by_port, cause), self._executed)
 
     def _executed(self, work):
-        instruction, tag, by_port = work
+        instruction, tag, by_port, cause = work
         operands = assemble_operands(instruction, by_port)
         effects = execute(self.machine.program, instruction, tag, operands)
         self.counters.add("instructions")
         self.counters.add(f"class_{OPCODE_CLASS[instruction.opcode].value}")
-        if self.machine._bus is not None:
+        bus = self.machine._bus
+        if bus is not None and bus.enabled:
             # dur = the ALU slice just finished; the Chrome exporter
             # renders it as pipeline-stage occupancy on this PE's track.
-            self.machine._trace_event(
+            eid = self.machine._trace_event(
                 self.pe, "exec", f"{tag!r} {instruction.opcode.value}",
                 op=instruction.opcode.value, dur=self.config.alu_time,
+                parent=cause,
             )
+            if eid is not None:
+                cause = eid
         for effect in effects:
-            self._emit(effect, tag)
+            self._emit(effect, tag, cause)
 
-    def _emit(self, effect, tag):
+    def _emit(self, effect, tag, cause=None):
         if isinstance(effect, Send):
             instruction = self.machine.program.instruction(
                 effect.tag.code_block, effect.tag.statement
             )
             token = Token(effect.tag, effect.port, effect.value,
-                          TokenKind.NORMAL, nt=instruction.nt)
+                          TokenKind.NORMAL, nt=instruction.nt, cause=cause)
             self.output.submit(token, self._route)
         elif isinstance(effect, StructureRead):
             for reply_tag, reply_port in effect.replies:
@@ -186,22 +214,27 @@ class ProcessingElement:
                 request = ReadRequest(
                     key=(effect.ref.sid, effect.index),
                     reply=(reply_tag, reply_port),
+                    cause=cause,
                 )
-                token = Token(tag, 0, request, TokenKind.STRUCTURE, pe=home)
+                token = Token(tag, 0, request, TokenKind.STRUCTURE, pe=home,
+                              cause=cause)
                 self.output.submit(token, self._route)
         elif isinstance(effect, StructureWrite):
             home = interleave_home(effect.ref, effect.index, self.machine.n_pes)
             request = WriteRequest(
-                key=(effect.ref.sid, effect.index), value=effect.value
+                key=(effect.ref.sid, effect.index), value=effect.value,
+                cause=cause,
             )
-            token = Token(tag, 0, request, TokenKind.STRUCTURE, pe=home)
+            token = Token(tag, 0, request, TokenKind.STRUCTURE, pe=home,
+                          cause=cause)
             self.output.submit(token, self._route)
         elif isinstance(effect, StructureAlloc):
-            request = AllocRequest(effect.size, effect.replies)
-            token = Token(tag, 0, request, TokenKind.CONTROL, pe=self.pe)
+            request = AllocRequest(effect.size, effect.replies, cause=cause)
+            token = Token(tag, 0, request, TokenKind.CONTROL, pe=self.pe,
+                          cause=cause)
             self.output.submit(token, self._route)
         elif isinstance(effect, ProgramResult):
-            self.machine._program_result(effect.value)
+            self.machine._program_result(effect.value, cause)
         else:
             raise MachineError(f"unknown effect {effect!r}")
 
@@ -220,14 +253,19 @@ class ProcessingElement:
     def _control(self, request):
         if isinstance(request, AllocRequest):
             ref = self.machine.allocate_structure(request.size, on_pe=self.pe)
-            if self.machine._bus is not None:
-                self.machine._trace_event(self.pe, "alloc", repr(ref))
+            cause = request.cause
+            bus = self.machine._bus
+            if bus is not None and bus.enabled:
+                eid = self.machine._trace_event(self.pe, "alloc", repr(ref),
+                                                parent=request.cause)
+                if eid is not None:
+                    cause = eid
             for reply_tag, reply_port in request.replies:
                 instruction = self.machine.program.instruction(
                     reply_tag.code_block, reply_tag.statement
                 )
                 token = Token(reply_tag, reply_port, ref, TokenKind.NORMAL,
-                              nt=instruction.nt)
+                              nt=instruction.nt, cause=cause)
                 self.output.submit(token, self._route)
         else:
             raise MachineError(f"pe{self.pe}: unknown control request {request!r}")
@@ -236,15 +274,17 @@ class ProcessingElement:
     # I-structure reply path
     # ------------------------------------------------------------------
     def _isc_trace(self, kind, detail, **fields):
-        self.machine._trace_event(self.pe, kind, detail, **fields)
+        return self.machine._trace_event(self.pe, kind, detail, **fields)
 
     def _istructure_reply(self, reply, value):
         reply_tag, reply_port = reply
         instruction = self.machine.program.instruction(
             reply_tag.code_block, reply_tag.statement
         )
+        # The controller sets reply_cause synchronously right before each
+        # deliver call, so this read is race-free under the event kernel.
         token = Token(reply_tag, reply_port, value, TokenKind.NORMAL,
-                      nt=instruction.nt)
+                      nt=instruction.nt, cause=self.istructure.reply_cause)
         self.output.submit(token, self._route)
 
     # ------------------------------------------------------------------

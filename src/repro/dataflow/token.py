@@ -37,10 +37,15 @@ class Token:
     kind: TokenKind = TokenKind.NORMAL
     nt: int = 1
     pe: Optional[int] = None
+    # Provenance: eid of the trace event that produced this token.  Only
+    # populated when the machine's bus runs with provenance=True; excluded
+    # from repr so trace detail strings stay byte-compatible.
+    cause: Optional[int] = None
 
     def routed_to(self, pe):
         """Copy of the token with its PE field filled in."""
-        return Token(self.tag, self.port, self.data, self.kind, self.nt, pe)
+        return Token(self.tag, self.port, self.data, self.kind, self.nt, pe,
+                     self.cause)
 
     @property
     def needs_partner(self):

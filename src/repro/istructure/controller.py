@@ -19,21 +19,23 @@ __all__ = ["IStructureController", "ReadRequest", "WriteRequest"]
 class ReadRequest:
     """A d=1 FETCH token's payload: read ``key``, answer to ``reply``."""
 
-    __slots__ = ("key", "reply")
+    __slots__ = ("key", "reply", "cause")
 
-    def __init__(self, key, reply):
+    def __init__(self, key, reply, cause=None):
         self.key = key
         self.reply = reply
+        self.cause = cause  # provenance eid of the requesting event
 
 
 class WriteRequest:
     """A d=1 STORE token's payload: write ``value`` into ``key``."""
 
-    __slots__ = ("key", "value")
+    __slots__ = ("key", "value", "cause")
 
-    def __init__(self, key, value):
+    def __init__(self, key, value, cause=None):
         self.key = key
         self.value = value
+        self.cause = cause  # provenance eid of the requesting event
 
 
 class IStructureController:
@@ -50,6 +52,7 @@ class IStructureController:
         drain_cycles_per_deferred=1,
         module=None,
         trace=None,
+        bus=None,
     ):
         self.sim = sim
         self.deliver = deliver
@@ -65,8 +68,16 @@ class IStructureController:
         self.utilization = UtilizationTracker()
         #: Optional ``trace(kind, detail, **fields)`` observability hook;
         #: None (the default) keeps the controller's hot path free of any
-        #: per-event work beyond this attribute check.
+        #: per-event work beyond this attribute check.  ``bus`` is only
+        #: consulted for its ``enabled`` flag, so detail strings are not
+        #: built while no sink is listening.  The hook returns the event's
+        #: provenance eid (or None).
         self._trace = trace
+        self._bus = bus
+        #: Provenance eid to attach to the token built by the very next
+        #: ``deliver`` call; set synchronously right before each delivery.
+        self.reply_cause = None
+        self._deferred_causes = {}
 
     # ------------------------------------------------------------------
     def submit(self, request):
@@ -92,18 +103,28 @@ class IStructureController:
 
     def _complete(self, request):
         extra = 0.0
+        tracing = self._trace is not None and (
+            self._bus is None or self._bus.enabled
+        )
         if isinstance(request, ReadRequest):
             # A deferred read costs nothing extra now; it pays its
             # processing cycle when the write drains the list.
             value = self.module.read(request.key, request.reply)
             if value is DEFERRED:
                 self.counters.add("reads_deferred")
-                if self._trace is not None:
-                    self._trace("is_defer", repr(request.key))
+                if tracing:
+                    eid = self._trace("is_defer", repr(request.key),
+                                      parent=request.cause)
+                    if eid is not None:
+                        self._deferred_causes[request.reply] = eid
             else:
                 self.counters.add("reads")
-                if self._trace is not None:
-                    self._trace("is_read", repr(request.key))
+                self.reply_cause = None
+                if tracing:
+                    self.reply_cause = self._trace(
+                        "is_read", repr(request.key), parent=request.cause,
+                        dur=self.read_cycles,
+                    )
                 self.deliver(request.reply, value)
         else:
             drained = self.module.write(request.key, request.value)
@@ -111,10 +132,21 @@ class IStructureController:
             self.counters.add("writes")
             if drained:
                 self.counters.add("reads_drained", len(drained))
-            if self._trace is not None:
-                self._trace("is_write", repr(request.key),
-                            drained=len(drained))
+            eid = None
+            if tracing:
+                # The write joins the deferred reads it drains, so the
+                # read-side chains stay connected through the DAG.
+                joins = [
+                    self._deferred_causes.pop(reply)
+                    for reply in drained
+                    if reply in self._deferred_causes
+                ] or None
+                eid = self._trace("is_write", repr(request.key),
+                                  drained=len(drained),
+                                  parent=request.cause, joins=joins,
+                                  dur=self.write_cycles)
             for reply in drained:
+                self.reply_cause = eid
                 self.deliver(reply, request.value)
         if extra > 0:
             self.sim.schedule(extra, self._finish_drain)

@@ -23,7 +23,7 @@ keep working while in-repo code migrates to the registry.
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Dict, Protocol, runtime_checkable
+from typing import Any, Dict, Optional, Protocol, runtime_checkable
 
 __all__ = [
     "MachineModel",
@@ -48,6 +48,12 @@ class SimResult:
     config: Dict[str, Any] = field(default_factory=dict)
     workload: Dict[str, Any] = field(default_factory=dict)
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Optional cycle-accounting payload (the ``as_dict`` form of a
+    #: :class:`repro.obs.analysis.CycleAccounting`): every unit-cycle of
+    #: the run decomposed into compute / memory_stall / sync_wait /
+    #: network_queue / idle.  Populated by models that can attribute
+    #: their cycles; read it through :meth:`profile`.
+    accounting: Optional[Dict[str, Any]] = None
 
     def metric(self, name):
         """One measurement; raises KeyError naming the known metrics."""
@@ -60,14 +66,32 @@ class SimResult:
                 f"(has: {known})"
             ) from None
 
+    def profile(self):
+        """The run's :class:`~repro.obs.analysis.CycleAccounting`.
+
+        Raises ``ValueError`` when the model did not attach one (the
+        error names the machine, so sweep code can give a useful
+        message).
+        """
+        if self.accounting is None:
+            raise ValueError(
+                f"{self.machine!r} run carries no cycle accounting"
+            )
+        from ..obs.analysis import CycleAccounting
+
+        return CycleAccounting.from_dict(self.accounting)
+
     def as_dict(self):
         """A plain-dict form, safe to JSON-serialize and cache."""
-        return {
+        payload = {
             "machine": self.machine,
             "config": dict(self.config),
             "workload": dict(self.workload),
             "metrics": dict(self.metrics),
         }
+        if self.accounting is not None:
+            payload["accounting"] = self.accounting
+        return payload
 
     @classmethod
     def from_dict(cls, payload):
@@ -76,6 +100,7 @@ class SimResult:
             config=dict(payload.get("config", {})),
             workload=dict(payload.get("workload", {})),
             metrics=dict(payload.get("metrics", {})),
+            accounting=payload.get("accounting"),
         )
 
 

@@ -73,13 +73,14 @@ class CmmpModel:
             machine.add_processor(source, regs={1: pid})
         result = machine.run()
         network = machine.memory.network
-        return {
+        metrics = {
             "n_procs": n,
             "crosspoints": CrossbarNetwork.crosspoint_count(n),
             "mean_latency": network.mean_latency(),
             "mean_utilization": result.mean_utilization,
             "time": result.time,
         }
+        return metrics, machine, result
 
     def _run_semaphore(self, increments):
         """Cycles per lock-protected critical section vs the ALU op."""
@@ -90,25 +91,30 @@ class CmmpModel:
         sections = n * increments
         cycles_per_section = result.time / sections
         alu_cycles = machine.cpu_time
-        return {
+        metrics = {
             "n_procs": n,
             "cycles_per_section": cycles_per_section,
             "alu_cycles": alu_cycles,
             "ratio": cycles_per_section / alu_cycles,
         }
+        return metrics, machine, result
 
     def run(self, workload="array_sum", iterations=40, increments=16):
+        from ..obs.analysis import vn_accounting
+
         if workload == "array_sum":
-            metrics = self._run_array_sum(iterations)
+            metrics, machine, result = self._run_array_sum(iterations)
             spec = {"workload": workload, "iterations": iterations}
         elif workload == "semaphore":
-            metrics = self._run_semaphore(increments)
+            metrics, machine, result = self._run_semaphore(increments)
             spec = {"workload": workload, "increments": increments}
         else:
             raise ValueError(f"unknown cmmp workload {workload!r} "
                              "(array_sum, semaphore)")
+        accounting = vn_accounting(machine, result, name=self.name)
         return SimResult(machine=self.name, config=dict(self.config),
-                         workload=spec, metrics=metrics)
+                         workload=spec, metrics=metrics,
+                         accounting=accounting.as_dict())
 
 
 # ---------------------------------------------------------------------------
@@ -131,7 +137,8 @@ def crossbar_scaling_table(port_counts, workload_iterations=40):
                     'registry.create("cmmp", n_procs=n).run("array_sum")')
     rows = []
     for n in port_counts:
-        metrics = CmmpModel(n_procs=n)._run_array_sum(workload_iterations)
+        metrics, _machine, _result = CmmpModel(
+            n_procs=n)._run_array_sum(workload_iterations)
         rows.append((n, metrics["crosspoints"], metrics["mean_latency"],
                      metrics["mean_utilization"]))
     return rows
@@ -141,7 +148,7 @@ def semaphore_cost(n_procs=4, increments=16, memory_time=3.0):
     """Deprecated shim — (cycles_per_section, alu_cycles, ratio)."""
     deprecated_call("repro.machines.semaphore_cost",
                     'registry.create("cmmp", ...).run("semaphore")')
-    metrics = CmmpModel(n_procs=n_procs,
-                        memory_time=memory_time)._run_semaphore(increments)
+    metrics, _machine, _result = CmmpModel(
+        n_procs=n_procs, memory_time=memory_time)._run_semaphore(increments)
     return (metrics["cycles_per_section"], metrics["alu_cycles"],
             metrics["ratio"])

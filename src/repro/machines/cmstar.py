@@ -138,12 +138,15 @@ class CmstarModel:
         mixed_latency = ((1 - remote_fraction) * local_rt
                          + remote_fraction * remote_rt)
         predicted = von_neumann_utilization(work, mixed_latency)
-        return result.mean_utilization, predicted
+        return result.mean_utilization, predicted, machine, result
 
     def run(self, remote_fraction=0.0, n_refs=50, think_ops=2,
             remote_kind="intercluster", contexts=1):
-        utilization, predicted = self._point(
+        from ..obs.analysis import vn_accounting
+
+        utilization, predicted, machine, result = self._point(
             remote_fraction, n_refs, think_ops, remote_kind, contexts)
+        accounting = vn_accounting(machine, result, name=self.name)
         return SimResult(
             machine=self.name,
             config=dict(self.config),
@@ -160,6 +163,7 @@ class CmstarModel:
                 "n_procs": (self.config["n_clusters"]
                             * self.config["cluster_size"]),
             },
+            accounting=accounting.as_dict(),
         )
 
 
@@ -191,7 +195,7 @@ def locality_sweep(remote_fractions, n_clusters=4, cluster_size=4,
                         local_time=local_time, memory_time=memory_time)
     rows = []
     for fraction in remote_fractions:
-        utilization, predicted = model._point(fraction, n_refs, think_ops,
-                                              remote_kind, contexts)
+        utilization, predicted, _machine, _result = model._point(
+            fraction, n_refs, think_ops, remote_kind, contexts)
         rows.append((fraction, utilization, predicted))
     return rows

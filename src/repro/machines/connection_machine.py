@@ -225,6 +225,8 @@ class ConnectionMachine:
         experiment; ``workload="illiac_shifts"`` applies the Illiac IV
         uniform-shift restriction to a list of per-processor transfers.
         """
+        from ..obs.analysis import CycleAccounting, unit_account
+
         if workload == "graph":
             result = self.run_graph_workload(
                 rounds=rounds, messages_per_group=messages_per_group,
@@ -245,19 +247,36 @@ class ConnectionMachine:
                 "mean_hops": result.mean_hops,
                 "n_processors": self.cm_config.n_processors,
             }
+            # SIMD lockstep: the whole array is one unit.  The global
+            # completion flag means every processor sits through each
+            # communication phase, so comm_time is synchronization-shaped
+            # queueing charged to the network.
+            accounting = CycleAccounting(self.name, result.total_time, [
+                unit_account("simd_array", result.total_time,
+                             compute=result.alu_time,
+                             network_queue=result.comm_time),
+            ])
         elif workload == "illiac_shifts":
             shifts = [tuple(t) for t in (transfers or [])]
             spec = {"workload": workload,
                     "transfers": [list(t) for t in shifts]}
+            transfer_time = self.illiac.transfer_time(shifts)
             metrics = {
                 "shifts": self.illiac.shifts_needed(shifts),
-                "transfer_time": self.illiac.transfer_time(shifts),
+                "transfer_time": transfer_time,
             }
+            # Uniform-shift serialization: the run is pure data movement;
+            # everyone waits for the farthest transfer every instruction.
+            accounting = CycleAccounting(self.name, transfer_time, [
+                unit_account("simd_grid", transfer_time,
+                             network_queue=transfer_time),
+            ])
         else:
             raise ValueError(f"unknown connection_machine workload "
                              f"{workload!r} (graph, illiac_shifts)")
         return SimResult(machine=self.name, config=dict(self.config),
-                         workload=spec, metrics=metrics)
+                         workload=spec, metrics=metrics,
+                         accounting=accounting.as_dict())
 
 
 # ---------------------------------------------------------------------------

@@ -71,7 +71,7 @@ def _producer_consumer(n, producer_work, retry_backoff):
     retries = result.counters.get("retries", 0)
     requests = machine.memory.counters["accesses"]
     assert machine.peek(99) == sum(k * k for k in range(n))
-    return result, retries, requests / n
+    return result, retries, requests / n, machine
 
 
 @register("hep")
@@ -93,6 +93,8 @@ class HepModel:
 
     def run(self, workload="compute_loop", iterations=16, loads_per_iter=1,
             alu_ops_per_iter=2, n=16, producer_work=24):
+        from ..obs.analysis import vn_accounting
+
         config = self.config
         if workload == "compute_loop":
             source = programs.compute_loop(iterations,
@@ -113,7 +115,7 @@ class HepModel:
                     "loads_per_iter": loads_per_iter,
                     "alu_ops_per_iter": alu_ops_per_iter}
         elif workload == "producer_consumer":
-            result, retries, per_element = _producer_consumer(
+            result, retries, per_element, machine = _producer_consumer(
                 n, producer_work, config["retry_backoff"])
             metrics = {
                 "time": result.time,
@@ -126,8 +128,10 @@ class HepModel:
         else:
             raise ValueError(f"unknown hep workload {workload!r} "
                              "(compute_loop, producer_consumer)")
+        accounting = vn_accounting(machine, result, name=self.name)
         return SimResult(machine=self.name, config=dict(config),
-                         workload=spec, metrics=metrics)
+                         workload=spec, metrics=metrics,
+                         accounting=accounting.as_dict())
 
 
 # ---------------------------------------------------------------------------
@@ -164,4 +168,6 @@ def producer_consumer_traffic(n=16, producer_work=24, retry_backoff=4.0):
     """Deprecated shim — (result, retries, memory_requests_per_element)."""
     deprecated_call("repro.machines.producer_consumer_traffic",
                     'registry.create("hep").run("producer_consumer")')
-    return _producer_consumer(n, producer_work, retry_backoff)
+    result, retries, per_element, _machine = _producer_consumer(
+        n, producer_work, retry_backoff)
+    return result, retries, per_element

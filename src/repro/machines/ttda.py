@@ -59,6 +59,7 @@ class TtdaModel:
         run_args = tuple(args) if args is not None else tuple(default_args)
         spec = {"workload": workload, "args": list(run_args)}
 
+        accounting = None
         if self.config["n_pes"] == 0:
             interp = Interpreter(program)
             value = interp.run(*run_args)
@@ -72,6 +73,8 @@ class TtdaModel:
                 "average_parallelism": interp.average_parallelism(),
             }
         else:
+            from ..obs.analysis import ttda_accounting
+
             machine = TaggedTokenMachine(program, self._machine_config())
             result = machine.run(*run_args)
             if check and reference is not None:
@@ -85,5 +88,7 @@ class TtdaModel:
                 "tokens_network": result.counters.get("tokens_network", 0),
                 "tokens_local": result.counters.get("tokens_local", 0),
             }
+            accounting = ttda_accounting(machine).as_dict()
         return SimResult(machine=self.name, config=dict(self.config),
-                         workload=spec, metrics=metrics)
+                         workload=spec, metrics=metrics,
+                         accounting=accounting)

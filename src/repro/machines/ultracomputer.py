@@ -18,6 +18,7 @@ deprecation shims.
 """
 
 from dataclasses import dataclass
+from typing import Any, Optional
 
 from ..common.queueing import FifoServer
 from ..common.simulator import Simulator
@@ -43,6 +44,9 @@ class UltraResult:
     combines: int
     splits: int
     replies: int
+    #: Cycle-accounting payload (``CycleAccounting.as_dict`` form):
+    #: memory-port servers and switch rails decomposed over the run.
+    accounting: Optional[Any] = None
 
     @property
     def serialization_factor(self):
@@ -90,6 +94,9 @@ def _run_hotspot(stages, combining=True, requests_per_proc=1,
                          FetchAddRequest(address=0, value=1))
     sim.run()
 
+    from ..obs.analysis import ultra_accounting
+    accounting = ultra_accounting(net, servers, sim.now).as_dict()
+
     return UltraResult(
         n_procs=n,
         combining=combining,
@@ -101,6 +108,7 @@ def _run_hotspot(stages, combining=True, requests_per_proc=1,
         combines=net.counters["combines"],
         splits=net.counters["splits"],
         replies=net.counters["replies"],
+        accounting=accounting,
     )
 
 
@@ -149,6 +157,7 @@ class UltracomputerModel:
                 "splits": result.splits,
                 "replies": result.replies,
             },
+            accounting=result.accounting,
         )
 
 

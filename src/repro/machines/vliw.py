@@ -126,6 +126,7 @@ class VliwModel:
         to the whole machine.
         """
         from ..dataflow import Interpreter
+        from ..obs.analysis import CycleAccounting, unit_account
         from ..workloads import compile_workload
 
         program, _, default_args = compile_workload(workload)
@@ -136,6 +137,19 @@ class VliwModel:
         latency = (actual_latency if actual_latency is not None
                    else self.assumed_latency)
         total_ops = interpreter.instructions_executed
+        execution_time = schedule.execution_time(latency)
+        # Units are the issue slots.  Ops spread evenly over the slots
+        # (one slot-cycle each); a latency surprise stalls the whole
+        # lockstep machine, so every slot eats the full excess
+        # (execution_time - schedule_cycles); unfilled schedule slots
+        # are idle — the "4 to 8" parallelism ceiling made visible.
+        width = self.issue_width
+        stall = execution_time - schedule.length_cycles
+        accounting = CycleAccounting(self.name, execution_time, [
+            unit_account(f"slot{i}", execution_time,
+                         compute=total_ops / width, memory_stall=stall)
+            for i in range(width)
+        ])
         return SimResult(
             machine=self.name,
             config=dict(self.config),
@@ -144,7 +158,7 @@ class VliwModel:
             metrics={
                 "schedule_cycles": schedule.length_cycles,
                 "n_memory_ops": schedule.n_memory_ops,
-                "execution_time": schedule.execution_time(latency),
+                "execution_time": execution_time,
                 "utilization": schedule.utilization(latency, total_ops),
                 "total_ops": total_ops,
                 "speedup_vs_scalar": (
@@ -153,6 +167,7 @@ class VliwModel:
                     if schedule.length_cycles else 0.0
                 ),
             },
+            accounting=accounting.as_dict(),
         )
 
 

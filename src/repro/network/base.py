@@ -53,16 +53,25 @@ class Network:
         self._check_port(port)
         self._handlers[port] = handler
 
-    def send(self, src, dst, payload, size=1):
-        """Inject a packet; returns the :class:`Packet` for tracing."""
+    def send(self, src, dst, payload, size=1, cause=None):
+        """Inject a packet; returns the :class:`Packet` for tracing.
+
+        ``cause`` is the provenance eid of the event that produced the
+        payload; the injection event links to it and the packet carries
+        the chain forward to delivery.
+        """
         self._check_port(src)
         self._check_port(dst)
         packet = Packet(src=src, dst=dst, payload=payload, size=size,
                         injected_at=self.sim.now)
         self.counters.add("injected")
-        if self._bus is not None:
-            self._bus.emit(self.sim.now, self._bus_source, "net_inject",
-                           f"{src}->{dst}", size=size)
+        bus = self._bus
+        if bus is not None and bus.enabled:
+            eid = bus.emit_id(self.sim.now, self._bus_source, "net_inject",
+                              f"{src}->{dst}", size=size, parent=cause)
+            packet.cause = eid if eid is not None else cause
+        else:
+            packet.cause = cause
         self._route(packet)
         return packet
 
@@ -79,10 +88,14 @@ class Network:
         latency = self.sim.now - packet.injected_at
         self.latency.observe(latency)
         self.hop_counts.observe(packet.hops)
-        if self._bus is not None:
-            self._bus.emit(self.sim.now, self._bus_source, "net_deliver",
-                           f"{packet.src}->{packet.dst}", latency=latency,
-                           hops=packet.hops)
+        bus = self._bus
+        if bus is not None and bus.enabled:
+            eid = bus.emit_id(self.sim.now, self._bus_source, "net_deliver",
+                              f"{packet.src}->{packet.dst}", latency=latency,
+                              hops=packet.hops, parent=packet.cause,
+                              dur=latency)
+            if eid is not None:
+                packet.cause = eid
         handler(packet)
 
     def _check_port(self, port):

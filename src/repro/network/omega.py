@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..common.errors import NetworkError
-from ..common.stats import Counter, Histogram
+from ..common.stats import Counter, Histogram, UtilizationTracker
 
 __all__ = ["CombiningOmegaNetwork", "FetchAddRequest", "MemoryRequest"]
 
@@ -75,6 +75,7 @@ class _SwitchOutput:
         self.rail = rail
         self.queue = []
         self.busy = False
+        self.utilization = UtilizationTracker()
 
     def submit(self, record):
         if self.net.combining:
@@ -95,7 +96,7 @@ class _SwitchOutput:
         combined.trace = [(self.stage, self.rail)]
         self.net._wait_buffers[(self.stage, self.rail, combined.pid)] = (first, second, x)
         self.net.counters.add("combines")
-        if self.net._bus is not None:
+        if self.net._bus is not None and self.net._bus.enabled:
             self.net._bus.emit(
                 self.net.sim.now, self.net._bus_source, "net_combine",
                 f"A={merged.address}", stage=self.stage, rail=self.rail,
@@ -106,11 +107,13 @@ class _SwitchOutput:
     def _kick(self):
         if not self.busy and self.queue:
             self.busy = True
+            self.utilization.begin(self.net.sim.now)
             record = self.queue.pop(0)
             self.net.sim.schedule(self.net.switch_time, self._advance, record)
 
     def _advance(self, record):
         self.busy = False
+        self.utilization.end(self.net.sim.now)
         self.net._forward(record, self.stage + 1, self.rail)
         self._kick()
 
@@ -217,7 +220,7 @@ class CombiningOmegaNetwork:
         if buffered is not None:
             first, second, x = buffered
             self.counters.add("splits")
-            if self._bus is not None:
+            if self._bus is not None and self._bus.enabled:
                 self._bus.emit(self.sim.now, self._bus_source, "net_split",
                                f"A={record.payload.address}", stage=stage,
                                rail=rail)

@@ -25,6 +25,9 @@ class Packet:
     injected_at: Optional[float] = None
     hops: int = 0
     pid: int = field(default_factory=lambda: next(_packet_ids))
+    # Provenance: eid of the latest network event in this packet's
+    # history (net_inject, then net_deliver); None outside profiling.
+    cause: Optional[int] = None
 
     def __repr__(self):
         return (

@@ -1,0 +1,73 @@
+"""Causal profiling and cycle accounting over ``repro.obs`` traces.
+
+The paper's argument is that multiprocessor cycles are lost to two
+causes — memory latency (Issue 1) and waits for synchronization events
+(Issue 2).  This subpackage turns the deterministic event streams the
+rest of :mod:`repro.obs` produces into *attribution*:
+
+* :mod:`~repro.obs.analysis.accounting` — per-unit cycle accounting:
+  every unit-cycle of a run lands in exactly one of five buckets
+  (compute / memory_stall / sync_wait / network_queue / idle), with the
+  invariant that the buckets sum to ``cycles x units``;
+* :mod:`~repro.obs.analysis.causal` — reconstructs the causal DAG from
+  a provenance-enabled trace (``TraceBus(provenance=True)``);
+* :mod:`~repro.obs.analysis.critical_path` — extracts the simulated
+  critical path and per-activity slack, and exports the path as Chrome
+  trace_event *flow events* so Perfetto draws it over the timeline;
+* :mod:`~repro.obs.analysis.report` — assembles everything into the
+  deterministic report behind ``repro profile``;
+* :mod:`~repro.obs.analysis.regress` — the benchmark regression gate
+  behind ``repro bench --check``.
+"""
+
+from .accounting import (
+    BUCKET_ISSUES,
+    BUCKETS,
+    CycleAccounting,
+    UnitAccount,
+    ttda_accounting,
+    ultra_accounting,
+    unit_account,
+    vn_accounting,
+)
+from .causal import CausalGraph, CausalNode
+from .critical_path import (
+    CriticalPath,
+    chrome_flow_events,
+    compute_slack,
+    extract_critical_path,
+)
+from .report import ProfileReport, build_profile
+from .regress import (
+    baseline_path,
+    check_suite,
+    compare_entry,
+    format_report,
+    make_baseline,
+    write_baselines,
+)
+
+__all__ = [
+    "BUCKET_ISSUES",
+    "BUCKETS",
+    "baseline_path",
+    "make_baseline",
+    "CausalGraph",
+    "CausalNode",
+    "CriticalPath",
+    "CycleAccounting",
+    "ProfileReport",
+    "UnitAccount",
+    "build_profile",
+    "check_suite",
+    "chrome_flow_events",
+    "compare_entry",
+    "compute_slack",
+    "extract_critical_path",
+    "format_report",
+    "ttda_accounting",
+    "ultra_accounting",
+    "unit_account",
+    "vn_accounting",
+    "write_baselines",
+]

@@ -1,0 +1,146 @@
+"""Reconstruct the causal DAG from a provenance-enabled trace.
+
+With ``TraceBus(provenance=True)`` every event carries a monotone
+``eid``, and the instrumented emitters link effects to causes:
+
+* ``parent`` — the single event that directly enabled this one (a
+  token's ``exec`` points at the ``match`` that enabled the activity,
+  a ``net_deliver`` at its ``net_inject``, ...);
+* ``joins`` — additional parents for many-to-one joins (a ``match``
+  joins the ``park`` events of the operands that arrived earlier).
+
+Because the bus assigns eids in emission order and the simulation kernel
+is deterministic, eids are topologically ordered: every parent has a
+smaller eid than its children.  The graph algorithms below exploit that
+(reverse-eid iteration is reverse-topological).
+"""
+
+__all__ = ["CausalNode", "CausalGraph"]
+
+
+class CausalNode:
+    """One event in the causal DAG."""
+
+    __slots__ = ("eid", "event", "parents", "children")
+
+    def __init__(self, eid, event):
+        self.eid = eid
+        self.event = event
+        self.parents = []   # eids (may include dangling refs if the
+        self.children = []  # trace was truncated by a bounded ring)
+
+    @property
+    def time(self):
+        """Completion time of the activity."""
+        return self.event.time
+
+    @property
+    def start(self):
+        """Start time: completion minus service duration, if recorded."""
+        fields = self.event.fields or {}
+        dur = fields.get("dur")
+        return self.event.time - dur if dur else self.event.time
+
+    @property
+    def dur(self):
+        fields = self.event.fields or {}
+        return fields.get("dur") or 0.0
+
+    def label(self):
+        event = self.event
+        source = f"pe{event.source}" if isinstance(event.source, int) \
+            else str(event.source)
+        return f"{source} {event.kind} {event.detail}".rstrip()
+
+    def __repr__(self):
+        return f"<CausalNode #{self.eid} t={self.time} {self.event.kind}>"
+
+
+class CausalGraph:
+    """The DAG of one run's events, indexed by eid."""
+
+    def __init__(self, nodes):
+        self.nodes = nodes  # {eid: CausalNode}
+
+    @classmethod
+    def from_events(cls, events):
+        """Build the graph from any iterable of :class:`TraceEvent`.
+
+        Events without an ``eid`` (non-provenance traces) are skipped;
+        parent references to events outside the iterable (e.g. dropped
+        by a bounded ring) dangle harmlessly.
+        """
+        nodes = {}
+        for event in events:
+            fields = event.fields or {}
+            eid = fields.get("eid")
+            if eid is None:
+                continue
+            node = CausalNode(eid, event)
+            parent = fields.get("parent")
+            if parent is not None:
+                node.parents.append(parent)
+            for join in fields.get("joins") or ():
+                node.parents.append(join)
+            nodes[eid] = node
+        for node in nodes.values():
+            for parent in node.parents:
+                parent_node = nodes.get(parent)
+                if parent_node is not None:
+                    parent_node.children.append(node.eid)
+        return cls(nodes)
+
+    # ------------------------------------------------------------------
+    def __len__(self):
+        return len(self.nodes)
+
+    def node(self, eid):
+        return self.nodes[eid]
+
+    def roots(self):
+        """Nodes with no (resolvable) parents, in eid order."""
+        return [node for eid, node in sorted(self.nodes.items())
+                if not any(p in self.nodes for p in node.parents)]
+
+    def terminal(self):
+        """The node the critical path ends at.
+
+        Prefer the program's ``result`` event (the answer popping out);
+        then the latest event with a resolvable parent (bookkeeping roots
+        like the kernel's ``run_end`` carry no provenance and would yield
+        a one-node path); finally the latest event overall.  Ties break
+        on eid, which is deterministic.
+        """
+        best = None
+        for eid in sorted(self.nodes):
+            node = self.nodes[eid]
+            if node.event.kind == "result":
+                if best is None or (node.time, node.eid) > (best.time, best.eid):
+                    best = node
+        if best is not None:
+            return best
+        for eid in sorted(self.nodes):
+            node = self.nodes[eid]
+            if not any(p in self.nodes for p in node.parents):
+                continue
+            if best is None or (node.time, node.eid) > (best.time, best.eid):
+                best = node
+        if best is not None:
+            return best
+        for eid in sorted(self.nodes):
+            node = self.nodes[eid]
+            if best is None or (node.time, node.eid) > (best.time, best.eid):
+                best = node
+        return best
+
+    def edges(self):
+        """(parent_eid, child_eid) pairs, resolvable ones only."""
+        out = []
+        for eid in sorted(self.nodes):
+            for parent in self.nodes[eid].parents:
+                if parent in self.nodes:
+                    out.append((parent, eid))
+        return out
+
+    def __repr__(self):
+        return f"<CausalGraph nodes={len(self.nodes)}>"

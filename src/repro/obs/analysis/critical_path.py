@@ -1,0 +1,196 @@
+"""Critical-path extraction and per-activity slack over a causal DAG.
+
+The *simulated critical path* is the time-maximal causal chain from a
+root event (an injected token, a processor start) to the terminal event
+(the program's ``result``): the sequence of activities that actually
+gated the makespan.  Anything off the path had *slack* — it could have
+run later (on fewer units, or behind a longer latency) without slowing
+the answer.  This is the machine-level analogue of the interpreter's
+ideal critical path, but measured on the timed machine with real
+service times, queueing and network latency included.
+
+The path exports as Chrome trace_event **flow events** ("s"/"t"/"f"
+records sharing one id) so Perfetto draws the chain as arrows across
+the per-PE tracks of the existing timeline.
+"""
+
+__all__ = [
+    "CriticalPath",
+    "extract_critical_path",
+    "compute_slack",
+    "chrome_flow_events",
+]
+
+
+class CriticalPath:
+    """The extracted path: a list of :class:`CausalNode`, root first."""
+
+    def __init__(self, nodes):
+        if not nodes:
+            raise ValueError("critical path needs at least one node")
+        self.nodes = nodes
+
+    # ------------------------------------------------------------------
+    @property
+    def root(self):
+        return self.nodes[0]
+
+    @property
+    def terminal(self):
+        return self.nodes[-1]
+
+    @property
+    def cycles(self):
+        """Path length in cycles: terminal completion minus root start."""
+        return self.terminal.time - self.root.start
+
+    def __len__(self):
+        return len(self.nodes)
+
+    def kind_breakdown(self):
+        """Cycles on the path attributed to each event kind.
+
+        Each path node owns the interval from its predecessor's
+        completion to its own completion (service + the queueing in
+        front of it); the root owns its own duration.
+        """
+        breakdown = {}
+        previous = self.root.start
+        for node in self.nodes:
+            span = node.time - previous
+            breakdown[node.event.kind] = (
+                breakdown.get(node.event.kind, 0.0) + span
+            )
+            previous = node.time
+        return breakdown
+
+    # ------------------------------------------------------------------
+    def format(self, max_nodes=None):
+        """Deterministic text rendering (byte-identical across runs)."""
+        lines = [
+            f"critical path: {len(self.nodes)} events, "
+            f"{self.cycles:g} cycles"
+        ]
+        show = range(len(self.nodes))
+        elide_from = elide_to = None
+        if max_nodes is not None and len(self.nodes) > max_nodes:
+            head = max_nodes // 2
+            elide_from = head
+            elide_to = len(self.nodes) - (max_nodes - head)
+            show = list(range(head)) + list(range(elide_to, len(self.nodes)))
+        for index in show:
+            if index == elide_to and elide_from is not None:
+                lines.append(
+                    f"  ... {elide_to - elide_from} events elided ..."
+                )
+            node = self.nodes[index]
+            previous = (self.nodes[index - 1].time if index > 0
+                        else self.root.start)
+            span = node.time - previous
+            lines.append(
+                f"  t={node.time:<10g} +{span:<8g} {node.label()}"
+            )
+        return "\n".join(lines)
+
+    def as_dict(self):
+        return {
+            "cycles": self.cycles,
+            "events": len(self.nodes),
+            "kind_breakdown": self.kind_breakdown(),
+            "path": [
+                {"eid": node.eid, "t": node.time, "kind": node.event.kind,
+                 "src": node.event.source, "detail": node.event.detail}
+                for node in self.nodes
+            ],
+        }
+
+    def __repr__(self):
+        return f"<CriticalPath events={len(self.nodes)} cycles={self.cycles:g}>"
+
+
+def extract_critical_path(graph, terminal=None):
+    """Walk binding predecessors from the terminal back to a root.
+
+    At each node the *binding* parent is the one that finished last —
+    the activity the node actually waited for.  Ties break on the larger
+    eid (the later emission), which is deterministic because eids are.
+    """
+    if not len(graph):
+        raise ValueError(
+            "empty causal graph — was the trace recorded with "
+            "TraceBus(provenance=True)?"
+        )
+    node = graph.terminal() if terminal is None else terminal
+    path = [node]
+    while True:
+        binding = None
+        for parent_eid in node.parents:
+            parent = graph.nodes.get(parent_eid)
+            if parent is None:
+                continue
+            if binding is None or (parent.time, parent.eid) > (
+                    binding.time, binding.eid):
+                binding = parent
+        if binding is None:
+            break
+        path.append(binding)
+        node = binding
+    path.reverse()
+    return CriticalPath(path)
+
+
+def compute_slack(graph, terminal=None):
+    """Per-activity slack: how late each event could have finished.
+
+    ``required_by(n) = min over children c of (required_by(c) - dur(c))``
+    with the terminal required at its own completion; slack is
+    ``required_by(n) - n.time``.  Events on the critical path have zero
+    (or near-zero) slack; large slack marks activities the machine could
+    have deferred — the per-activity answer to "would more latency here
+    have mattered?".  Leaves other than the terminal are required only
+    by the makespan.  Returns ``{eid: slack}``.
+    """
+    if not len(graph):
+        return {}
+    terminal = graph.terminal() if terminal is None else terminal
+    end_time = terminal.time
+    required = {}
+    # Reverse-eid order is reverse-topological (parents have smaller eids).
+    for eid in sorted(graph.nodes, reverse=True):
+        node = graph.nodes[eid]
+        if eid == terminal.eid:
+            required[eid] = node.time
+            continue
+        need = end_time
+        for child_eid in node.children:
+            child = graph.nodes[child_eid]
+            need = min(need, required[child_eid] - child.dur)
+        required[eid] = need
+    return {eid: max(0.0, required[eid] - graph.nodes[eid].time)
+            for eid in graph.nodes}
+
+
+def chrome_flow_events(path, tid_of, cycle_us=1.0, flow_id=1,
+                       name="critical_path"):
+    """Chrome trace_event flow records for a :class:`CriticalPath`.
+
+    ``tid_of(source)`` maps an event source to the track id the timeline
+    used (pass :meth:`ChromeTraceSink.tid_of`).  Append the records to
+    the sink's payload and Perfetto draws the path as arrows.
+    """
+    records = []
+    last = len(path.nodes) - 1
+    for index, node in enumerate(path.nodes):
+        record = {
+            "name": name,
+            "cat": "repro.flow",
+            "ph": "s" if index == 0 else ("f" if index == last else "t"),
+            "pid": 0,
+            "tid": tid_of(node.event.source),
+            "ts": node.time * cycle_us,
+            "id": flow_id,
+        }
+        if index == last:
+            record["bp"] = "e"  # bind to the enclosing slice
+        records.append(record)
+    return records

@@ -1,0 +1,131 @@
+"""The ``repro profile`` report: accounting + critical path + slack.
+
+Everything here is deterministic — the report contains simulated cycles
+only (never wall-clock), so two runs of the same configuration render
+byte-identical reports.  That property is load-bearing: the tests and
+the acceptance criteria diff reports across runs.
+"""
+
+from .accounting import BUCKET_ISSUES, BUCKETS
+from .causal import CausalGraph
+from .critical_path import compute_slack, extract_critical_path
+
+__all__ = ["ProfileReport", "build_profile"]
+
+
+class ProfileReport:
+    """One run's profile: cycle accounting plus the causal analysis."""
+
+    def __init__(self, meta, accounting, graph=None, path=None, slack=None):
+        self.meta = dict(meta or {})
+        self.accounting = accounting
+        self.graph = graph
+        self.path = path
+        self.slack = slack or {}
+
+    # ------------------------------------------------------------------
+    def slack_summary(self):
+        """(zero-slack events, mean slack, max slack) off the path."""
+        if not self.slack:
+            return {"events": 0, "zero_slack": 0, "mean": 0.0, "max": 0.0}
+        values = sorted(self.slack.values())
+        zero = sum(1 for v in values if v == 0.0)
+        return {
+            "events": len(values),
+            "zero_slack": zero,
+            "mean": sum(values) / len(values),
+            "max": values[-1],
+        }
+
+    # ------------------------------------------------------------------
+    def format(self, max_path_nodes=12):
+        lines = []
+        meta = self.meta
+        title = meta.get("source", meta.get("machine", "run"))
+        engine = meta.get("engine", "")
+        lines.append(f"profile: {title}" + (f" [{engine}]" if engine else ""))
+        for key in ("result", "time_cycles", "instructions"):
+            if key in meta:
+                lines.append(f"  {key}: {meta[key]}")
+
+        acct = self.accounting
+        if acct is not None:
+            totals = acct.totals()
+            lines.append("")
+            lines.append(
+                f"cycle accounting: window {acct.window:g} cycles x "
+                f"{acct.n_units} units = {acct.total_unit_cycles:g} "
+                "unit-cycles"
+            )
+            fractions = acct.fractions()
+            for bucket in BUCKETS:
+                issue = BUCKET_ISSUES.get(bucket)
+                note = f"   <- {issue}" if issue else ""
+                lines.append(
+                    f"  {bucket:<14} {totals[bucket]:>14g}  "
+                    f"{100.0 * fractions[bucket]:6.2f}%{note}"
+                )
+            residual = acct.check()
+            lines.append(
+                "  invariant: buckets sum to cycles x units "
+                + ("[exact]" if acct.exact()
+                   else f"[max unit residual {residual:g}]")
+            )
+
+        if self.path is not None:
+            lines.append("")
+            lines.append(self.path.format(max_nodes=max_path_nodes))
+            breakdown = self.path.kind_breakdown()
+            total = self.path.cycles
+            if total > 0:
+                parts = ", ".join(
+                    f"{kind} {100.0 * span / total:.1f}%"
+                    for kind, span in sorted(breakdown.items(),
+                                             key=lambda kv: (-kv[1], kv[0]))
+                )
+                lines.append(f"  path composition: {parts}")
+            summary = self.slack_summary()
+            if summary["events"]:
+                lines.append(
+                    f"  slack: {summary['zero_slack']}/{summary['events']} "
+                    f"events at zero slack, mean {summary['mean']:g}, "
+                    f"max {summary['max']:g} cycles"
+                )
+        return "\n".join(lines)
+
+    def as_dict(self):
+        payload = {"meta": dict(self.meta)}
+        if self.accounting is not None:
+            payload["accounting"] = self.accounting.as_dict()
+            payload["totals"] = self.accounting.totals()
+            payload["fractions"] = self.accounting.fractions()
+        if self.path is not None:
+            payload["critical_path"] = self.path.as_dict()
+            payload["slack"] = self.slack_summary()
+        if self.graph is not None:
+            payload["causal_events"] = len(self.graph)
+        return payload
+
+    def __repr__(self):
+        return (
+            f"<ProfileReport units="
+            f"{0 if self.accounting is None else self.accounting.n_units} "
+            f"path={0 if self.path is None else len(self.path)}>"
+        )
+
+
+def build_profile(events, accounting, meta=None):
+    """Assemble a :class:`ProfileReport` from a provenance trace.
+
+    ``events`` is any iterable of TraceEvents (a RingSink's ``events``);
+    ``accounting`` a :class:`CycleAccounting` or None.  When the trace
+    carries no provenance the causal sections are simply omitted.
+    """
+    graph = CausalGraph.from_events(events)
+    path = None
+    slack = None
+    if len(graph):
+        path = extract_critical_path(graph)
+        slack = compute_slack(graph)
+    return ProfileReport(meta=meta, accounting=accounting, graph=graph,
+                         path=path, slack=slack)

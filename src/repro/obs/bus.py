@@ -1,13 +1,23 @@
 """The trace bus: one emit call, any number of pluggable sinks.
 
 Machine models hold an optional bus reference and guard every emission
-with ``if bus is not None`` (and, for emissions whose *arguments* are
-expensive to build, ``bus.enabled``), so a machine constructed without
-observability pays one attribute load per potential event and nothing
-more.  With a bus attached, each event is materialized once and handed
-to every sink in registration order — the order is part of the
-determinism contract (two identical runs feed identical event sequences
-to identical sinks).
+with ``if bus is not None and bus.enabled`` (the second check matters
+for emissions whose *arguments* are expensive to build — detail strings,
+reprs, queue scans), so a machine constructed without observability pays
+one or two attribute loads per potential event and nothing more.  With a
+bus attached, each event is materialized once and handed to every sink
+in registration order — the order is part of the determinism contract
+(two identical runs feed identical event sequences to identical sinks).
+
+**Provenance mode** (``TraceBus(provenance=True)``) numbers every event
+with a monotone ``eid`` field so emitters can link effects to causes:
+an emitter passes ``parent=<eid>`` (and optionally ``joins=[<eid>...]``
+for many-to-one joins such as a token match) and the resulting trace
+reconstructs into a causal DAG (see :mod:`repro.obs.analysis.causal`).
+Provenance is opt-in because the extra per-event field changes the
+serialized trace; the default bus emits byte-identical streams to the
+pre-provenance format.  ``parent``/``joins`` that are ``None`` are
+dropped from the event, so emitters can pass them unconditionally.
 """
 
 from .events import TraceEvent
@@ -18,19 +28,21 @@ __all__ = ["TraceBus"]
 class TraceBus:
     """Dispatches :class:`TraceEvent` records to registered sinks."""
 
-    __slots__ = ("_sinks",)
+    __slots__ = ("_sinks", "enabled", "provenance", "_next_eid")
 
-    def __init__(self, *sinks):
+    def __init__(self, *sinks, provenance=False):
         self._sinks = []
+        #: True when at least one sink will observe emissions.  A plain
+        #: attribute (not a property) so hot emit sites can guard the
+        #: construction of detail strings with one attribute load.
+        self.enabled = False
+        #: True when events carry ``eid`` linkage numbers.
+        self.provenance = provenance
+        self._next_eid = 0
         for sink in sinks:
             self.add_sink(sink)
 
     # ------------------------------------------------------------------
-    @property
-    def enabled(self):
-        """True when at least one sink will observe emissions."""
-        return bool(self._sinks)
-
     @property
     def sinks(self):
         return list(self._sinks)
@@ -38,10 +50,12 @@ class TraceBus:
     def add_sink(self, sink):
         """Register ``sink`` (anything with ``handle(event)``)."""
         self._sinks.append(sink)
+        self.enabled = True
         return sink
 
     def remove_sink(self, sink):
         self._sinks.remove(sink)
+        self.enabled = bool(self._sinks)
 
     def close(self):
         """Close every sink that supports it (file sinks flush here)."""
@@ -55,10 +69,33 @@ class TraceBus:
         """Publish one event to every sink.  No-op with no sinks."""
         if not self._sinks:
             return None
+        if fields:
+            # Emitters pass parent/joins unconditionally; absent causal
+            # links (plain runs, provenance off) must not serialize.
+            if fields.get("parent") is None:
+                fields.pop("parent", None)
+            if fields.get("joins") is None:
+                fields.pop("joins", None)
+        if self.provenance:
+            eid = self._next_eid
+            self._next_eid = eid + 1
+            fields["eid"] = eid
         event = TraceEvent(time, source, kind, detail, fields or None)
         for sink in self._sinks:
             sink.handle(event)
         return event
+
+    def emit_id(self, time, source, kind, detail="", **fields):
+        """Like :meth:`emit` but returns the event's ``eid`` (or None).
+
+        The return value is what instrumented emitters thread through a
+        machine as the *cause* of downstream work; with provenance off
+        it is always None and the causal chain simply stays empty.
+        """
+        event = self.emit(time, source, kind, detail, **fields)
+        if event is None or event.fields is None:
+            return None
+        return event.fields.get("eid")
 
     def __repr__(self):
         return f"<TraceBus sinks={len(self._sinks)}>"

@@ -128,6 +128,15 @@ class ChromeTraceSink:
     def track_name(source):
         return f"pe{source}" if isinstance(source, int) else str(source)
 
+    def tid_of(self, source):
+        """The track id assigned to ``source`` (allocating if unseen).
+
+        Public so overlays (e.g. the critical-path flow events of
+        :mod:`repro.obs.analysis.critical_path`) can target the same
+        tracks the timeline events landed on.
+        """
+        return self._tid(source)
+
     def handle(self, event):
         record = {
             "name": event.kind,
@@ -154,6 +163,11 @@ class ChromeTraceSink:
             record["ph"] = "i"
             record["s"] = "t"
         self._trace_events.append(record)
+
+    def extend(self, records):
+        """Append pre-built trace_event records (overlays such as the
+        critical-path flow arrows, which are computed after the run)."""
+        self._trace_events.extend(records)
 
     # ------------------------------------------------------------------
     def to_json(self, meta=None):
@@ -189,6 +203,10 @@ _REQUIRED_BY_PHASE = {
     "X": ("name", "pid", "tid", "ts", "dur"),
     "i": ("name", "pid", "tid", "ts"),
     "M": ("name", "pid"),
+    # Flow events (arrows in Perfetto): start / step / finish share an id.
+    "s": ("name", "pid", "tid", "ts", "id"),
+    "t": ("name", "pid", "tid", "ts", "id"),
+    "f": ("name", "pid", "tid", "ts", "id"),
 }
 
 

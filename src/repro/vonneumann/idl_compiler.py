@@ -359,12 +359,14 @@ class _SeqCompiler:
 
 
 def run_sequential(source, args, entry=None, latency=1.0, memory_time=1.0,
-                   cpu_time=1.0, trace_bus=None):
+                   cpu_time=1.0, trace_bus=None, return_machine=False):
     """Compile and execute on a single stalling processor.
 
     Returns ``(value, VNResult)`` — the fair von Neumann comparator for a
     dataflow run of the same source.  ``trace_bus`` forwards to
-    :class:`VNMachine` for structured observability.
+    :class:`VNMachine` for structured observability.  With
+    ``return_machine`` the tuple gains the :class:`VNMachine` itself, so
+    profilers can read per-processor cycle accounting after the run.
     """
     from .machine import VNMachine
 
@@ -382,6 +384,8 @@ def run_sequential(source, args, entry=None, latency=1.0, memory_time=1.0,
     processor.regs = processor.regs + [0] * (256 - len(processor.regs))
     processor.set_regs(dict(zip(param_regs, args)))
     result = machine.run()
+    if return_machine:
+        return machine.peek(RESULT_ADDR), result, machine
     return machine.peek(RESULT_ADDR), result
 
 

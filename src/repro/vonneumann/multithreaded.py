@@ -40,6 +40,7 @@ class HardwareContext:
         self.pc = 0
         self.state = self.READY
         self.instructions = 0
+        self.last_eid = None  # provenance: previous event of this context
 
     def set_regs(self, values):
         for reg, value in values.items():
@@ -78,6 +79,15 @@ class MultithreadedProcessor:
         self._idle = False
         self.busy_cycles = 0.0
         self.switch_cycles = 0.0
+        # Cycle accounting: whole-pipeline idle windows (every context
+        # parked), classified by whether a full/empty RETRY arrived while
+        # idle (Issue 2) or all contexts sat on plain references — the
+        # too-few-contexts-for-the-latency regime of §1.1 (Issue 1).
+        self.stall_idle_cycles = 0.0
+        self.sync_idle_cycles = 0.0
+        self.halt_overcount = 0.0
+        self._idle_since = None
+        self._retry_during_idle = False
         self.start_time = None
         self.finish_time = None
         self.counters = Counter()
@@ -123,15 +133,21 @@ class MultithreadedProcessor:
                 self._halt()
             else:
                 self._idle = True  # resumed by a memory completion
+                self._idle_since = self.sim.now
+                self._retry_during_idle = False
             return
         overhead = 0.0
         if self._last_context is not context and self._last_context is not None:
             overhead = self.switch_time
             self.switch_cycles += overhead
             self.counters.add("context_switches")
-            if self.bus is not None:
-                self.bus.emit(self.sim.now, self._src, "vn_switch",
-                              f"ctx{context.index}", ctx=context.index)
+            bus = self.bus
+            if bus is not None and bus.enabled:
+                eid = bus.emit_id(self.sim.now, self._src, "vn_switch",
+                                  f"ctx{context.index}", ctx=context.index,
+                                  parent=context.last_eid)
+                if eid is not None:
+                    context.last_eid = eid
         self._last_context = context
         self.sim.schedule(overhead, self._execute, context)
 
@@ -145,9 +161,13 @@ class MultithreadedProcessor:
         self.counters.add("instructions")
         context.instructions += 1
         self.busy_cycles += self.cpu_time
-        if self.bus is not None:
-            self.bus.emit(self.sim.now, self._src, "vn_exec", op.name,
-                          op=op.name, ctx=context.index, pc=context.pc)
+        bus = self.bus
+        if bus is not None and bus.enabled:
+            eid = bus.emit_id(self.sim.now, self._src, "vn_exec", op.name,
+                              op=op.name, ctx=context.index, pc=context.pc,
+                              parent=context.last_eid)
+            if eid is not None:
+                context.last_eid = eid
         view = _ContextView(self, context)
 
         if op in ALU_OPS:
@@ -168,6 +188,9 @@ class MultithreadedProcessor:
             self.sim.schedule(self.cpu_time, self._issue, context, instr, request)
             self.sim.schedule(self.cpu_time, self._dispatch)
         elif op is Op.HALT:
+            # HALT charged cpu_time to busy above but consumes no
+            # simulated time; remember the overcount for exact accounting.
+            self.halt_overcount += self.cpu_time
             context.state = HardwareContext.HALTED
             self._dispatch()
         else:
@@ -181,12 +204,18 @@ class MultithreadedProcessor:
         )
 
     def _memory_done(self, context, instr, request, response):
+        bus = self.bus
         if response is RETRY:
             self.counters.add("retries")
-            if self.bus is not None:
-                self.bus.emit(self.sim.now, self._src, "vn_retry",
-                              instr.op.name, ctx=context.index,
-                              address=request.address)
+            if self._idle:
+                self._retry_during_idle = True
+            if bus is not None and bus.enabled:
+                eid = bus.emit_id(self.sim.now, self._src, "vn_retry",
+                                  instr.op.name, ctx=context.index,
+                                  address=request.address,
+                                  parent=context.last_eid)
+                if eid is not None:
+                    context.last_eid = eid
             self.sim.schedule(self.retry_backoff, self._issue, context, instr, request)
             return
         if instr.op in (Op.LOAD, Op.TESTSET, Op.FAA, Op.READF):
@@ -194,15 +223,23 @@ class MultithreadedProcessor:
         context.pc += 1
         context.state = HardwareContext.READY
         if self._idle:
+            # The whole pipeline waited from _idle_since until now.
+            window = self.sim.now - self._idle_since
+            if self._retry_during_idle:
+                self.sync_idle_cycles += window
+            else:
+                self.stall_idle_cycles += window
             self._idle = False
+            self._idle_since = None
             self.sim.schedule(0, self._dispatch)
 
     def _halt(self):
         self._running = False
         self.finish_time = self.sim.now
-        if self.bus is not None:
-            self.bus.emit(self.sim.now, self._src, "vn_halt", "",
-                          instructions=self.counters["instructions"])
+        bus = self.bus
+        if bus is not None and bus.enabled:
+            bus.emit(self.sim.now, self._src, "vn_halt", "",
+                     instructions=self.counters["instructions"])
         if self.on_halt is not None:
             self.on_halt(self)
 

@@ -35,12 +35,21 @@ class Processor:
         self.halted = False
         self.on_halt = on_halt
         self.busy_cycles = 0.0
+        # Cycle accounting: plain memory round-trips (Issue 1) vs waits
+        # that drew at least one full/empty RETRY (Issue 2, the busy-wait
+        # loop of footnote 2).  ``halt_overcount`` corrects for HALT
+        # charging ``cpu_time`` to busy_cycles in zero simulated time.
+        self.stall_cycles = 0.0
+        self.sync_cycles = 0.0
+        self.halt_overcount = 0.0
         self.start_time = None
         self.finish_time = None
         self.counters = Counter()
         self.bus = None  # optional repro.obs.TraceBus (set by VNMachine)
         self._src = f"proc{proc_id}"  # trace track name
         self._mem_issued_at = None
+        self._mem_retried = False
+        self._last_eid = None  # provenance: previous event on this track
 
     # ------------------------------------------------------------------
     def set_regs(self, values):
@@ -63,9 +72,13 @@ class Processor:
         op = instr.op
         self.counters.add("instructions")
         self.busy_cycles += self.cpu_time
-        if self.bus is not None:
-            self.bus.emit(self.sim.now, self._src, "vn_exec", op.name,
-                          op=op.name, pc=self.pc)
+        bus = self.bus
+        if bus is not None and bus.enabled:
+            eid = bus.emit_id(self.sim.now, self._src, "vn_exec", op.name,
+                              op=op.name, pc=self.pc,
+                              parent=self._last_eid)
+            if eid is not None:
+                self._last_eid = eid
 
         if op in ALU_OPS:
             self.counters.add("alu_ops")
@@ -82,8 +95,13 @@ class Processor:
             self.counters.add("memory_ops")
             request = self._memory_request(instr)
             self._mem_issued_at = self.sim.now
+            self._mem_retried = False
             self.sim.schedule(self.cpu_time, self._issue, instr, request)
         elif op is Op.HALT:
+            # HALT charged cpu_time to busy above but consumes no
+            # simulated time; remember the overcount so accounting can
+            # tile the timeline exactly.
+            self.halt_overcount += self.cpu_time
             self._halt()
         else:
             raise MachineError(f"proc {self.proc_id}: cannot execute {instr!r}")
@@ -96,18 +114,33 @@ class Processor:
         )
 
     def _memory_done(self, instr, request, response):
+        bus = self.bus
         if response is RETRY:
             self.counters.add("retries")
-            if self.bus is not None:
-                self.bus.emit(self.sim.now, self._src, "vn_retry",
-                              instr.op.name, address=request.address)
+            self._mem_retried = True
+            if bus is not None and bus.enabled:
+                eid = bus.emit_id(self.sim.now, self._src, "vn_retry",
+                                  instr.op.name, address=request.address,
+                                  parent=self._last_eid)
+                if eid is not None:
+                    self._last_eid = eid
             self.sim.schedule(self.retry_backoff, self._issue, instr, request)
             return
-        if self.bus is not None:
+        # The wait beyond the issue slot: round-trip for a plain
+        # reference (Issue 1), busy-wait if any RETRY came back (Issue 2).
+        waited = self.sim.now - self._mem_issued_at - self.cpu_time
+        if self._mem_retried:
+            self.sync_cycles += waited
+        else:
+            self.stall_cycles += waited
+        if bus is not None and bus.enabled:
             # The stall slice: issue to response, the §1.2.2 idle time.
-            self.bus.emit(self.sim.now, self._src, "vn_stall", instr.op.name,
-                          dur=self.sim.now - self._mem_issued_at,
-                          address=request.address)
+            eid = bus.emit_id(self.sim.now, self._src, "vn_stall",
+                              instr.op.name, dur=waited,
+                              address=request.address,
+                              parent=self._last_eid)
+            if eid is not None:
+                self._last_eid = eid
         if instr.op in (Op.LOAD, Op.TESTSET, Op.FAA, Op.READF):
             self.regs[instr.rd] = response
         self.pc += 1
@@ -116,9 +149,11 @@ class Processor:
     def _halt(self):
         self.halted = True
         self.finish_time = self.sim.now
-        if self.bus is not None:
-            self.bus.emit(self.sim.now, self._src, "vn_halt", "",
-                          instructions=self.counters["instructions"])
+        bus = self.bus
+        if bus is not None and bus.enabled:
+            bus.emit(self.sim.now, self._src, "vn_halt", "",
+                     instructions=self.counters["instructions"],
+                     parent=self._last_eid)
         if self.on_halt is not None:
             self.on_halt(self)
 

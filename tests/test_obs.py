@@ -451,4 +451,4 @@ def test_disabled_tracing_overhead_is_small():
     plain = best_of(lambda: MachineConfig(n_pes=4))
     with_bus = best_of(
         lambda: MachineConfig(n_pes=4, trace_bus=TraceBus()))
-    assert with_bus <= plain * 1.6, (plain, with_bus)
+    assert with_bus <= plain * 1.4, (plain, with_bus)
