@@ -1,0 +1,260 @@
+"""Event-kernel microbenchmark: calendar-queue vs. legacy heapq kernel.
+
+Measures raw schedule/fire/cancel throughput (events per second) of
+``repro.common.simulator`` on synthetic workloads shaped like the hot
+paths of the real machine models:
+
+* ``post_chain_int``     — self-perpetuating integer-delay ``post()``
+  chains: the bucket fast path (PE pipeline stages, network hops);
+* ``post_fanout_burst``  — every firing posts several events at small
+  integer delays: token fanout under the calendar queue;
+* ``post_fractional``    — fractional delays, so sub-cycle instants are
+  measured, not assumed (the calendar keys buckets by the exact float
+  instant, so these share the fast path);
+* ``schedule_cancel``    — ``schedule()`` + ``cancel()`` churn with a
+  live chain running alongside: lazy cancellation and compaction.
+
+Run directly to benchmark both kernels and write ``BENCH_perf.json`` at
+the repo root; ``--legacy`` restricts the run to the legacy kernel (the
+same comparison the ``REPRO_SIM_KERNEL=legacy`` switch gives whole
+programs).  ``--experiments`` additionally times the wall-clock gated
+experiments (e10 scaling sweep, e19 crossover) in subprocesses.
+
+Usage::
+
+    python benchmarks/bench_micro_kernel.py                # both kernels
+    python benchmarks/bench_micro_kernel.py --legacy       # legacy only
+    python benchmarks/bench_micro_kernel.py --experiments  # + e10/e19
+"""
+
+import argparse
+import json
+import math
+import os
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.common.simulator import CalendarSimulator, LegacySimulator  # noqa: E402
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_perf.json")
+
+#: Wall-clock gated experiments (ISSUE: >=1.5x vs. the legacy kernel).
+GATED_EXPERIMENTS = ("e10_ttda_scaling", "e19_crossover")
+
+
+# ----------------------------------------------------------------------
+# Scenarios.  Each takes (sim_class, n_events) and returns events fired.
+# The workloads terminate naturally (countdown closures) so both kernels
+# run the identical event population to quiescence.
+# ----------------------------------------------------------------------
+
+def post_chain_int(sim_class, n_events, chains=64):
+    """Parallel integer-delay post() chains (the bucket fast path)."""
+    sim = sim_class()
+    budget = [n_events]
+
+    def tick():
+        budget[0] -= 1
+        if budget[0] > 0:
+            sim.post(1, tick)
+
+    for _ in range(min(chains, n_events)):
+        sim.post(1, tick)
+    sim.run()
+    return sim.events_fired
+
+
+def post_fanout_burst(sim_class, n_events, fanout=4, chains=32):
+    """Every firing posts ``fanout`` events at mixed integer delays —
+    token fanout on a loaded machine (``chains`` concurrent producers,
+    the way every PE pipeline keeps its own events in flight)."""
+    sim = sim_class()
+    budget = [n_events]
+    delays = (1, 1, 2, 3)
+
+    def fire():
+        budget[0] -= 1
+        if budget[0] <= 0:
+            return
+        burst = min(fanout, budget[0])
+        outstanding = [burst]
+        for i in range(burst):
+            sim.post(delays[i % len(delays)], sink, outstanding)
+
+    def sink(outstanding):
+        budget[0] -= 1
+        outstanding[0] -= 1
+        if outstanding[0] == 0 and budget[0] > 0:
+            sim.post(1, fire)
+
+    for _ in range(min(chains, n_events)):
+        sim.post(1, fire)
+    sim.run()
+    return sim.events_fired
+
+
+def post_fractional(sim_class, n_events, chains=512):
+    """Fractional delays under load: sub-cycle instants at the queue
+    depths a large machine sustains."""
+    sim = sim_class()
+    budget = [n_events]
+
+    def tick():
+        budget[0] -= 1
+        if budget[0] > 0:
+            sim.post(0.5, tick)
+
+    for _ in range(min(chains, n_events)):
+        sim.post(0.25, tick)
+    sim.run()
+    return sim.events_fired
+
+
+def schedule_cancel(sim_class, n_events, chains=64):
+    """schedule() + cancel() churn: every firing schedules a far-future
+    decoy timer and cancels the previous one, across many concurrent
+    chains (lazy-cancel, debris compaction, bounded queues)."""
+    sim = sim_class()
+    budget = [n_events]
+
+    def tick(decoy):
+        budget[0] -= 1
+        if decoy[0] is not None:
+            decoy[0].cancel()
+        if budget[0] > 0:
+            decoy[0] = sim.schedule(10_000_000, noop)
+            sim.post(1, tick, decoy)
+
+    def noop():
+        pass
+
+    for _ in range(min(chains, n_events)):
+        sim.post(1, tick, [None])
+    sim.run()
+    return sim.events_fired
+
+
+SCENARIOS = [
+    ("post_chain_int", post_chain_int),
+    ("post_fanout_burst", post_fanout_burst),
+    ("post_fractional", post_fractional),
+    ("schedule_cancel", schedule_cancel),
+]
+
+
+def _time_scenario(fn, sim_class, n_events, repeat):
+    """Best-of-``repeat`` events/sec (best-of defeats scheduler noise)."""
+    best = 0.0
+    fired = 0
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fired = fn(sim_class, n_events)
+        elapsed = time.perf_counter() - t0
+        best = max(best, fired / elapsed if elapsed > 0 else 0.0)
+    return best, fired
+
+
+def run_kernel_bench(n_events, repeat, kernels):
+    results = {}
+    for name, fn in SCENARIOS:
+        row = {}
+        for kernel_name, sim_class in kernels:
+            rate, fired = _time_scenario(fn, sim_class, n_events, repeat)
+            row[f"{kernel_name}_events_per_sec"] = round(rate)
+            row["events_fired"] = fired
+        if "calendar_events_per_sec" in row and "legacy_events_per_sec" in row:
+            legacy = row["legacy_events_per_sec"]
+            row["speedup"] = (
+                round(row["calendar_events_per_sec"] / legacy, 2) if legacy else 0.0
+            )
+        results[name] = row
+    return results
+
+
+def run_experiment_timings():
+    """Wall-clock (seconds) for the gated experiments, one subprocess
+    each, cache disabled so the measured work is the real simulation."""
+    timings = {}
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    for exp in GATED_EXPERIMENTS:
+        t0 = time.perf_counter()
+        subprocess.run(
+            [sys.executable, "-m", "repro", "bench", "--only", exp,
+             "--jobs", "0", "--no-cache"],
+            cwd=REPO_ROOT, env=env, check=True,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        timings[exp] = {"wall_seconds": round(time.perf_counter() - t0, 3)}
+    return timings
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=200_000,
+                        help="events per scenario (default 200000)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="repetitions per scenario; best-of is kept")
+    parser.add_argument("--legacy", action="store_true",
+                        help="benchmark only the legacy heapq kernel")
+    parser.add_argument("--experiments", action="store_true",
+                        help="also time the gated experiments (e10, e19)")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="output JSON path (default: repo BENCH_perf.json)")
+    parser.add_argument("--no-write", action="store_true",
+                        help="print results without writing the JSON file")
+    args = parser.parse_args(argv)
+
+    if args.legacy:
+        kernels = [("legacy", LegacySimulator)]
+    else:
+        kernels = [("calendar", CalendarSimulator), ("legacy", LegacySimulator)]
+
+    scenarios = run_kernel_bench(args.events, args.repeat, kernels)
+
+    width = max(len(name) for name in scenarios)
+    header = f"{'scenario':<{width}}  {'calendar ev/s':>14}  {'legacy ev/s':>12}  {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    speedups = []
+    for name, row in scenarios.items():
+        cal = row.get("calendar_events_per_sec")
+        leg = row.get("legacy_events_per_sec")
+        speed = row.get("speedup")
+        if speed:
+            speedups.append(speed)
+        print(f"{name:<{width}}  {cal if cal else '-':>14}  "
+              f"{leg if leg else '-':>12}  "
+              f"{f'{speed:.2f}x' if speed else '-':>8}")
+    payload = {
+        "kernel": {
+            "events_per_scenario": args.events,
+            "repeat": args.repeat,
+            "scenarios": scenarios,
+        },
+    }
+    if speedups:
+        geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+        payload["kernel"]["geomean_speedup"] = round(geomean, 2)
+        print(f"\ngeomean speedup: {geomean:.2f}x")
+
+    if args.experiments:
+        print("\ntiming gated experiments (subprocess, cache off)...")
+        payload["experiments"] = run_experiment_timings()
+        for exp, row in payload["experiments"].items():
+            print(f"  {exp}: {row['wall_seconds']:.3f}s")
+
+    if not args.no_write:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\n-> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,7 @@ from ..common.errors import MachineError
 from ..graph.codeblock import CodeBlock
 from ..graph.opcodes import Opcode, PURE_BINARY, PURE_UNARY
 from ..istructure.heap import StructureRef
-from .tags import Tag
+from .tags import Tag, intern_tag
 from .values import Continuation, FunctionRef
 
 __all__ = [
@@ -37,7 +37,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Send:
     """Deliver ``value`` as a token to (``tag``, ``port``)."""
 
@@ -46,7 +46,7 @@ class Send:
     value: object
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StructureRead:
     """A SELECT turned FETCH: read ``ref[index]``, reply to ``replies``."""
 
@@ -55,7 +55,7 @@ class StructureRead:
     replies: Tuple[Tuple[Tag, int], ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StructureWrite:
     """An APPEND turned STORE: write ``ref[index] = value``."""
 
@@ -64,7 +64,7 @@ class StructureWrite:
     value: object
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StructureAlloc:
     """Allocate a structure of ``size`` cells; send the ref to ``replies``."""
 
@@ -72,7 +72,7 @@ class StructureAlloc:
     replies: Tuple[Tuple[Tag, int], ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProgramResult:
     """A RETURN consumed the HALT continuation: the program's answer."""
 
@@ -99,12 +99,34 @@ def assemble_operands(instruction, by_port):
     return operands
 
 
+#: Memoized (statement, port) pairs per destination tuple.  Keyed by the
+#: tuple's id; each entry pins its tuple, so the id cannot be recycled
+#: while the entry lives.  Builder/optimizer passes always *replace* a
+#: destination tuple rather than mutating it, so identity implies
+#: validity.  Bounded: cleared wholesale on overflow (pure cache).
+_PAIRS_CACHE = {}
+_PAIRS_CACHE_MAX = 1 << 15
+
+
+def _dest_pairs(dests):
+    entry = _PAIRS_CACHE.get(id(dests))
+    if entry is not None and entry[0] is dests:
+        return entry[1]
+    if len(_PAIRS_CACHE) >= _PAIRS_CACHE_MAX:
+        _PAIRS_CACHE.clear()
+    pairs = tuple((d.statement, d.port) for d in dests)
+    _PAIRS_CACHE[id(dests)] = (dests, pairs)
+    return pairs
+
+
 def _fanout(tag, dests, value):
-    return [Send(tag.at_statement(d.statement), d.port, value) for d in dests]
+    at_statement = tag.at_statement
+    return [Send(at_statement(s), p, value) for s, p in _dest_pairs(dests)]
 
 
 def _reply_arcs(tag, dests):
-    return tuple((tag.at_statement(d.statement), d.port) for d in dests)
+    at_statement = tag.at_statement
+    return tuple((at_statement(s), p) for s, p in _dest_pairs(dests))
 
 
 def execute(program, instruction, tag, operands):
@@ -152,27 +174,27 @@ def execute(program, instruction, tag, operands):
         return _fanout(tag, side, operands[0])
 
     if opcode is Opcode.D:
+        next_iteration = tag.next_iteration
         return [
-            Send(tag.next_iteration(d.statement), d.port, operands[0])
-            for d in instruction.dests
+            Send(next_iteration(s), p, operands[0])
+            for s, p in _dest_pairs(instruction.dests)
         ]
 
     if opcode is Opcode.D_INV:
+        reset_iteration = tag.reset_iteration
         return [
-            Send(tag.reset_iteration(d.statement), d.port, operands[0])
-            for d in instruction.dests
+            Send(reset_iteration(s), p, operands[0])
+            for s, p in _dest_pairs(instruction.dests)
         ]
 
     if opcode is Opcode.L:
         loop = program.block(instruction.target_block)
         targets = loop.param_targets[instruction.param_index]
+        site = instruction.site
+        name = loop.name
         return [
-            Send(
-                tag.enter(instruction.site, loop.name, d.statement),
-                d.port,
-                operands[0],
-            )
-            for d in targets
+            Send(tag.enter(site, name, s), p, operands[0])
+            for s, p in _dest_pairs(targets)
         ]
 
     if opcode is Opcode.L_INV:
@@ -222,16 +244,14 @@ def _loop_exit(program, instruction, tag, value):
         raise MachineError(f"L⁻¹ at {tag!r} has no enclosing context to restore")
     block = program.block(tag.code_block)
     dests = block.exit_dests[instruction.param_index]
-    restored_base = Tag(
+    restored_base = intern_tag(
         invocation.context,
         invocation.code_block,
         0,
         invocation.iteration,
     )
-    return [
-        Send(restored_base.at_statement(d.statement), d.port, value)
-        for d in dests
-    ]
+    at_statement = restored_base.at_statement
+    return [Send(at_statement(s), p, value) for s, p in _dest_pairs(dests)]
 
 
 def _call(program, instruction, tag, operands):

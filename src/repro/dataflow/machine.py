@@ -24,7 +24,7 @@ from ..network.ideal import IdealNetwork
 from ..obs import MetricsRegistry, TraceBus
 from .mapping import HashMapping
 from .pe import ProcessingElement
-from .tags import Tag
+from .tags import intern_tag
 from .trace import TraceLog
 from .token import Token, TokenKind
 from .values import Continuation
@@ -128,6 +128,10 @@ class TaggedTokenMachine:
             attach = getattr(self.network, "attach_bus", None)
             if attach is not None:
                 attach(bus, source="net")
+        # (code_block, statement) -> (instruction, nt), shared by every PE
+        # and the injection path.  The program is frozen once the machine
+        # runs, so the memoization is safe for the machine's lifetime.
+        self._instr_cache = {}
         self.pes = [ProcessingElement(self, i, self.config) for i in range(self.n_pes)]
         for pe in self.pes:
             self.network.attach(pe.pe, self._network_delivery)
@@ -160,9 +164,9 @@ class TaggedTokenMachine:
             )
         for index, arg in enumerate(args):
             for dest in entry.param_targets[index]:
-                tag = Tag(None, entry.name, dest.statement, 1)
+                tag = intern_tag(None, entry.name, dest.statement, 1)
                 self._inject(tag, dest.port, arg)
-        halt_tag = Tag(None, entry.name, entry.return_statement, 1)
+        halt_tag = intern_tag(None, entry.name, entry.return_statement, 1)
         self._inject(halt_tag, 1, Continuation.HALT)
 
         self.sim.run(max_events=max_events)
@@ -191,10 +195,14 @@ class TaggedTokenMachine:
         )
 
     def _inject(self, tag, port, value):
-        instruction = self.program.instruction(tag.code_block, tag.statement)
-        token = Token(tag, port, value, TokenKind.NORMAL, nt=instruction.nt)
+        key = (tag.code_block, tag.statement)
+        entry = self._instr_cache.get(key)
+        if entry is None:
+            instruction = self.program.instruction(*key)
+            entry = self._instr_cache[key] = (instruction, instruction.nt)
+        token = Token(tag, port, value, TokenKind.NORMAL, nt=entry[1])
         pe = self.mapping.pe_of(tag)
-        self.sim.schedule(0, self.pes[pe].receive, token.routed_to(pe))
+        self.sim.post(0, self.pes[pe].receive, token.routed_to(pe))
 
     def _trace_event(self, pe, kind, detail, **fields):
         # Call sites guard on ``self._bus is not None and bus.enabled``

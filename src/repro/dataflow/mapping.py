@@ -19,13 +19,27 @@ def _mix(h, value):
 
 
 def stable_tag_key(tag):
-    """A deterministic 32-bit key for a tag (recursing through contexts)."""
+    """A deterministic 32-bit key for a tag (recursing through contexts).
+
+    The key is a pure function of the tag's structure, so it is memoized
+    on the tag itself (``Tag._map_key``) — with interned tags the mapping
+    policy pays the chain walk once per distinct activity name instead of
+    once per routed token.
+    """
+    cached = getattr(tag, "_map_key", None)
+    if cached is not None:
+        return cached
     h = 0x811C9DC5
-    while tag is not None:
-        h = _mix(h, zlib.crc32(tag.code_block.encode("utf-8")))
-        h = _mix(h, tag.statement)
-        h = _mix(h, tag.iteration)
-        tag = tag.context
+    node = tag
+    while node is not None:
+        h = _mix(h, zlib.crc32(node.code_block.encode("utf-8")))
+        h = _mix(h, node.statement)
+        h = _mix(h, node.iteration)
+        node = node.context
+    try:
+        object.__setattr__(tag, "_map_key", h)
+    except AttributeError:  # a non-Tag stand-in without the cache slot
+        pass
     return h
 
 

@@ -57,11 +57,20 @@ class AllocRequest:
 class ProcessingElement:
     """One PE of the tagged-token machine."""
 
+    __slots__ = (
+        "machine", "pe", "config", "sim",
+        "waiting_matching", "fetch", "alu", "output", "controller",
+        "istructure", "_match_store", "_match_causes", "match_occupancy",
+        "counters", "_waiting", "_instr_cache",
+        "_wm_time", "_wm_capacity", "_wm_penalty",
+    )
+
     def __init__(self, machine, pe_number, config):
         self.machine = machine
         self.pe = pe_number
         self.config = config
         sim = machine.sim
+        self.sim = sim
         name = f"pe{pe_number}"
         self.waiting_matching = FifoServer(sim, config.wm_time, f"{name}.wm")
         self.fetch = FifoServer(sim, config.fetch_time, f"{name}.fetch")
@@ -82,6 +91,17 @@ class ProcessingElement:
         self._match_causes = {}
         self.match_occupancy = TimeWeighted()
         self.counters = Counter()
+        # Parked-token count, maintained incrementally (+1 on park,
+        # -(nt-1) on match) so capacity checks and occupancy samples are
+        # O(1) instead of a sum over the associative store.
+        self._waiting = 0
+        # (code_block, statement) -> (instruction, nt), shared machine-wide.
+        # ``Instruction.nt`` is a recomputed property and the program is
+        # frozen once the machine runs, so both are safe to memoize.
+        self._instr_cache = machine._instr_cache
+        self._wm_time = config.wm_time
+        self._wm_capacity = config.wm_capacity
+        self._wm_penalty = config.wm_overflow_penalty
 
     # ------------------------------------------------------------------
     # Token arrival and classification (the "input" of Fig 2-4)
@@ -91,14 +111,14 @@ class ProcessingElement:
         self.counters.add("tokens_received")
         if token.kind is TokenKind.NORMAL:
             if token.needs_partner:
-                service = self.config.wm_time
+                service = self._wm_time
                 if (
-                    self.config.wm_capacity is not None
-                    and self._waiting_tokens() >= self.config.wm_capacity
+                    self._wm_capacity is not None
+                    and self._waiting >= self._wm_capacity
                 ):
                     # Finite associative memory: probes beyond capacity
                     # spill to the (slow) overflow store.
-                    service += self.config.wm_overflow_penalty
+                    service += self._wm_penalty
                     self.counters.add("wm_overflows")
                 self.waiting_matching.submit(token, self._match,
                                              service_time=service)
@@ -124,29 +144,31 @@ class ProcessingElement:
     # Waiting-matching section
     # ------------------------------------------------------------------
     def _match(self, token):
-        slot = self._match_store.get(token.tag)
+        store = self._match_store
+        slot = store.get(token.tag)
         if slot is None:
-            slot = self._match_store[token.tag] = {}
+            slot = store[token.tag] = {}
         if token.port in slot:
             raise MachineError(
                 f"pe{self.pe}: duplicate token at {token.tag!r} "
                 f"port {token.port}"
             )
         slot[token.port] = token.data
-        bus = self.machine._bus
+        machine = self.machine
+        bus = machine._bus
+        now = self.sim._now
         if len(slot) == token.nt:
-            del self._match_store[token.tag]
+            del store[token.tag]
             self.counters.add("matches")
-            self.match_occupancy.update(
-                self.machine.sim.now, self._waiting_tokens()
-            )
+            waiting = self._waiting = self._waiting - (token.nt - 1)
+            self.match_occupancy.update(now, waiting)
             cause = token.cause
             if bus is not None and bus.enabled:
                 # The match joins this token's chain (parent) with the
                 # park events of the operands that arrived earlier.
-                eid = self.machine._trace_event(
+                eid = machine._trace_event(
                     self.pe, "match", repr(token.tag),
-                    waiting=self._waiting_tokens(),
+                    waiting=waiting,
                     parent=token.cause,
                     joins=self._match_causes.pop(token.tag, None),
                 )
@@ -157,55 +179,69 @@ class ProcessingElement:
             self.fetch.submit((token.tag, slot, cause), self._fetched)
         else:
             self.counters.add("tokens_parked")
-            self.match_occupancy.update(
-                self.machine.sim.now, self._waiting_tokens()
-            )
+            waiting = self._waiting = self._waiting + 1
+            self.match_occupancy.update(now, waiting)
             if bus is not None and bus.enabled:
-                eid = self.machine._trace_event(
+                eid = machine._trace_event(
                     self.pe, "park", f"{token.tag!r} p{token.port}",
-                    waiting=self._waiting_tokens(), parent=token.cause,
+                    waiting=waiting, parent=token.cause,
                 )
                 if eid is not None:
                     self._match_causes.setdefault(token.tag, []).append(eid)
 
     def _waiting_tokens(self):
-        return sum(len(slot) for slot in self._match_store.values())
+        return self._waiting
 
     # ------------------------------------------------------------------
     # Instruction fetch and ALU
     # ------------------------------------------------------------------
+    def _instruction_entry(self, code_block, statement):
+        """The (instruction, nt) pair for one statement, memoized."""
+        key = (code_block, statement)
+        entry = self._instr_cache.get(key)
+        if entry is None:
+            instruction = self.machine.program.instruction(code_block, statement)
+            entry = self._instr_cache[key] = (instruction, instruction.nt)
+        return entry
+
     def _fetched(self, enabled):
         tag, by_port, cause = enabled
-        instruction = self.machine.program.instruction(tag.code_block, tag.statement)
-        self.alu.submit((instruction, tag, by_port, cause), self._executed)
+        entry = self._instr_cache.get((tag.code_block, tag.statement))
+        if entry is None:
+            entry = self._instruction_entry(tag.code_block, tag.statement)
+        self.alu.submit((entry[0], tag, by_port, cause), self._executed)
 
     def _executed(self, work):
         instruction, tag, by_port, cause = work
+        machine = self.machine
         operands = assemble_operands(instruction, by_port)
-        effects = execute(self.machine.program, instruction, tag, operands)
-        self.counters.add("instructions")
-        self.counters.add(f"class_{OPCODE_CLASS[instruction.opcode].value}")
-        bus = self.machine._bus
+        effects = execute(machine.program, instruction, tag, operands)
+        counters = self.counters
+        counters.add("instructions")
+        counters.add(f"class_{OPCODE_CLASS[instruction.opcode].value}")
+        bus = machine._bus
         if bus is not None and bus.enabled:
             # dur = the ALU slice just finished; the Chrome exporter
             # renders it as pipeline-stage occupancy on this PE's track.
-            eid = self.machine._trace_event(
+            eid = machine._trace_event(
                 self.pe, "exec", f"{tag!r} {instruction.opcode.value}",
                 op=instruction.opcode.value, dur=self.config.alu_time,
                 parent=cause,
             )
             if eid is not None:
                 cause = eid
+        emit = self._emit
         for effect in effects:
-            self._emit(effect, tag, cause)
+            emit(effect, tag, cause)
 
     def _emit(self, effect, tag, cause=None):
         if isinstance(effect, Send):
-            instruction = self.machine.program.instruction(
-                effect.tag.code_block, effect.tag.statement
-            )
-            token = Token(effect.tag, effect.port, effect.value,
-                          TokenKind.NORMAL, nt=instruction.nt, cause=cause)
+            etag = effect.tag
+            entry = self._instr_cache.get((etag.code_block, etag.statement))
+            if entry is None:
+                entry = self._instruction_entry(etag.code_block, etag.statement)
+            token = Token(etag, effect.port, effect.value,
+                          TokenKind.NORMAL, nt=entry[1], cause=cause)
             self.output.submit(token, self._route)
         elif isinstance(effect, StructureRead):
             for reply_tag, reply_port in effect.replies:
@@ -242,10 +278,11 @@ class ProcessingElement:
     # Output section: tag -> PE mapping and routing
     # ------------------------------------------------------------------
     def _route(self, token):
+        machine = self.machine
         if token.pe is None:
-            token = token.routed_to(self.machine.mapping.pe_of(token.tag))
+            token = token.routed_to(machine.mapping.pe_of(token.tag))
         self.counters.add("tokens_sent")
-        self.machine._transmit(self.pe, token)
+        machine._transmit(self.pe, token)
 
     # ------------------------------------------------------------------
     # PE controller (d=2): structure allocation
@@ -261,11 +298,11 @@ class ProcessingElement:
                 if eid is not None:
                     cause = eid
             for reply_tag, reply_port in request.replies:
-                instruction = self.machine.program.instruction(
+                entry = self._instruction_entry(
                     reply_tag.code_block, reply_tag.statement
                 )
                 token = Token(reply_tag, reply_port, ref, TokenKind.NORMAL,
-                              nt=instruction.nt, cause=cause)
+                              nt=entry[1], cause=cause)
                 self.output.submit(token, self._route)
         else:
             raise MachineError(f"pe{self.pe}: unknown control request {request!r}")
@@ -278,13 +315,14 @@ class ProcessingElement:
 
     def _istructure_reply(self, reply, value):
         reply_tag, reply_port = reply
-        instruction = self.machine.program.instruction(
-            reply_tag.code_block, reply_tag.statement
-        )
+        entry = self._instr_cache.get((reply_tag.code_block, reply_tag.statement))
+        if entry is None:
+            entry = self._instruction_entry(reply_tag.code_block,
+                                            reply_tag.statement)
         # The controller sets reply_cause synchronously right before each
         # deliver call, so this read is race-free under the event kernel.
         token = Token(reply_tag, reply_port, value, TokenKind.NORMAL,
-                      nt=instruction.nt, cause=self.istructure.reply_cause)
+                      nt=entry[1], cause=self.istructure.reply_cause)
         self.output.submit(token, self._route)
 
     # ------------------------------------------------------------------

@@ -13,43 +13,90 @@ exactly as the paper requires of a scalable machine.
 Tags are immutable and hashable; the waiting-matching section pairs tokens
 by comparing them ("we can match up related tokens ... by comparing the
 tags that they carry").
+
+Tags sit on the hottest path of the tagged-token machine — every token
+carries one, the waiting-matching store is keyed by them, and the mapping
+policy hashes them — so this module is tuned accordingly:
+
+* ``__slots__`` and a hash computed once at construction (the recursive
+  context chain makes naive re-hashing O(depth) per dict probe);
+* **interning** via :func:`intern_tag`: every tag derived by the
+  tag-manipulation operators is canonicalized, so structurally equal tags
+  are usually the *same object* and dict probes short-circuit on identity
+  (CPython compares keys by identity before calling ``__eq__``).  The
+  table is bounded; clearing it costs only the identity fast path, never
+  correctness, because equality stays structural.
 """
 
 import zlib
-from dataclasses import dataclass
-from typing import Optional
 
-__all__ = ["Tag"]
+__all__ = ["Tag", "intern_tag"]
 
 
-@dataclass(frozen=True)
 class Tag:
-    """An activity name ``(u, c, s, i)``."""
+    """An activity name ``(u, c, s, i)``.  Immutable."""
 
-    context: Optional["Tag"]
-    code_block: str
-    statement: int
-    iteration: int = 1
+    __slots__ = ("context", "code_block", "statement", "iteration",
+                 "_hash", "_map_key")
+
+    def __init__(self, context, code_block, statement, iteration=1):
+        set_ = object.__setattr__
+        set_(self, "context", context)
+        set_(self, "code_block", code_block)
+        set_(self, "statement", statement)
+        set_(self, "iteration", iteration)
+        set_(self, "_hash", hash((context, code_block, statement, iteration)))
+        set_(self, "_map_key", None)  # cache for mapping.stable_tag_key
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"Tag is immutable (tried to set {name!r})")
+
+    def __delattr__(self, name):
+        raise AttributeError(f"Tag is immutable (tried to delete {name!r})")
+
+    def __hash__(self):
+        return self._hash
+
+    def __eq__(self, other):
+        if self is other:
+            return True
+        if type(other) is not Tag:
+            return NotImplemented
+        return (
+            self.statement == other.statement
+            and self.iteration == other.iteration
+            and self.code_block == other.code_block
+            and self.context == other.context
+        )
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
 
     # -- derivation helpers used by the tag-manipulation opcodes --------
     def at_statement(self, statement):
         """Same activity, different statement (ordinary result arcs)."""
-        return Tag(self.context, self.code_block, statement, self.iteration)
+        return intern_tag(self.context, self.code_block, statement,
+                          self.iteration)
 
     def next_iteration(self, statement):
         """The D operator: advance to iteration i+1 at ``statement``."""
-        return Tag(self.context, self.code_block, statement, self.iteration + 1)
+        return intern_tag(self.context, self.code_block, statement,
+                          self.iteration + 1)
 
     def reset_iteration(self, statement):
         """The D⁻¹ operator: canonicalize to iteration 1 at ``statement``."""
-        return Tag(self.context, self.code_block, statement, 1)
+        return intern_tag(self.context, self.code_block, statement, 1)
 
     def enter(self, site, target_block, statement):
         """The L / CALL context push: a fresh context named after this
         invocation point (this tag with ``statement`` replaced by the
         site id), entering ``target_block`` at iteration 1."""
-        invocation = Tag(self.context, self.code_block, site, self.iteration)
-        return Tag(invocation, target_block, statement, 1)
+        invocation = intern_tag(self.context, self.code_block, site,
+                                self.iteration)
+        return intern_tag(invocation, target_block, statement, 1)
 
     @property
     def depth(self):
@@ -70,3 +117,22 @@ class Tag:
             digest = zlib.crc32(repr(self.context).encode("utf-8"))
             context = f"u{digest & 0xFFFF:04x}"
         return f"⟨{context},{self.code_block},{self.statement},{self.iteration}⟩"
+
+
+#: Canonical tag per (context, code_block, statement, iteration).  Bounded:
+#: on overflow the table is cleared, which only forfeits the identity fast
+#: path for older tags (equality is structural either way).
+_INTERN = {}
+_INTERN_MAX = 1 << 17
+
+
+def intern_tag(context, code_block, statement, iteration=1):
+    """The canonical :class:`Tag` for the given activity name."""
+    key = (context, code_block, statement, iteration)
+    tag = _INTERN.get(key)
+    if tag is None:
+        if len(_INTERN) >= _INTERN_MAX:
+            _INTERN.clear()
+        tag = Tag(context, code_block, statement, iteration)
+        _INTERN[key] = tag
+    return tag

@@ -8,13 +8,13 @@ I-Structure Storage (d=1), or is destined for the PE Controller (d=2)"
 ``PE`` is filled in by the output section from the tag via the machine's
 mapping policy; ``nt`` is the total operand count of the target
 instruction; ``port`` says which operand this token carries.
+
+Millions of tokens flow through a single experiment, so the class is a
+plain ``__slots__`` record rather than a dataclass: construction is the
+hot operation, and attribute access happens in every pipeline stage.
 """
 
 import enum
-from dataclasses import dataclass
-from typing import Optional
-
-from .tags import Tag
 
 __all__ = ["Token", "TokenKind"]
 
@@ -27,20 +27,23 @@ class TokenKind(enum.IntEnum):
     CONTROL = 2  # d=2: PE-controller traffic (allocation, management)
 
 
-@dataclass(frozen=True)
 class Token:
-    """One token in flight."""
+    """One token in flight.  Treated as immutable by all machine code."""
 
-    tag: Tag
-    port: int
-    data: object
-    kind: TokenKind = TokenKind.NORMAL
-    nt: int = 1
-    pe: Optional[int] = None
-    # Provenance: eid of the trace event that produced this token.  Only
-    # populated when the machine's bus runs with provenance=True; excluded
-    # from repr so trace detail strings stay byte-compatible.
-    cause: Optional[int] = None
+    __slots__ = ("tag", "port", "data", "kind", "nt", "pe", "cause")
+
+    def __init__(self, tag, port, data, kind=TokenKind.NORMAL, nt=1, pe=None,
+                 cause=None):
+        self.tag = tag
+        self.port = port
+        self.data = data
+        self.kind = kind
+        self.nt = nt
+        self.pe = pe
+        # Provenance: eid of the trace event that produced this token.  Only
+        # populated when the machine's bus runs with provenance=True;
+        # excluded from repr so trace detail strings stay byte-compatible.
+        self.cause = cause
 
     def routed_to(self, pe):
         """Copy of the token with its PE field filled in."""
@@ -51,6 +54,31 @@ class Token:
     def needs_partner(self):
         """True when the waiting-matching section must pair this token."""
         return self.kind is TokenKind.NORMAL and self.nt >= 2
+
+    def __eq__(self, other):
+        if self is other:
+            return True
+        if type(other) is not Token:
+            return NotImplemented
+        return (
+            self.tag == other.tag
+            and self.port == other.port
+            and self.data == other.data
+            and self.kind == other.kind
+            and self.nt == other.nt
+            and self.pe == other.pe
+            and self.cause == other.cause
+        )
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self):
+        return hash((self.tag, self.port, self.data, self.kind, self.nt,
+                     self.pe, self.cause))
 
     def __repr__(self):
         return (

@@ -21,7 +21,7 @@ __all__ = ["Continuation", "FunctionRef", "StructureRef"]
 
 from ..istructure.heap import StructureRef  # noqa: F401  (re-export)
 from ..graph.instruction import Destination
-from .tags import Tag
+from .tags import Tag, intern_tag
 
 
 @dataclass(frozen=True)
@@ -47,7 +47,8 @@ class Continuation:
     def return_tags(self):
         """The (tag, port) pairs the result token(s) must be sent to."""
         return [
-            (Tag(self.context, self.code_block, d.statement, self.iteration), d.port)
+            (intern_tag(self.context, self.code_block, d.statement,
+                        self.iteration), d.port)
             for d in self.dests
         ]
 

@@ -99,7 +99,7 @@ class IStructureController:
             service = self.read_cycles
         else:
             service = self.write_cycles
-        self.sim.schedule(service, self._complete, request)
+        self.sim.post(service, self._complete, request)
 
     def _complete(self, request):
         extra = 0.0
@@ -149,7 +149,7 @@ class IStructureController:
                 self.reply_cause = eid
                 self.deliver(reply, request.value)
         if extra > 0:
-            self.sim.schedule(extra, self._finish_drain)
+            self.sim.post(extra, self._finish_drain)
         else:
             self._finish_drain()
 

@@ -90,7 +90,7 @@ def _run_hotspot(stages, combining=True, requests_per_proc=1,
     for round_index in range(requests_per_proc):
         for src in range(n):
             delay = spacing * (round_index * n + src)
-            sim.schedule(delay, net.request, src,
+            sim.post(delay, net.request, src,
                          FetchAddRequest(address=0, value=1))
     sim.run()
 

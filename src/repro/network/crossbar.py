@@ -30,7 +30,7 @@ class CrossbarNetwork(Network):
     def _route(self, packet):
         packet.hops = 1
         # Transit the switch fabric, then queue for the output port.
-        self.sim.schedule(self.switch_latency, self._enqueue_output, packet)
+        self.sim.post(self.switch_latency, self._enqueue_output, packet)
 
     def _enqueue_output(self, packet):
         server = self.output_ports[packet.dst]

@@ -68,7 +68,7 @@ class HierarchicalNetwork(Network):
         if self._same_module(packet.src, packet.dst):
             packet.hops = 0
             self.counters.add("local")
-            self.sim.schedule(self.local_time, self._deliver, packet)
+            self.sim.post(self.local_time, self._deliver, packet)
         elif src_cluster == dst_cluster:
             packet.hops = 1
             self.counters.add("intra_cluster")

@@ -118,7 +118,7 @@ class HypercubeNetwork(Network):
         link = self.links[(node, nxt)]
         link.submit(
             packet,
-            lambda p, _n=nxt: self.sim.schedule(self.wire_latency, self._advance, p, _n),
+            lambda p, _n=nxt: self.sim.post(self.wire_latency, self._advance, p, _n),
             service_time=packet.size * self.flit_time,
         )
 

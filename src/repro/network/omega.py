@@ -109,7 +109,7 @@ class _SwitchOutput:
             self.busy = True
             self.utilization.begin(self.net.sim.now)
             record = self.queue.pop(0)
-            self.net.sim.schedule(self.net.switch_time, self._advance, record)
+            self.net.sim.post(self.net.switch_time, self._advance, record)
 
     def _advance(self, record):
         self.busy = False
@@ -210,7 +210,7 @@ class CombiningOmegaNetwork:
         if index < 0:
             self._deliver_reply(record, value)
             return
-        self.sim.schedule(
+        self.sim.post(
             self.return_hop_time, self._return_arrive, record, value, index
         )
 

@@ -74,7 +74,7 @@ class SnoopyBusSystem:
         if op is Op.LOAD and state is not CacheState.INVALID:
             self.counters.add("load_hits")
             value = self.memory.data.get(request.address, 0)
-            self.sim.schedule(cache.config.hit_time, on_complete, value)
+            self.sim.post(cache.config.hit_time, on_complete, value)
             return
         if op is Op.STORE and self.write_policy == "write_through":
             # Every store goes to memory over the bus, hit or not.
@@ -84,7 +84,7 @@ class SnoopyBusSystem:
         if op is Op.STORE and state is CacheState.MODIFIED:
             self.counters.add("store_hits")
             self.memory.data[request.address] = request.value
-            self.sim.schedule(cache.config.hit_time, on_complete, None)
+            self.sim.post(cache.config.hit_time, on_complete, None)
             return
         kind = "read_miss" if op is Op.LOAD else (
             "upgrade" if state is CacheState.SHARED else "write_miss"

@@ -112,7 +112,7 @@ class MultithreadedProcessor:
             raise MachineError(f"proc {self.proc_id}: no contexts loaded")
         self.start_time = self.sim.now + delay
         self._running = True
-        self.sim.schedule(delay, self._dispatch)
+        self.sim.post(delay, self._dispatch)
 
     # ------------------------------------------------------------------
     def _pick_ready(self):
@@ -149,21 +149,23 @@ class MultithreadedProcessor:
                 if eid is not None:
                     context.last_eid = eid
         self._last_context = context
-        self.sim.schedule(overhead, self._execute, context)
+        self.sim.post(overhead, self._execute, context)
 
     def _execute(self, context):
         if not 0 <= context.pc < len(context.program):
             context.state = HardwareContext.HALTED
             self._dispatch()
             return
+        sim = self.sim
         instr = context.program[context.pc]
         op = instr.op
         self.counters.add("instructions")
         context.instructions += 1
-        self.busy_cycles += self.cpu_time
+        cpu_time = self.cpu_time
+        self.busy_cycles += cpu_time
         bus = self.bus
         if bus is not None and bus.enabled:
-            eid = bus.emit_id(self.sim.now, self._src, "vn_exec", op.name,
+            eid = bus.emit_id(sim._now, self._src, "vn_exec", op.name,
                               op=op.name, ctx=context.index, pc=context.pc,
                               parent=context.last_eid)
             if eid is not None:
@@ -175,18 +177,18 @@ class MultithreadedProcessor:
             if instr.rd is not None:  # NOP has no destination
                 context.regs[instr.rd] = value
             context.pc += 1
-            self.sim.schedule(self.cpu_time, self._dispatch)
+            sim.post(cpu_time, self._dispatch)
         elif op in BRANCH_OPS:
             context.pc = (
                 instr.target if view._branch_taken(instr) else context.pc + 1
             )
-            self.sim.schedule(self.cpu_time, self._dispatch)
+            sim.post(cpu_time, self._dispatch)
         elif op in MEMORY_OPS:
             self.counters.add("memory_ops")
             context.state = HardwareContext.STALLED
             request = view._memory_request(instr)
-            self.sim.schedule(self.cpu_time, self._issue, context, instr, request)
-            self.sim.schedule(self.cpu_time, self._dispatch)
+            sim.post(cpu_time, self._issue, context, instr, request)
+            sim.post(cpu_time, self._dispatch)
         elif op is Op.HALT:
             # HALT charged cpu_time to busy above but consumes no
             # simulated time; remember the overcount for exact accounting.
@@ -216,7 +218,7 @@ class MultithreadedProcessor:
                                   parent=context.last_eid)
                 if eid is not None:
                     context.last_eid = eid
-            self.sim.schedule(self.retry_backoff, self._issue, context, instr, request)
+            self.sim.post(self.retry_backoff, self._issue, context, instr, request)
             return
         if instr.op in (Op.LOAD, Op.TESTSET, Op.FAA, Op.READF):
             context.regs[instr.rd] = response
@@ -231,7 +233,7 @@ class MultithreadedProcessor:
                 self.stall_idle_cycles += window
             self._idle = False
             self._idle_since = None
-            self.sim.schedule(0, self._dispatch)
+            self.sim.post(0, self._dispatch)
 
     def _halt(self):
         self._running = False

@@ -59,7 +59,7 @@ class Processor:
 
     def start(self, delay=0.0):
         self.start_time = self.sim.now + delay
-        self.sim.schedule(delay, self._step)
+        self.sim.post(delay, self._step)
 
     # ------------------------------------------------------------------
     def _step(self):
@@ -68,35 +68,38 @@ class Processor:
         if not 0 <= self.pc < len(self.program):
             self._halt()
             return
+        sim = self.sim
         instr = self.program[self.pc]
         op = instr.op
-        self.counters.add("instructions")
-        self.busy_cycles += self.cpu_time
+        counters = self.counters
+        counters.add("instructions")
+        cpu_time = self.cpu_time
+        self.busy_cycles += cpu_time
         bus = self.bus
         if bus is not None and bus.enabled:
-            eid = bus.emit_id(self.sim.now, self._src, "vn_exec", op.name,
+            eid = bus.emit_id(sim._now, self._src, "vn_exec", op.name,
                               op=op.name, pc=self.pc,
                               parent=self._last_eid)
             if eid is not None:
                 self._last_eid = eid
 
         if op in ALU_OPS:
-            self.counters.add("alu_ops")
+            counters.add("alu_ops")
             value = self._alu(instr)
             if instr.rd is not None:  # NOP has no destination
                 self.regs[instr.rd] = value
             self.pc += 1
-            self.sim.schedule(self.cpu_time, self._step)
+            sim.post(cpu_time, self._step)
         elif op in BRANCH_OPS:
-            self.counters.add("branches")
+            counters.add("branches")
             self.pc = instr.target if self._branch_taken(instr) else self.pc + 1
-            self.sim.schedule(self.cpu_time, self._step)
+            sim.post(cpu_time, self._step)
         elif op in MEMORY_OPS:
-            self.counters.add("memory_ops")
+            counters.add("memory_ops")
             request = self._memory_request(instr)
-            self._mem_issued_at = self.sim.now
+            self._mem_issued_at = sim._now
             self._mem_retried = False
-            self.sim.schedule(self.cpu_time, self._issue, instr, request)
+            sim.post(cpu_time, self._issue, instr, request)
         elif op is Op.HALT:
             # HALT charged cpu_time to busy above but consumes no
             # simulated time; remember the overcount so accounting can
@@ -115,27 +118,29 @@ class Processor:
 
     def _memory_done(self, instr, request, response):
         bus = self.bus
+        sim = self.sim
+        now = sim._now
         if response is RETRY:
             self.counters.add("retries")
             self._mem_retried = True
             if bus is not None and bus.enabled:
-                eid = bus.emit_id(self.sim.now, self._src, "vn_retry",
+                eid = bus.emit_id(now, self._src, "vn_retry",
                                   instr.op.name, address=request.address,
                                   parent=self._last_eid)
                 if eid is not None:
                     self._last_eid = eid
-            self.sim.schedule(self.retry_backoff, self._issue, instr, request)
+            sim.post(self.retry_backoff, self._issue, instr, request)
             return
         # The wait beyond the issue slot: round-trip for a plain
         # reference (Issue 1), busy-wait if any RETRY came back (Issue 2).
-        waited = self.sim.now - self._mem_issued_at - self.cpu_time
+        waited = now - self._mem_issued_at - self.cpu_time
         if self._mem_retried:
             self.sync_cycles += waited
         else:
             self.stall_cycles += waited
         if bus is not None and bus.enabled:
             # The stall slice: issue to response, the §1.2.2 idle time.
-            eid = bus.emit_id(self.sim.now, self._src, "vn_stall",
+            eid = bus.emit_id(now, self._src, "vn_stall",
                               instr.op.name, dur=waited,
                               address=request.address,
                               parent=self._last_eid)
@@ -144,7 +149,7 @@ class Processor:
         if instr.op in (Op.LOAD, Op.TESTSET, Op.FAA, Op.READF):
             self.regs[instr.rd] = response
         self.pc += 1
-        self.sim.schedule(0, self._step)
+        sim.post(0, self._step)
 
     def _halt(self):
         self.halted = True
