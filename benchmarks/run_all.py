@@ -61,6 +61,8 @@ EXPERIMENTS = [
     ("bench_e18_cmstar_microtasking",
      [("run_experiment", "e18_cmstar_microtasking")]),
     ("bench_e19_crossover", [("run_experiment", "e19_crossover")]),
+    ("bench_e20_fault_tolerance",
+     [("run_experiment", "e20_fault_tolerance")]),
 ]
 
 

@@ -167,6 +167,10 @@ def build_parser():
                             "(default: <benchmarks>/baselines)")
     bench.add_argument("--check-out", metavar="FILE", default=None,
                        help="write the structured check result as JSON")
+    bench.add_argument("--faults", metavar="PLAN", default=None,
+                       help="fault-plan JSON file; fault-aware sweeps "
+                            "(e20) read it (and its optional 'levels' "
+                            "list) while building their grids")
 
     machine = sub.add_parser(
         "machine",
@@ -180,6 +184,9 @@ def build_parser():
     machine.add_argument("--workload", nargs="*", default=[],
                          metavar="KEY=VALUE",
                          help="run() arguments, e.g. workload=graph rounds=4")
+    machine.add_argument("--faults", metavar="PLAN", default=None,
+                         help="fault-plan JSON file passed to the model "
+                              "as faults=...")
     machine.add_argument("--json", action="store_true",
                          help="emit the SimResult as JSON")
     return parser
@@ -494,6 +501,7 @@ def _cmd_bench(options, out):
         timeout=options.timeout,
         bench_dir=options.bench_dir,
         bus=bus,
+        faults=options.faults,
     )
     if sink is not None:
         sink.close()
@@ -536,8 +544,12 @@ def _cmd_machine(options, out):
             doc = (cls.__doc__ or "").strip().splitlines()[0]
             print(f"  {name:<20} {doc}", file=out)
         return 0
-    model = registry.create(options.name,
-                            **_parse_kv(options.config, "--set"))
+    config = _parse_kv(options.config, "--set")
+    if options.faults is not None:
+        from .faults import coerce_plan
+
+        config["faults"] = coerce_plan(options.faults).as_dict()
+    model = registry.create(options.name, **config)
     result = model.run(**_parse_kv(options.workload, "--workload"))
     if options.json:
         print(json.dumps(result.as_dict(), indent=2, sort_keys=True,

@@ -49,7 +49,8 @@ import time
 
 from .errors import SimulationError
 
-__all__ = ["Event", "Simulator", "CalendarSimulator", "LegacySimulator"]
+__all__ = ["Event", "Simulator", "CalendarSimulator", "LegacySimulator",
+           "KERNELS", "resolve_kernel"]
 
 #: Lazily-cancelled events tolerated before the queue is compacted.
 _COMPACT_MIN = 512
@@ -563,7 +564,35 @@ class LegacySimulator:
         )
 
 
-if os.environ.get("REPRO_SIM_KERNEL", "").lower() == "legacy":
-    Simulator = LegacySimulator
-else:
-    Simulator = CalendarSimulator
+#: Kernel name -> class; the ``Simulator`` factory and the ``kernel=``
+#: kwarg both resolve through this table.
+KERNELS = {"calendar": CalendarSimulator, "legacy": LegacySimulator}
+
+
+def resolve_kernel(kernel=None):
+    """The kernel class for ``kernel`` (or ``$REPRO_SIM_KERNEL``).
+
+    Resolution happens per call — *not* at import time — so setting the
+    environment variable after ``import repro`` works, as does passing
+    ``kernel="legacy"`` explicitly.
+    """
+    name = kernel or os.environ.get("REPRO_SIM_KERNEL", "") or "calendar"
+    try:
+        return KERNELS[name.lower()]
+    except KeyError:
+        raise SimulationError(
+            f"unknown simulator kernel {name!r} "
+            f"(expected one of {sorted(KERNELS)})"
+        ) from None
+
+
+def Simulator(kernel=None, **kwargs):  # noqa: N802 — class-like factory
+    """Construct a simulator on the selected kernel.
+
+    Historically ``Simulator`` was a module-level alias bound at import
+    time, which silently ignored ``REPRO_SIM_KERNEL`` set afterwards.
+    It is now a factory resolving the choice at construction; every
+    call site (``Simulator()``) is source-compatible, and
+    ``isinstance`` checks should name a concrete kernel class.
+    """
+    return resolve_kernel(kernel)(**kwargs)

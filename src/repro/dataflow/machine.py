@@ -21,10 +21,11 @@ from ..common.simulator import Simulator
 from ..common.stats import Counter
 from ..istructure.heap import StructureRef
 from ..network.ideal import IdealNetwork
+from ..faults import coerce_plan
 from ..obs import MetricsRegistry, TraceBus
 from .mapping import HashMapping
 from .pe import ProcessingElement
-from .tags import intern_tag
+from .tags import intern_tag, reset_intern_table
 from .trace import TraceLog
 from .token import Token, TokenKind
 from .values import Continuation
@@ -60,6 +61,9 @@ class MachineConfig:
     network_factory: Optional[Callable] = None  # (sim, n_ports) -> Network
     mapping_factory: Optional[Callable] = None  # (n_pes) -> mapping policy
     network_latency: float = 4.0  # used by the default IdealNetwork
+    #: A repro.faults.FaultPlan (or dict / JSON path); None (default)
+    #: keeps every hot path at a single attribute check.
+    fault_plan: object = None
 
     def make_network(self, sim):
         if self.network_factory is not None:
@@ -128,6 +132,16 @@ class TaggedTokenMachine:
             attach = getattr(self.network, "attach_bus", None)
             if attach is not None:
                 attach(bus, source="net")
+        # Fault injection: one shared injector per machine instance (PE
+        # stalls/crashes, I-structure bank faults, network spikes), built
+        # before the PEs so they can capture the reference.
+        plan = coerce_plan(self.config.fault_plan)
+        self.faults = (
+            plan.injector(bus=bus) if plan is not None and plan.enabled
+            else None
+        )
+        if self.faults is not None:
+            self.network.faults = self.faults
         # (code_block, statement) -> (instruction, nt), shared by every PE
         # and the injection path.  The program is frozen once the machine
         # runs, so the memoization is safe for the machine's lifetime.
@@ -156,6 +170,9 @@ class TaggedTokenMachine:
                 "TaggedTokenMachine instances are single-use; create a new one"
             )
         self._started = True
+        # Run-boundary eviction point for the tag intern table: never
+        # clear it mid-run (token identity would silently fork).
+        reset_intern_table()
         entry = self.program.entry_block()
         if len(args) != entry.num_params:
             raise MachineError(
@@ -182,6 +199,9 @@ class TaggedTokenMachine:
         merged = self.counters.as_dict()
         for pe in self.pes:
             for key, value in pe.counters.as_dict().items():
+                merged[key] = merged.get(key, 0) + value
+        if self.faults is not None:
+            for key, value in self.faults.counters.as_dict().items():
                 merged[key] = merged.get(key, 0) + value
         return MachineResult(
             value=self._result,

@@ -63,6 +63,7 @@ class ProcessingElement:
         "istructure", "_match_store", "_match_causes", "match_occupancy",
         "counters", "_waiting", "_instr_cache",
         "_wm_time", "_wm_capacity", "_wm_penalty",
+        "_faults", "_alu_time",
     )
 
     def __init__(self, machine, pe_number, config):
@@ -85,7 +86,10 @@ class ProcessingElement:
             write_cycles=config.is_write_time,
             trace=self._isc_trace if machine._bus is not None else None,
             bus=machine._bus,
+            faults=machine.faults,
         )
+        self._faults = machine.faults
+        self._alu_time = config.alu_time
         self._match_store = {}
         # Provenance: park eids awaiting their match, keyed by tag.
         self._match_causes = {}
@@ -205,11 +209,47 @@ class ProcessingElement:
         return entry
 
     def _fetched(self, enabled):
+        if self._faults is not None:
+            self._fetched_faulty(enabled)
+            return
         tag, by_port, cause = enabled
         entry = self._instr_cache.get((tag.code_block, tag.statement))
         if entry is None:
             entry = self._instruction_entry(tag.code_block, tag.statement)
         self.alu.submit((entry[0], tag, by_port, cause), self._executed)
+
+    def _fetched_faulty(self, enabled):
+        """The :meth:`_fetched` path with PE fault injection.
+
+        ``enabled`` grows a fourth element (the re-fire attempt count)
+        only on the crash-recovery path, so the common case stays the
+        same 3-tuple the fault-free pipeline passes around.
+        """
+        tag, by_port, cause = enabled[0], enabled[1], enabled[2]
+        attempt = enabled[3] if len(enabled) > 3 else 0
+        verdict = self._faults.pe_fault(
+            self.sim, f"pe{self.pe}", attempt=attempt, cause=cause
+        )
+        entry = self._instr_cache.get((tag.code_block, tag.statement))
+        if entry is None:
+            entry = self._instruction_entry(tag.code_block, tag.statement)
+        if verdict is None:
+            self.alu.submit((entry[0], tag, by_port, cause), self._executed)
+            return
+        kind, cycles = verdict
+        if kind == "crash":
+            # The enabled instruction is dropped before execution and
+            # re-fired after backoff; no effects were emitted, so the
+            # retry is exact.
+            self.counters.add("fault_refires")
+            self.sim.post(
+                cycles, self._fetched, (tag, by_port, cause, attempt + 1)
+            )
+            return
+        # Stall: the instruction occupies the ALU longer.
+        self.counters.add("fault_stalls")
+        self.alu.submit((entry[0], tag, by_port, cause), self._executed,
+                        service_time=self._alu_time + cycles)
 
     def _executed(self, work):
         instruction, tag, by_port, cause = work

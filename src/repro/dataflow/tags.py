@@ -30,7 +30,7 @@ policy hashes them — so this module is tuned accordingly:
 
 import zlib
 
-__all__ = ["Tag", "intern_tag"]
+__all__ = ["Tag", "intern_tag", "reset_intern_table"]
 
 
 class Tag:
@@ -120,19 +120,42 @@ class Tag:
 
 
 #: Canonical tag per (context, code_block, statement, iteration).  Bounded:
-#: on overflow the table is cleared, which only forfeits the identity fast
-#: path for older tags (equality is structural either way).
+#: when full, *new* tags simply stop being interned (they are returned
+#: uncached), which only forfeits the identity fast path for the excess
+#: tags.  The table is never cleared mid-run — clearing would let two
+#: structurally equal tags stop being the same object while a machine
+#: holds both, which is exactly the hazard interning exists to avoid
+#: (dict probes and cached ``_map_key`` values assume a canonical
+#: object per activity name within a run).  Eviction is run-boundary
+#: only: :func:`reset_intern_table` is called when a machine or
+#: interpreter starts a fresh program invocation.
 _INTERN = {}
 _INTERN_MAX = 1 << 17
 
 
 def intern_tag(context, code_block, statement, iteration=1):
-    """The canonical :class:`Tag` for the given activity name."""
+    """The canonical :class:`Tag` for the given activity name.
+
+    At capacity the tag is built but not cached: equality stays
+    structural, correctness is unaffected, and every previously interned
+    tag keeps its canonical identity for the rest of the run.
+    """
     key = (context, code_block, statement, iteration)
     tag = _INTERN.get(key)
     if tag is None:
-        if len(_INTERN) >= _INTERN_MAX:
-            _INTERN.clear()
         tag = Tag(context, code_block, statement, iteration)
-        _INTERN[key] = tag
+        if len(_INTERN) < _INTERN_MAX:
+            _INTERN[key] = tag
     return tag
+
+
+def reset_intern_table():
+    """Run-boundary eviction: drop every canonical tag.
+
+    Called at the start of a machine/interpreter invocation, when no
+    live run can be holding interned tags — the only moment clearing is
+    identity-safe.  Long-lived processes (the sweep engine, test
+    suites) otherwise accumulate one table entry per distinct activity
+    name ever seen.
+    """
+    _INTERN.clear()

@@ -20,7 +20,7 @@ Progress and telemetry stream through the existing :mod:`repro.obs` bus
 See docs/EXPERIMENT_ENGINE.md.
 """
 
-from .cache import ResultCache, code_fingerprint
+from .cache import ResultCache, code_fingerprint, invalidate_fingerprints
 from .engine import RunRecord, records_payload, run_experiment
 from .experiment import Experiment, grid
 from .tables import parse_cell, payload_to_table, table_to_payload
@@ -31,6 +31,7 @@ __all__ = [
     "RunRecord",
     "code_fingerprint",
     "grid",
+    "invalidate_fingerprints",
     "parse_cell",
     "payload_to_table",
     "records_payload",

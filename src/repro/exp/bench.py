@@ -20,7 +20,7 @@ import os
 import sys
 import time
 
-from .cache import ResultCache
+from .cache import ResultCache, invalidate_fingerprints
 from .engine import run_experiment
 from .experiment import Experiment
 from .tables import payload_to_table, table_rows, table_to_payload
@@ -100,14 +100,39 @@ def _build_experiment(bench_dir, module_name, fn_name, out_name):
 
 
 def run_suite(only=None, jobs=None, no_cache=False, timeout=None,
-              bench_dir=None, cache_dir=None, bus=None, err=None):
+              bench_dir=None, cache_dir=None, bus=None, err=None,
+              faults=None):
     """Run the benchmark suite; returns the aggregate telemetry dict.
 
     ``jobs``/``timeout``/``no_cache`` map 1:1 onto the ``repro bench``
     CLI flags.  Tables print to stdout (as the serial runner always did);
     per-experiment progress lines go to ``err``.
+
+    ``faults`` (a plan dict or a JSON file path, the ``--faults`` flag)
+    is validated and exported as ``REPRO_FAULT_PLAN`` before the bench
+    modules are imported; fault-aware sweeps (e20) read it while
+    building their grids, so each fault level appears as its own row.
+    The payload may carry a ``levels`` list overriding a sweep's default
+    fault-severity grid.
     """
     err = err if err is not None else sys.stderr
+    # Fingerprint memoization is per process-lifetime; a long-lived
+    # driver would stamp stale code versions after an on-disk edit.
+    invalidate_fingerprints()
+    if faults is not None:
+        from ..faults import FaultPlan
+
+        if isinstance(faults, str):
+            with open(faults, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        elif isinstance(faults, dict):
+            payload = faults
+        else:
+            payload = faults.as_dict()
+        FaultPlan.from_dict(payload)  # validate eagerly (allows "levels")
+        os.environ["REPRO_FAULT_PLAN"] = json.dumps(payload, sort_keys=True)
+    else:
+        os.environ.pop("REPRO_FAULT_PLAN", None)
     bench_dir = find_bench_dir(bench_dir)
     os.environ["REPRO_BENCH_DIR"] = bench_dir
     if bench_dir not in sys.path:

@@ -20,7 +20,8 @@ import hashlib
 import json
 import os
 
-__all__ = ["ResultCache", "code_fingerprint", "config_key"]
+__all__ = ["ResultCache", "code_fingerprint", "config_key",
+           "invalidate_fingerprints"]
 
 
 def _iter_source_files(path):
@@ -51,6 +52,19 @@ def code_fingerprint(*paths):
             with open(filename, "rb") as fh:
                 digest.update(fh.read())
     return digest.hexdigest()[:16]
+
+
+def invalidate_fingerprints():
+    """Drop every memoized :func:`code_fingerprint` result.
+
+    The memoization is per process-lifetime, which is wrong the moment
+    source files change underneath a live process — a long-running
+    driver (or a test that edits fixture code on disk) would keep
+    serving cache entries stamped with a stale code version.  Call this
+    after any on-disk source change; ``repro bench`` calls it once per
+    suite invocation.
+    """
+    code_fingerprint.cache_clear()
 
 
 def repro_fingerprint():

@@ -79,14 +79,21 @@ def records_payload(records, include_timing=False):
 
 def _worker_main(conn, run, config):
     """Child-process body: run one config, ship the outcome back."""
+    import sys
+
     try:
         value = run(config)
         conn.send(("ok", value, None))
     except BaseException:  # noqa: BLE001 — the parent turns this into a row
+        failure = traceback.format_exc()
         try:
-            conn.send(("error", None, traceback.format_exc()))
-        except Exception:
-            pass
+            conn.send(("error", None, failure))
+        except (OSError, ValueError):
+            # The pipe is gone (parent died / timed us out) or closed —
+            # nothing structured can be shipped, but don't silently eat
+            # the diagnostic: the parent records "worker exited without a
+            # result", so leave the traceback on stderr to pair with it.
+            print(failure, file=sys.stderr)
     finally:
         conn.close()
 
@@ -176,11 +183,17 @@ def run_experiment(experiment, jobs=None, cache=None, timeout=None,
 
     def finish(record):
         records[record.index] = record
+        fields = dict(index=record.index, status=record.status,
+                      attempts=record.attempts, cached=record.cached,
+                      wall=round(record.wall_seconds, 4))
+        if record.error:
+            # Surface the failure cause on the bus (last traceback line),
+            # not just in the structured row — so a live `repro bench`
+            # progress stream shows *why* a grid point failed.
+            fields["error"] = record.error.strip().splitlines()[-1][:200]
         _emit(bus, clock_start, "sweep_task",
               f"{experiment.name}[{record.index}] {record.status}",
-              index=record.index, status=record.status,
-              attempts=record.attempts, cached=record.cached,
-              wall=round(record.wall_seconds, 4))
+              **fields)
         if progress is not None:
             progress(record)
 
@@ -222,7 +235,14 @@ def run_experiment(experiment, jobs=None, cache=None, timeout=None,
             started = time.monotonic()
             try:
                 message = ("ok", experiment.run(experiment.grid[index]), None)
-            except Exception:  # noqa: BLE001
+            except (KeyboardInterrupt, SystemExit, MemoryError):
+                # Operator interrupts and resource exhaustion must stop
+                # the whole sweep, not become a retried failure row.
+                raise
+            except Exception:
+                # Anything the run itself raises becomes a structured
+                # failure row (and a bus event via finish) — the inline
+                # path mirrors the worker-process path's contract.
                 message = ("error", None, traceback.format_exc())
             retry = record_outcome(index, attempt, key, message,
                                    time.monotonic() - started)

@@ -1,0 +1,236 @@
+"""Deterministic fault injection for the machine models.
+
+The paper's two Issues are claims about *degradation*: what happens to a
+machine when memory latency grows (Issue 1, §1.1) and when
+synchronization events are delayed (Issue 2).  This module provides the
+controlled adversity those claims need: a :class:`FaultPlan` describes a
+stochastic-but-reproducible fault environment, and a per-run
+:class:`FaultInjector` threads it through the simulators —
+
+* **network latency spikes** — a packet already at its destination is
+  re-queued for ``net_delay_cycles`` extra cycles (which also reorders it
+  against later traffic), on every :class:`~repro.network.base.Network`
+  topology and on the Ultracomputer's combining omega switches;
+* **slow memory banks** — a von Neumann memory module or I-structure
+  controller serves a request ``mem_slow_cycles`` late;
+* **transiently failing memory banks** — the operation is *not* applied;
+  the requester retries with backoff (the von Neumann machines reuse the
+  full/empty ``RETRY`` path, the I-structure controller re-queues the
+  request itself) until the fault clears — after ``max_retries`` draws
+  the injector stops failing that request, so progress is guaranteed;
+* **PE stalls/crashes** — a TTDA processing element's enabled
+  instruction either occupies the ALU ``pe_stall_cycles`` longer (stall)
+  or is dropped and re-fired after a growing backoff (crash), again
+  bounded by ``max_retries``.
+
+Determinism: every draw comes from a :func:`repro.common.rng.substream`
+named after the injection *site* (``mem0``, ``pe3.isc``, ``net`` ...), so
+adding a component or reordering unrelated events never perturbs another
+site's sequence, and the same ``(seed, plan)`` yields byte-identical
+traces and tables — including across ``--jobs`` counts, because a sweep
+run's faults are a pure function of its config.
+
+Accounting attribution: no new cycle bucket is introduced (the
+``compute/memory_stall/sync_wait/network_queue/idle`` sum-to-window
+invariant stands).  Injected delays surface where their victims already
+account them — memory-shaped faults inflate ``memory_stall``, network
+spikes inflate ``network_queue``/``sync_wait`` — while the injector
+publishes ``fault_*`` events on the obs bus with provenance parents, so
+``repro profile`` shows exactly which injected fault sits on the
+critical path.  See ``docs/FAULTS.md``.
+"""
+
+import json
+from dataclasses import asdict, dataclass, fields
+
+from .common.rng import DeterministicRng
+from .common.stats import Counter
+
+__all__ = ["FaultPlan", "FaultInjector", "coerce_plan"]
+
+#: Rate fields, all probabilities in [0, 1].
+_RATE_FIELDS = ("net_delay_rate", "mem_slow_rate", "mem_fail_rate",
+                "pe_stall_rate", "pe_crash_rate")
+
+
+@dataclass
+class FaultPlan:
+    """A reproducible fault environment.  JSON-able; all rates in [0, 1].
+
+    A plan is inert data — pass it (or its dict form) to
+    ``registry.create(name, faults=...)`` and the machine builds a
+    :class:`FaultInjector` seeded from ``seed``.
+    """
+
+    seed: int = 0
+    #: Per-packet probability of a delivery-latency spike, and its size.
+    net_delay_rate: float = 0.0
+    net_delay_cycles: float = 0.0
+    #: Per-request probability of a slow memory bank, and the extra
+    #: cycles the response is delayed (VN modules + I-structure ctrls).
+    mem_slow_rate: float = 0.0
+    mem_slow_cycles: float = 0.0
+    #: Per-request probability of a transient bank failure (the op is
+    #: not applied; the requester retries with backoff).
+    mem_fail_rate: float = 0.0
+    #: Per-instruction probability of a PE stall, and its length.
+    pe_stall_rate: float = 0.0
+    pe_stall_cycles: float = 0.0
+    #: Per-instruction probability of a PE crash (drop + re-fire).
+    pe_crash_rate: float = 0.0
+    #: Recovery policy: base backoff (cycles) before a failed operation
+    #: is retried, and the draw budget after which a given request's
+    #: transient fault clears (liveness guarantee).
+    retry_backoff: float = 4.0
+    max_retries: int = 8
+
+    def __post_init__(self):
+        for name in _RATE_FIELDS:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+    @property
+    def enabled(self):
+        """True when any fault has nonzero probability."""
+        return any(getattr(self, name) > 0.0 for name in _RATE_FIELDS)
+
+    def as_dict(self):
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Build a plan from a dict; unknown keys are rejected except
+        ``levels`` (the sweep-file extension ``repro bench --faults``
+        reads)."""
+        known = {f.name for f in fields(cls)}
+        extra = set(payload) - known - {"levels"}
+        if extra:
+            raise ValueError(f"unknown FaultPlan field(s): {sorted(extra)}")
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+    def injector(self, bus=None, source="faults"):
+        """A fresh per-run :class:`FaultInjector` for this plan."""
+        return FaultInjector(self, bus=bus, source=source)
+
+
+def coerce_plan(faults):
+    """Normalize a ``faults=`` argument: None, a :class:`FaultPlan`, a
+    dict, or a path to a JSON plan file."""
+    if faults is None or isinstance(faults, FaultPlan):
+        return faults
+    if isinstance(faults, dict):
+        return FaultPlan.from_dict(faults)
+    if isinstance(faults, str):
+        with open(faults, "r", encoding="utf-8") as fh:
+            return FaultPlan.from_dict(json.load(fh))
+    raise TypeError(f"faults must be None, FaultPlan, dict or path, "
+                    f"got {type(faults).__name__}")
+
+
+class FaultInjector:
+    """Per-run fault state: named substreams, counters, bus telemetry.
+
+    One injector is shared by every component of one machine instance;
+    each injection site draws from its own named stream.  All methods
+    are hot-path-guarded by the caller (``if faults is not None``), so a
+    machine built with ``faults=None`` carries no injector at all.
+    """
+
+    def __init__(self, plan, bus=None, source="faults"):
+        self.plan = plan
+        self.rng = DeterministicRng(plan.seed)
+        self.counters = Counter()
+        self.bus = bus
+        self.source = source
+
+    def attach_bus(self, bus, source=None):
+        self.bus = bus
+        if source is not None:
+            self.source = source
+        return bus
+
+    # ------------------------------------------------------------------
+    def _emit(self, sim, kind, detail, parent=None, **fields):
+        """Publish one fault event; returns its eid (provenance mode)
+        so the victim's recovery chain can hang off the fault."""
+        bus = self.bus
+        if bus is not None and bus.enabled:
+            return bus.emit_id(sim.now, self.source, kind, detail,
+                               parent=parent, **fields)
+        return None
+
+    # ------------------------------------------------------------------
+    def net_delay(self, sim, site, packet):
+        """Extra delivery delay (cycles) for ``packet`` at ``site``;
+        0.0 almost always."""
+        plan = self.plan
+        if self.rng.stream(f"net.{site}").random() >= plan.net_delay_rate:
+            return 0.0
+        self.counters.add("faults_net_delay")
+        eid = self._emit(sim, "fault_net_delay",
+                         f"{site} +{plan.net_delay_cycles:g}",
+                         parent=getattr(packet, "cause", None),
+                         dur=plan.net_delay_cycles)
+        if eid is not None:
+            try:
+                packet.cause = eid  # the delivery chain runs through us
+            except AttributeError:
+                pass  # slotted flight records without provenance
+        return plan.net_delay_cycles
+
+    def memory_fault(self, sim, site, retries=0, cause=None):
+        """One draw for a memory request at bank/controller ``site``.
+
+        Returns None (healthy), ``("slow", extra_cycles)`` or
+        ``("fail", backoff_cycles)``.  A request that has already been
+        failed ``max_retries`` times is never failed again.
+        """
+        plan = self.plan
+        roll = self.rng.stream(f"mem.{site}").random()
+        if roll < plan.mem_fail_rate and retries < plan.max_retries:
+            self.counters.add("faults_mem_fail")
+            backoff = plan.retry_backoff * (retries + 1)
+            self._emit(sim, "fault_mem_fail",
+                       f"{site} retry {retries + 1}", parent=cause,
+                       backoff=backoff)
+            return ("fail", backoff)
+        if roll < plan.mem_fail_rate + plan.mem_slow_rate:
+            self.counters.add("faults_mem_slow")
+            self._emit(sim, "fault_mem_slow",
+                       f"{site} +{plan.mem_slow_cycles:g}", parent=cause,
+                       dur=plan.mem_slow_cycles)
+            return ("slow", plan.mem_slow_cycles)
+        return None
+
+    def pe_fault(self, sim, site, attempt=0, cause=None):
+        """One draw per enabled instruction at PE ``site``.
+
+        Returns None, ``("stall", cycles)`` or ``("crash", backoff)``.
+        Crashed instructions beyond ``max_retries`` attempts degrade to
+        stalls so the machine always drains.
+        """
+        plan = self.plan
+        roll = self.rng.stream(f"pe.{site}").random()
+        if roll < plan.pe_crash_rate:
+            if attempt < plan.max_retries:
+                self.counters.add("faults_pe_crash")
+                backoff = plan.retry_backoff * (attempt + 1)
+                self._emit(sim, "fault_pe_crash",
+                           f"{site} attempt {attempt + 1}", parent=cause,
+                           backoff=backoff)
+                return ("crash", backoff)
+            roll = 0.0  # exhausted the budget: degrade to a stall below
+        if roll < plan.pe_crash_rate + plan.pe_stall_rate:
+            self.counters.add("faults_pe_stall")
+            self._emit(sim, "fault_pe_stall",
+                       f"{site} +{plan.pe_stall_cycles:g}", parent=cause,
+                       dur=plan.pe_stall_cycles)
+            return ("stall", plan.pe_stall_cycles)
+        return None
+
+    def __repr__(self):
+        return (f"<FaultInjector seed={self.plan.seed} "
+                f"injected={sum(self.counters.as_dict().values())}>")

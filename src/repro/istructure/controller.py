@@ -19,23 +19,27 @@ __all__ = ["IStructureController", "ReadRequest", "WriteRequest"]
 class ReadRequest:
     """A d=1 FETCH token's payload: read ``key``, answer to ``reply``."""
 
-    __slots__ = ("key", "reply", "cause")
+    __slots__ = ("key", "reply", "cause", "retries", "fault_delay")
 
     def __init__(self, key, reply, cause=None):
         self.key = key
         self.reply = reply
         self.cause = cause  # provenance eid of the requesting event
+        self.retries = 0  # injected transient failures survived so far
+        self.fault_delay = 0.0  # injected extra reply latency (slow bank)
 
 
 class WriteRequest:
     """A d=1 STORE token's payload: write ``value`` into ``key``."""
 
-    __slots__ = ("key", "value", "cause")
+    __slots__ = ("key", "value", "cause", "retries", "fault_delay")
 
     def __init__(self, key, value, cause=None):
         self.key = key
         self.value = value
         self.cause = cause  # provenance eid of the requesting event
+        self.retries = 0  # injected transient failures survived so far
+        self.fault_delay = 0.0  # injected extra reply latency (slow bank)
 
 
 class IStructureController:
@@ -53,6 +57,7 @@ class IStructureController:
         module=None,
         trace=None,
         bus=None,
+        faults=None,
     ):
         self.sim = sim
         self.deliver = deliver
@@ -74,6 +79,9 @@ class IStructureController:
         #: provenance eid (or None).
         self._trace = trace
         self._bus = bus
+        #: Optional :class:`repro.faults.FaultInjector`; None keeps the
+        #: service path at one attribute check.
+        self.faults = faults
         #: Provenance eid to attach to the token built by the very next
         #: ``deliver`` call; set synchronously right before each delivery.
         self.reply_cause = None
@@ -93,12 +101,34 @@ class IStructureController:
             return
         request = self._queue.pop(0)
         self.queue_depth.update(self.sim.now, len(self._queue))
-        self._busy = True
-        self.utilization.begin(self.sim.now)
         if isinstance(request, ReadRequest):
             service = self.read_cycles
         else:
             service = self.write_cycles
+        faults = self.faults
+        if faults is not None:
+            verdict = faults.memory_fault(self.sim, self.name,
+                                          retries=request.retries,
+                                          cause=request.cause)
+            if verdict is not None:
+                kind, cycles = verdict
+                if kind == "fail":
+                    # Transient bank failure: nothing is applied; the
+                    # controller itself retries the request after a
+                    # growing backoff (the machine-layer recovery
+                    # policy) and meanwhile serves the next one.
+                    request.retries += 1
+                    self.counters.add("fault_retries")
+                    self.sim.post(cycles, self.submit, request)
+                    self._start_next()
+                    return
+                # Slow bank: latency-shaped — the op applies on schedule
+                # and the controller stays available, but the reply (and
+                # any reads this write drains) lands ``cycles`` late.
+                # This is the fault a split-phase machine can overlap.
+                request.fault_delay = cycles
+        self._busy = True
+        self.utilization.begin(self.sim.now)
         self.sim.post(service, self._complete, request)
 
     def _complete(self, request):
@@ -125,7 +155,11 @@ class IStructureController:
                         "is_read", repr(request.key), parent=request.cause,
                         dur=self.read_cycles,
                     )
-                self.deliver(request.reply, value)
+                if request.fault_delay:
+                    self.sim.post(request.fault_delay, self._deliver_delayed,
+                                  request.reply, value, self.reply_cause)
+                else:
+                    self.deliver(request.reply, value)
         else:
             drained = self.module.write(request.key, request.value)
             extra = self.drain_cycles_per_deferred * len(drained)
@@ -146,12 +180,22 @@ class IStructureController:
                                   parent=request.cause, joins=joins,
                                   dur=self.write_cycles)
             for reply in drained:
-                self.reply_cause = eid
-                self.deliver(reply, request.value)
+                if request.fault_delay:
+                    self.sim.post(request.fault_delay, self._deliver_delayed,
+                                  reply, request.value, eid)
+                else:
+                    self.reply_cause = eid
+                    self.deliver(reply, request.value)
         if extra > 0:
             self.sim.post(extra, self._finish_drain)
         else:
             self._finish_drain()
+
+    def _deliver_delayed(self, reply, value, cause):
+        # Slow-bank fault delivery: reply_cause is consumed synchronously
+        # by the deliver callback, so setting it here is race-free.
+        self.reply_cause = cause
+        self.deliver(reply, value)
 
     def _finish_drain(self):
         self.utilization.end(self.sim.now)

@@ -29,7 +29,7 @@ __all__ = ["CmmpModel", "build_cmmp", "crossbar_scaling_table",
 
 
 def _build_cmmp(n_procs=16, memory_time=3.0, switch_latency=1.0,
-                port_service_time=1.0):
+                port_service_time=1.0, faults=None):
     """A C.mmp-shaped machine: n processors x n memory ports, crossbar."""
 
     def network_factory(sim, n_ports):
@@ -41,6 +41,7 @@ def _build_cmmp(n_procs=16, memory_time=3.0, switch_latency=1.0,
     return VNMachine(
         n_procs, memory="dancehall", n_modules=n_procs,
         memory_time=memory_time, network_factory=network_factory,
+        faults=faults,
     )
 
 
@@ -49,13 +50,20 @@ class CmmpModel:
     """Registry model: the crossbar machine plus its two workloads."""
 
     def __init__(self, n_procs=16, memory_time=3.0, switch_latency=1.0,
-                 port_service_time=1.0):
+                 port_service_time=1.0, faults=None):
+        from ..faults import coerce_plan
+
+        plan = coerce_plan(faults)
         self.config = {
             "n_procs": n_procs,
             "memory_time": memory_time,
             "switch_latency": switch_latency,
             "port_service_time": port_service_time,
         }
+        # Only echoed (and only passed down) when set, so default configs
+        # and every existing baseline row stay byte-identical.
+        if plan is not None:
+            self.config["faults"] = plan.as_dict()
 
     def build(self):
         """The underlying (empty) :class:`VNMachine`."""

@@ -30,7 +30,8 @@ LOCAL_BLOCK = 1024
 
 
 def _build_cmstar(n_clusters=4, cluster_size=4, kmap_time=3.0,
-                  intercluster_time=9.0, local_time=1.0, memory_time=2.0):
+                  intercluster_time=9.0, local_time=1.0, memory_time=2.0,
+                  faults=None):
     """A Cm*-shaped machine: one memory module co-located with each
     processor, clusters joined by Kmaps and an intercluster bus."""
     n = n_clusters * cluster_size
@@ -48,7 +49,7 @@ def _build_cmstar(n_clusters=4, cluster_size=4, kmap_time=3.0,
     return VNMachine(
         n, memory="dancehall", n_modules=n, memory_time=memory_time,
         network_factory=network_factory, placement="blocked",
-        block_size=LOCAL_BLOCK,
+        block_size=LOCAL_BLOCK, faults=faults,
     )
 
 
@@ -93,7 +94,11 @@ class CmstarModel:
     """Registry model: the hierarchical-cluster machine."""
 
     def __init__(self, n_clusters=4, cluster_size=4, kmap_time=3.0,
-                 intercluster_time=9.0, local_time=1.0, memory_time=2.0):
+                 intercluster_time=9.0, local_time=1.0, memory_time=2.0,
+                 faults=None):
+        from ..faults import coerce_plan
+
+        plan = coerce_plan(faults)
         self.config = {
             "n_clusters": n_clusters,
             "cluster_size": cluster_size,
@@ -102,6 +107,10 @@ class CmstarModel:
             "local_time": local_time,
             "memory_time": memory_time,
         }
+        # Only echoed (and only passed down) when set, so default configs
+        # and every existing baseline row stay byte-identical.
+        if plan is not None:
+            self.config["faults"] = plan.as_dict()
 
     def build(self):
         """The underlying (empty) :class:`VNMachine`."""

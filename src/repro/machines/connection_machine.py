@@ -121,7 +121,10 @@ class ConnectionMachine:
 
     def __init__(self, groups_log2=10, procs_per_group=64, word_bits=32,
                  message_bits=32, bit_time=1.0, illiac_rows=8,
-                 illiac_cols=8, illiac_shift_time=1.0):
+                 illiac_cols=8, illiac_shift_time=1.0, faults=None):
+        from ..faults import coerce_plan
+
+        self._fault_plan = coerce_plan(faults)
         self.cm_config = CMConfig(
             groups_log2=groups_log2, procs_per_group=procs_per_group,
             word_bits=word_bits, message_bits=message_bits,
@@ -139,6 +142,10 @@ class ConnectionMachine:
             "illiac_cols": illiac_cols,
             "illiac_shift_time": illiac_shift_time,
         }
+        # Only echoed when set, so default configs (and every existing
+        # baseline row) stay byte-identical.
+        if self._fault_plan is not None:
+            self.config["faults"] = self._fault_plan.as_dict()
 
     # ------------------------------------------------------------------
     def route_round(self, messages):
@@ -185,6 +192,11 @@ class ConnectionMachine:
         config = self.cm_config
         rng = random.Random(seed)
         n = config.n_groups
+        plan = self._fault_plan
+        fault_stream = None
+        if plan is not None and plan.enabled and plan.net_delay_rate > 0.0:
+            injector = plan.injector()
+            fault_stream = injector.rng.stream("cm.links")
         alu_time = 0.0
         comm_time = 0.0
         total_messages = 0
@@ -204,6 +216,16 @@ class ConnectionMachine:
                     if dst != src:
                         messages.append((src, dst))
             round_time, max_load, mean_hops = self.route_round(messages)
+            if fault_stream is not None:
+                # Link-glitch faults under the global completion flag:
+                # the round ends when the *slowest* message lands, so one
+                # delayed message charges the whole array the full spike.
+                delayed = sum(
+                    1 for _ in messages
+                    if fault_stream.random() < plan.net_delay_rate
+                )
+                if delayed:
+                    round_time += plan.net_delay_cycles
             comm_time += round_time
             total_messages += len(messages)
             worst_link = max(worst_link, max_load)

@@ -27,7 +27,7 @@ __all__ = ["HepModel", "build_hep", "saturation_table",
 
 
 def _build_hep(contexts=8, latency=8.0, memory_time=1.0, retry_backoff=4.0,
-               source=None, regs_of=None):
+               source=None, regs_of=None, faults=None):
     """One barrel processor with ``contexts`` register sets.
 
     ``source`` (default: a load/compute kernel) is loaded into every
@@ -35,7 +35,7 @@ def _build_hep(contexts=8, latency=8.0, memory_time=1.0, retry_backoff=4.0,
     """
     machine = VNMachine(1, memory="dancehall", latency=latency,
                         memory_time=memory_time,
-                        retry_backoff=retry_backoff)
+                        retry_backoff=retry_backoff, faults=faults)
     if source is None:
         source = programs.compute_loop(16, loads_per_iter=1,
                                        alu_ops_per_iter=2)
@@ -48,7 +48,7 @@ def _build_hep(contexts=8, latency=8.0, memory_time=1.0, retry_backoff=4.0,
     return machine
 
 
-def _producer_consumer(n, producer_work, retry_backoff):
+def _producer_consumer(n, producer_work, retry_backoff, faults=None):
     """Busy-wait traffic of HEP-style full/empty synchronization.
 
     Two contexts on one barrel processor share an array: the producer
@@ -57,7 +57,7 @@ def _producer_consumer(n, producer_work, retry_backoff):
     Returns (result, retries, memory_requests_per_element).
     """
     machine = VNMachine(1, memory="dancehall", latency=2, memory_time=1,
-                        retry_backoff=retry_backoff)
+                        retry_backoff=retry_backoff, faults=faults)
     machine.add_multithreaded_processor(
         [
             (programs.producer_per_element(100, n,
@@ -79,13 +79,20 @@ class HepModel:
     """Registry model: one HEP barrel processor over full/empty memory."""
 
     def __init__(self, contexts=8, latency=8.0, memory_time=1.0,
-                 retry_backoff=4.0):
+                 retry_backoff=4.0, faults=None):
+        from ..faults import coerce_plan
+
+        plan = coerce_plan(faults)
         self.config = {
             "contexts": contexts,
             "latency": latency,
             "memory_time": memory_time,
             "retry_backoff": retry_backoff,
         }
+        # Only echoed (and only passed down) when set, so default configs
+        # and every existing baseline row stay byte-identical.
+        if plan is not None:
+            self.config["faults"] = plan.as_dict()
 
     def build(self, source=None, regs_of=None):
         """The underlying :class:`VNMachine`, contexts loaded."""
@@ -116,7 +123,8 @@ class HepModel:
                     "alu_ops_per_iter": alu_ops_per_iter}
         elif workload == "producer_consumer":
             result, retries, per_element, machine = _producer_consumer(
-                n, producer_work, config["retry_backoff"])
+                n, producer_work, config["retry_backoff"],
+                faults=config.get("faults"))
             metrics = {
                 "time": result.time,
                 "instructions": result.instructions,

@@ -20,13 +20,20 @@ class TtdaModel:
     ``n_pes`` is 0 — the unbounded-parallelism idealization)."""
 
     def __init__(self, n_pes=4, network_latency=4.0, mapping="hash",
-                 wm_capacity=None):
+                 wm_capacity=None, faults=None):
+        from ..faults import coerce_plan
+
+        self._fault_plan = coerce_plan(faults)
         self.config = {
             "n_pes": n_pes,
             "network_latency": network_latency,
             "mapping": mapping,
             "wm_capacity": wm_capacity,
         }
+        # Only echo the plan when one was given, so default configs (and
+        # hence every existing baseline row) stay byte-identical.
+        if self._fault_plan is not None:
+            self.config["faults"] = self._fault_plan.as_dict()
 
     def _machine_config(self):
         from ..dataflow import ByContextMapping, MachineConfig
@@ -35,6 +42,7 @@ class TtdaModel:
             n_pes=self.config["n_pes"],
             network_latency=self.config["network_latency"],
             wm_capacity=self.config["wm_capacity"],
+            fault_plan=self._fault_plan,
         )
         if self.config["mapping"] == "context":
             config.mapping_factory = lambda n: ByContextMapping(n)
@@ -88,6 +96,11 @@ class TtdaModel:
                 "tokens_network": result.counters.get("tokens_network", 0),
                 "tokens_local": result.counters.get("tokens_local", 0),
             }
+            if self._fault_plan is not None:
+                metrics["faults_injected"] = sum(
+                    value for key, value in result.counters.items()
+                    if key.startswith("faults_")
+                )
             accounting = ttda_accounting(machine).as_dict()
         return SimResult(machine=self.name, config=dict(self.config),
                          workload=spec, metrics=metrics,

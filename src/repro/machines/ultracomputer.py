@@ -55,15 +55,21 @@ class UltraResult:
 
 
 def _run_hotspot(stages, combining=True, requests_per_proc=1,
-                 switch_time=1.0, memory_time=2.0, spacing=0.0):
+                 switch_time=1.0, memory_time=2.0, spacing=0.0,
+                 faults=None):
     """All 2**stages processors FETCH-AND-ADD address 0.
 
     ``spacing`` staggers injections (0 = the worst-case synchronous burst
     the Ultracomputer's synchronous network design assumes).
     """
+    from ..faults import coerce_plan
+
+    plan = coerce_plan(faults)
+    injector = plan.injector() if plan is not None and plan.enabled else None
     sim = Simulator()
     net = CombiningOmegaNetwork(sim, stages, switch_time=switch_time,
                                 combining=combining)
+    net.faults = injector
     n = net.n_ports
     memory = {}
     servers = [
@@ -71,14 +77,30 @@ def _run_hotspot(stages, combining=True, requests_per_proc=1,
     ]
 
     def make_memory_handler(port):
-        def handler(record, payload):
-            def serve(work):
-                rec, pay = work
-                old = memory.get(pay.address, 0)
-                memory[pay.address] = old + pay.value
-                net.reply(rec, old)
+        def finish(rec, pay):
+            old = memory.get(pay.address, 0)
+            memory[pay.address] = old + pay.value
+            net.reply(rec, old)
 
-            servers[port].submit((record, payload), serve)
+        def serve(work):
+            rec, pay, retries = work
+            if injector is not None:
+                verdict = injector.memory_fault(sim, f"ultra.mem{port}",
+                                                retries=retries)
+                if verdict is not None:
+                    kind, cycles = verdict
+                    if kind == "fail":
+                        # Not applied; re-queue at the port after backoff.
+                        sim.post(cycles, servers[port].submit,
+                                 (rec, pay, retries + 1), serve)
+                        return
+                    # Slow bank: the FETCH-AND-ADD lands late.
+                    sim.post(cycles, finish, rec, pay)
+                    return
+            finish(rec, pay)
+
+        def handler(record, payload):
+            servers[port].submit((record, payload, 0), serve)
 
         return handler
 
@@ -117,13 +139,20 @@ class UltracomputerModel:
     """Registry model: a 2**stages-port combining omega hot-spot machine."""
 
     def __init__(self, stages=4, combining=True, switch_time=1.0,
-                 memory_time=2.0):
+                 memory_time=2.0, faults=None):
+        from ..faults import coerce_plan
+
+        plan = coerce_plan(faults)
         self.config = {
             "stages": stages,
             "combining": combining,
             "switch_time": switch_time,
             "memory_time": memory_time,
         }
+        # Only echoed (and only passed down) when set, so default configs
+        # and every existing baseline row stay byte-identical.
+        if plan is not None:
+            self.config["faults"] = plan.as_dict()
 
     def hotspot(self, requests_per_proc=1, spacing=0.0):
         """The raw :class:`UltraResult` of one hot-spot run."""
@@ -134,6 +163,7 @@ class UltracomputerModel:
             switch_time=self.config["switch_time"],
             memory_time=self.config["memory_time"],
             spacing=spacing,
+            faults=self.config.get("faults"),
         )
 
     def run(self, requests_per_proc=1, spacing=0.0):

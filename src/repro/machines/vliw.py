@@ -78,11 +78,18 @@ class VliwModel:
     latency surprise.
     """
 
-    def __init__(self, issue_width=8, assumed_latency=1.0):
+    def __init__(self, issue_width=8, assumed_latency=1.0, faults=None):
+        from ..faults import coerce_plan
+
+        self._fault_plan = coerce_plan(faults)
         self.config = {
             "issue_width": issue_width,
             "assumed_latency": assumed_latency,
         }
+        # Only echoed when set, so default configs (and every existing
+        # baseline row) stay byte-identical.
+        if self._fault_plan is not None:
+            self.config["faults"] = self._fault_plan.as_dict()
 
     @property
     def issue_width(self):
@@ -136,6 +143,15 @@ class VliwModel:
         schedule = self.compile(interpreter)
         latency = (actual_latency if actual_latency is not None
                    else self.assumed_latency)
+        plan = self._fault_plan
+        if plan is not None and plan.enabled:
+            # The analytic lockstep machine pays the *expected* extra
+            # latency on every memory op in full — the schedule reserved
+            # exact slots, so any variance stalls all issue slots (the
+            # paper's dynamic-latency objection, now with faults).
+            latency += (plan.mem_slow_rate * plan.mem_slow_cycles
+                        + plan.mem_fail_rate * plan.retry_backoff
+                        + plan.net_delay_rate * plan.net_delay_cycles)
         total_ops = interpreter.instructions_executed
         execution_time = schedule.execution_time(latency)
         # Units are the issue slots.  Ops spread evenly over the slots

@@ -29,6 +29,9 @@ class Network:
         self.hop_counts = Histogram()
         self._bus = None
         self._bus_source = name
+        #: Optional :class:`repro.faults.FaultInjector`; None keeps the
+        #: delivery path at a single attribute check.
+        self.faults = None
 
     # ------------------------------------------------------------------
     def attach_bus(self, bus, source=None):
@@ -79,6 +82,17 @@ class Network:
         raise NotImplementedError
 
     def _deliver(self, packet):
+        faults = self.faults
+        if faults is not None and not packet.fault_checked:
+            # One spike draw per packet, at the moment it would have
+            # arrived.  A hit re-queues delivery, which also reorders
+            # the packet against anything injected in the meantime.
+            packet.fault_checked = True
+            extra = faults.net_delay(self.sim, self._bus_source, packet)
+            if extra > 0.0:
+                self.counters.add("fault_delays")
+                self.sim.post(extra, self._deliver, packet)
+                return
         handler = self._handlers[packet.dst]
         if handler is None:
             raise NetworkError(

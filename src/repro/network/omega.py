@@ -109,7 +109,12 @@ class _SwitchOutput:
             self.busy = True
             self.utilization.begin(self.net.sim.now)
             record = self.queue.pop(0)
-            self.net.sim.post(self.net.switch_time, self._advance, record)
+            delay = self.net.switch_time
+            faults = self.net.faults
+            if faults is not None:
+                delay += faults.net_delay(
+                    self.net.sim, f"{self.net.name}.s{self.stage}", record)
+            self.net.sim.post(delay, self._advance, record)
 
     def _advance(self, record):
         self.busy = False
@@ -144,6 +149,10 @@ class CombiningOmegaNetwork:
         self.round_trip_latency = Histogram()
         self._bus = None
         self._bus_source = name
+        #: Optional :class:`repro.faults.FaultInjector`; latency spikes
+        #: land on the switch rails (the synchronous network's clock is
+        #: exactly what a glitch would slip).
+        self.faults = None
 
     # ------------------------------------------------------------------
     def attach_bus(self, bus, source=None):

@@ -28,6 +28,9 @@ class Packet:
     # Provenance: eid of the latest network event in this packet's
     # history (net_inject, then net_deliver); None outside profiling.
     cause: Optional[int] = None
+    # Fault injection: True once this packet has had its delivery-spike
+    # draw, so a delayed packet is not re-drawn when it re-arrives.
+    fault_checked: bool = False
 
     def __repr__(self):
         return (

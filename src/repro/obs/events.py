@@ -45,6 +45,14 @@ KINDS = (
     "run_begin",   # Simulator.run() entered (fields: pending)
     "quiescent",   # event queue drained; quiescence hooks consulted
     "run_end",     # Simulator.run() returned (fields: events)
+    # Fault injector (repro.faults; source = "faults")
+    "fault_net_delay",  # packet delivery delayed (fields: dur)
+    "fault_mem_slow",   # memory bank served a response late (fields: dur)
+    "fault_mem_fail",   # transient bank failure; requester retries
+                        # (fields: backoff)
+    "fault_pe_stall",   # PE held its enabled instruction (fields: dur)
+    "fault_pe_crash",   # PE dropped its instruction; re-fired after
+                        # backoff (fields: backoff)
     # Sweep engine (repro.exp; time = wall seconds since sweep start)
     "sweep_begin", # a parameter sweep started (fields: configs, jobs)
     "sweep_task",  # one grid point finished (fields: index, status,

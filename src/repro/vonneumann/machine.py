@@ -10,6 +10,7 @@ from dataclasses import dataclass, field
 
 from ..common.errors import MachineError
 from ..common.simulator import Simulator
+from ..faults import coerce_plan
 from .assembler import assemble
 from .coherence import SnoopyBusSystem
 from .memory import DancehallMemorySystem
@@ -53,7 +54,8 @@ class VNMachine:
                  memory_time=10.0, bus_time=2.0, latency=4.0, n_modules=None,
                  network_factory=None, cpu_time=1.0, retry_backoff=0.0,
                  contexts=None, switch_time=0.0, placement="interleaved",
-                 block_size=1024, write_policy="write_back", trace_bus=None):
+                 block_size=1024, write_policy="write_back", trace_bus=None,
+                 faults=None):
         self.sim = Simulator()
         self.bus = trace_bus
         if trace_bus is not None:
@@ -82,6 +84,20 @@ class VNMachine:
             attach = getattr(network, "attach_bus", None)
             if attach is not None:
                 attach(trace_bus, source="net")
+        # Fault injection: one shared injector threaded into the memory
+        # modules (slow banks / transient failures — the processors' RETRY
+        # path recovers) and the interconnect (latency spikes).
+        plan = coerce_plan(faults)
+        self.faults = (
+            plan.injector(bus=trace_bus)
+            if plan is not None and plan.enabled else None
+        )
+        if self.faults is not None:
+            network = getattr(self.memory, "network", None)
+            if network is not None and hasattr(network, "faults"):
+                network.faults = self.faults
+            for module in getattr(self.memory, "modules", ()):
+                module.faults = self.faults
         self.processors = []
         self._halted = 0
 
@@ -192,6 +208,13 @@ class VNMachine:
         if memory_counters is not None:
             for key, value in memory_counters.as_dict().items():
                 merged[f"memory_{key}"] = value
+        if self.faults is not None:
+            for key, value in self.faults.counters.as_dict().items():
+                merged[key] = merged.get(key, 0) + value
+            merged["fault_retries"] = sum(
+                m.counters["fault_retries"]
+                for m in getattr(self.memory, "modules", ())
+            )
         return merged
 
     # ------------------------------------------------------------------

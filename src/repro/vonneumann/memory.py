@@ -37,6 +37,9 @@ class MemRequest:
     address: int
     value: Optional[object] = None
     proc: Optional[int] = None
+    #: Injected transient failures this request has survived (fault
+    #: injection only; legitimate full/empty RETRYs are not counted).
+    fault_retries: int = 0
 
 
 class MemoryModule:
@@ -49,6 +52,9 @@ class MemoryModule:
         self.data = {}
         self.full_bits = set()
         self.counters = Counter()
+        #: Optional :class:`repro.faults.FaultInjector`; None keeps the
+        #: serve path at one attribute check.
+        self.faults = None
 
     def submit(self, request, on_done):
         """Serve ``request``; call ``on_done(response)`` when finished."""
@@ -56,6 +62,26 @@ class MemoryModule:
 
     def _serve(self, work):
         request, on_done = work
+        faults = self.faults
+        if faults is not None:
+            verdict = faults.memory_fault(self.sim, self.name,
+                                          retries=request.fault_retries)
+            if verdict is not None:
+                kind, cycles = verdict
+                if kind == "fail":
+                    # Transient failure: the operation is NOT applied
+                    # (safe for the non-idempotent atomics) and the
+                    # processor's existing RETRY machinery — footnote
+                    # 2's busy-wait path — re-issues it after backoff.
+                    request.fault_retries += 1
+                    self.counters.add("fault_retries")
+                    on_done(RETRY)
+                    return
+                # Slow bank: the op applies in FIFO order now, but the
+                # response reaches the requester ``cycles`` late.
+                self.counters.add("fault_slow")
+                self.sim.post(cycles, on_done, self.apply(request))
+                return
         on_done(self.apply(request))
 
     def apply(self, request):

@@ -347,3 +347,33 @@ def test_calendar_and_legacy_fire_identical_order():
     calendar = workload(CalendarSimulator())
     legacy = workload(LegacySimulator())
     assert calendar == legacy
+
+
+# ---------------------------------------------------------------------------
+# Kernel selection: resolved at construction time, not import time
+# ---------------------------------------------------------------------------
+
+def test_env_kernel_honored_after_import(monkeypatch):
+    # Historically the choice was frozen at `import repro` — setting
+    # REPRO_SIM_KERNEL afterwards was silently ignored.  The factory
+    # resolves per construction.
+    monkeypatch.setenv("REPRO_SIM_KERNEL", "legacy")
+    assert isinstance(Simulator(), LegacySimulator)
+    monkeypatch.setenv("REPRO_SIM_KERNEL", "calendar")
+    assert isinstance(Simulator(), CalendarSimulator)
+    monkeypatch.delenv("REPRO_SIM_KERNEL")
+    assert isinstance(Simulator(), CalendarSimulator)  # the default
+
+
+def test_kernel_kwarg_overrides_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_KERNEL", "legacy")
+    assert isinstance(Simulator(kernel="calendar"), CalendarSimulator)
+    assert isinstance(Simulator(kernel="legacy"), LegacySimulator)
+
+
+def test_unknown_kernel_rejected(monkeypatch):
+    with pytest.raises(SimulationError, match="quantum"):
+        Simulator(kernel="quantum")
+    monkeypatch.setenv("REPRO_SIM_KERNEL", "bogus")
+    with pytest.raises(SimulationError, match="bogus"):
+        Simulator()

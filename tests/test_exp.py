@@ -10,6 +10,7 @@ from repro.exp import (
     ResultCache,
     code_fingerprint,
     grid,
+    invalidate_fingerprints,
     parse_cell,
     payload_to_table,
     records_payload,
@@ -168,10 +169,21 @@ class TestCache:
         module = tmp_path / "mod.py"
         module.write_text("A = 1\n")
         before = code_fingerprint(str(tmp_path))
-        code_fingerprint.cache_clear()
+        invalidate_fingerprints()
         module.write_text("A = 2\n")
         after = code_fingerprint(str(tmp_path))
         assert before != after
+
+    def test_fingerprint_memo_is_stale_without_invalidation(self, tmp_path):
+        # The lru_cache memoizes per process-lifetime: an on-disk edit is
+        # invisible until invalidate_fingerprints() drops the memo.
+        module = tmp_path / "mod.py"
+        module.write_text("A = 1\n")
+        before = code_fingerprint(str(tmp_path))
+        module.write_text("A = 2\n")
+        assert code_fingerprint(str(tmp_path)) == before  # stale memo
+        invalidate_fingerprints()
+        assert code_fingerprint(str(tmp_path)) != before
 
 
 class TestRegistryRoundTrip:

@@ -1,0 +1,223 @@
+"""Deterministic fault injection: plans, recovery, determinism contracts."""
+
+import json
+
+import pytest
+
+from repro.exp import Experiment, records_payload, run_experiment
+from repro.faults import FaultInjector, FaultPlan, coerce_plan
+from repro.machines import registry
+from repro.vonneumann import VNMachine, programs
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan validation and coercion
+# ---------------------------------------------------------------------------
+
+class TestFaultPlan:
+    def test_round_trips_through_dict(self):
+        plan = FaultPlan(seed=7, mem_slow_rate=0.5, mem_slow_cycles=32)
+        assert FaultPlan.from_dict(plan.as_dict()) == plan
+
+    @pytest.mark.parametrize("field", ["net_delay_rate", "mem_slow_rate",
+                                       "mem_fail_rate", "pe_stall_rate",
+                                       "pe_crash_rate"])
+    def test_rates_outside_unit_interval_rejected(self, field):
+        with pytest.raises(ValueError):
+            FaultPlan(**{field: 1.5})
+        with pytest.raises(ValueError):
+            FaultPlan(**{field: -0.1})
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="mem_slow_cycels"):
+            FaultPlan.from_dict({"mem_slow_cycels": 32})
+
+    def test_levels_key_allowed(self):
+        # The sweep-file extension `repro bench --faults` reads.
+        plan = FaultPlan.from_dict(
+            {"mem_slow_rate": 0.9, "levels": [0, 32, 64]})
+        assert plan.mem_slow_rate == 0.9
+
+    def test_negative_max_retries_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(max_retries=-1)
+
+    def test_enabled_only_with_nonzero_rate(self):
+        assert not FaultPlan().enabled
+        assert not FaultPlan(mem_slow_cycles=100.0).enabled  # no rate
+        assert FaultPlan(mem_slow_rate=0.1).enabled
+
+    def test_coerce_accepts_none_plan_dict_and_path(self, tmp_path):
+        assert coerce_plan(None) is None
+        plan = FaultPlan(seed=3, mem_fail_rate=0.2)
+        assert coerce_plan(plan) is plan
+        assert coerce_plan(plan.as_dict()) == plan
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.as_dict()))
+        assert coerce_plan(str(path)) == plan
+
+    def test_coerce_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            coerce_plan(42)
+
+    def test_site_streams_are_independent(self):
+        # Drawing at one site never perturbs another site's sequence.
+        lone = FaultInjector(FaultPlan(seed=9, mem_slow_rate=0.5))
+        mixed = FaultInjector(FaultPlan(seed=9, mem_slow_rate=0.5))
+        lone_draws = [lone.rng.stream("mem.m0").random() for _ in range(8)]
+        mixed_draws = []
+        for _ in range(8):
+            mixed.rng.stream("mem.m1").random()  # interleaved other site
+            mixed_draws.append(mixed.rng.stream("mem.m0").random())
+        assert lone_draws == mixed_draws
+
+
+# ---------------------------------------------------------------------------
+# Machine-level behavior: recovery, accounting, no-faults transparency
+# ---------------------------------------------------------------------------
+
+SLOW_PLAN = {"seed": 11, "mem_slow_rate": 0.9, "mem_slow_cycles": 64}
+
+
+def _payload(result):
+    return json.dumps(result.as_dict(), sort_keys=True, default=repr)
+
+
+class TestMachineFaults:
+    def test_faults_none_is_byte_identical_to_no_kwarg(self):
+        for name in ("hep", "ttda", "cmmp", "cmstar", "ultracomputer",
+                     "vliw", "connection_machine"):
+            plain = registry.create(name).run()
+            gated = registry.create(name, faults=None).run()
+            assert _payload(plain) == _payload(gated), name
+
+    def test_same_plan_same_seed_is_deterministic(self):
+        for name in ("hep", "ttda"):
+            first = registry.create(name, faults=SLOW_PLAN).run()
+            second = registry.create(name, faults=SLOW_PLAN).run()
+            assert _payload(first) == _payload(second), name
+
+    def test_slow_banks_degrade_both_architectures(self):
+        hep_base = registry.create("hep").run().metric("time")
+        hep_slow = registry.create("hep", faults=SLOW_PLAN).run()
+        assert hep_slow.metric("time") > hep_base
+        ttda_base = registry.create("ttda").run(workload="matmul")
+        ttda_slow = registry.create(
+            "ttda", faults=SLOW_PLAN).run(workload="matmul")
+        assert ttda_slow.metric("time") > ttda_base.metric("time")
+        assert ttda_slow.metric("faults_injected") > 0
+        # The split-phase machine hides the same injected latency better.
+        assert (ttda_slow.metric("time") / ttda_base.metric("time")
+                < hep_slow.metric("time") / hep_base)
+
+    def test_vn_transient_failures_retry_and_complete(self):
+        def build(faults):
+            machine = VNMachine(1, memory="dancehall", faults=faults)
+            machine.add_processor(
+                programs.compute_loop(8, loads_per_iter=1,
+                                      alu_ops_per_iter=2))
+            return machine
+        base = build(None).run()
+        faulty = build({"seed": 5, "mem_fail_rate": 1.0,
+                        "retry_backoff": 2.0, "max_retries": 3}).run()
+        # Every request fails max_retries times, then the fault clears:
+        # the run completes (liveness), later (the backoff is paid), and
+        # every injector fail has a matching module-level retry.
+        assert faulty.time > base.time
+        assert faulty.counters["faults_mem_fail"] > 0
+        assert (faulty.counters["fault_retries"]
+                == faulty.counters["faults_mem_fail"])
+
+    def test_istructure_transient_failures_retry_and_complete(self):
+        base = registry.create("ttda").run(workload="matmul")
+        faulty = registry.create(
+            "ttda", faults={"seed": 2, "mem_fail_rate": 0.3,
+                            "retry_backoff": 4.0},
+        ).run(workload="matmul")
+        assert faulty.metric("faults_injected") > 0
+        assert faulty.metric("time") > base.metric("time")
+
+    def test_network_delay_spikes_inject_and_complete(self):
+        result = registry.create(
+            "ttda", faults={"seed": 4, "net_delay_rate": 0.5,
+                            "net_delay_cycles": 5.0},
+        ).run(workload="matmul")
+        assert result.metric("faults_injected") > 0
+
+    def test_pe_stalls_and_crashes_recover(self):
+        base = registry.create("ttda").run(workload="matmul")
+        result = registry.create(
+            "ttda", faults={"seed": 6, "pe_stall_rate": 0.3,
+                            "pe_stall_cycles": 3.0, "pe_crash_rate": 0.2,
+                            "retry_backoff": 4.0},
+        ).run(workload="matmul")
+        assert result.metric("faults_injected") > 0
+        assert result.metric("time") > base.metric("time")
+
+    def test_plan_echoed_in_config_only_when_set(self):
+        plain = registry.create("ttda")
+        faulty = registry.create("ttda", faults=SLOW_PLAN)
+        assert "faults" not in plain.config
+        assert faulty.config["faults"]["mem_slow_cycles"] == 64
+
+
+# ---------------------------------------------------------------------------
+# Sweep determinism: faults are a pure function of the config
+# ---------------------------------------------------------------------------
+
+def fault_sweep_point(config):
+    """Module-level (picklable) worker: one e20-style grid point."""
+    level = config["level"]
+    faults = None if level == 0 else {
+        "seed": 11, "mem_slow_rate": 0.9, "mem_slow_cycles": level}
+    return registry.create("hep", faults=faults).run().as_dict()
+
+
+class TestSweepDeterminism:
+    def test_jobs0_and_jobs2_are_byte_identical(self):
+        experiment = Experiment(
+            name="fault_sweep", run=fault_sweep_point,
+            grid=[{"level": level} for level in (0, 64, 256)])
+        inline = run_experiment(experiment, jobs=0)
+        workers = run_experiment(experiment, jobs=2)
+        assert all(record.ok for record in inline + workers)
+        assert (json.dumps(records_payload(inline), sort_keys=True,
+                           default=repr)
+                == json.dumps(records_payload(workers), sort_keys=True,
+                              default=repr))
+
+
+# ---------------------------------------------------------------------------
+# Long-run correctness companions: tag interning across the capacity
+# boundary (run-boundary-only eviction)
+# ---------------------------------------------------------------------------
+
+class TestInternBoundary:
+    def test_capacity_crossing_preserves_identity(self, monkeypatch):
+        from repro.dataflow import tags as tags_mod
+
+        tags_mod.reset_intern_table()
+        monkeypatch.setattr(tags_mod, "_INTERN_MAX", 4)
+        first = tags_mod.intern_tag("c", "blk", 0)
+        for statement in range(16):  # cross the capacity boundary
+            tags_mod.intern_tag("c", "blk", statement)
+        # The table was NOT cleared mid-run: early tags keep their
+        # canonical identity, overflow tags degrade to structural
+        # equality, and the table never exceeds its bound.
+        assert tags_mod.intern_tag("c", "blk", 0) is first
+        overflow = tags_mod.intern_tag("c", "other", 99)
+        assert overflow == tags_mod.intern_tag("c", "other", 99)
+        assert len(tags_mod._INTERN) <= 4
+        tags_mod.reset_intern_table()
+        assert len(tags_mod._INTERN) == 0
+
+    def test_machine_result_unchanged_when_capacity_crossed_midrun(
+            self, monkeypatch):
+        from repro.dataflow import tags as tags_mod
+
+        expected = registry.create("ttda").run(workload="matmul")
+        monkeypatch.setattr(tags_mod, "_INTERN_MAX", 8)
+        capped = registry.create("ttda").run(workload="matmul")
+        # Interning is a pure identity optimization: forfeiting it
+        # mid-run (capacity) must not change a single measurement.
+        assert _payload(capped) == _payload(expected)
