@@ -15,6 +15,10 @@
     python -m repro bench --only e07 --check    # regression gate vs baseline
     python -m repro machine                     # list registered machines
     python -m repro machine ultracomputer --set stages=5 --workload spacing=0.5
+    python -m repro serve --workers 4           # simulation-as-a-service
+    python -m repro submit e07_trapezoid        # run a sweep on the server
+    python -m repro sweeps                      # list the server's sweeps
+    python -m repro cache stats                 # inspect the result store
 
 The entry procedure defaults to the first ``def`` in the file; override
 with ``--entry``.
@@ -28,6 +32,7 @@ from .dataflow import Interpreter, MachineConfig, TaggedTokenMachine
 from .graph import format_program, graph_statistics, optimize_program, to_dot
 from .lang import compile_source
 from .obs import ChromeTraceSink, JsonlSink, TraceBus
+from .serve.protocol import DEFAULT_PORT as SERVE_DEFAULT_PORT
 
 __all__ = ["main", "build_parser"]
 
@@ -171,6 +176,129 @@ def build_parser():
                        help="fault-plan JSON file; fault-aware sweeps "
                             "(e20) read it (and its optional 'levels' "
                             "list) while building their grids")
+    bench.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="result-cache directory (default: "
+                            "$REPRO_EXP_CACHE or <benchmarks>/.expcache)")
+    bench.add_argument("--remote", default=None, metavar="URL",
+                       help="run the suite against a repro serve "
+                            "instance instead of in-process; tables are "
+                            "still assembled and written locally")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the sweep service: HTTP server + persistent worker "
+             "pool + durable result store",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=None,
+                       help=f"TCP port (default {SERVE_DEFAULT_PORT}; "
+                            "0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="pool size (default: cpu count)")
+    serve.add_argument("--store", default=None, metavar="PATH",
+                       help="result store (default: $REPRO_STORE or "
+                            "~/.cache/repro/store.sqlite)")
+    serve.add_argument("--no-store", action="store_true",
+                       help="serve without a durable store (every cell "
+                            "is always simulated)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="default per-attempt timeout (covers worker "
+                            "startup and the run itself)")
+    serve.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="default retry budget per cell")
+    serve.add_argument("--backup-fraction", type=float, default=0.2,
+                       metavar="F",
+                       help="straggler backup budget as a fraction of "
+                            "the grid (0 disables backups)")
+    serve.add_argument("--bench-dir", default=None, metavar="DIR",
+                       help="benchmarks directory (default: auto-detect)")
+    serve.add_argument("--trace", metavar="FILE", default=None,
+                       help="write scheduler events as JSONL")
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a sweep to a repro serve instance and (by default) "
+             "wait for the table",
+    )
+    submit.add_argument("experiment", nargs="?", default=None,
+                        help="a run_all table name, e.g. e07_trapezoid")
+    submit.add_argument("--url", default=None, metavar="URL",
+                        help="server address (default: $REPRO_SERVE_URL "
+                             f"or 127.0.0.1:{SERVE_DEFAULT_PORT})")
+    submit.add_argument("--callable", dest="callable_", default=None,
+                        metavar="MODULE:FUNCTION",
+                        help="inline sweep run function (needs --grid)")
+    submit.add_argument("--grid", metavar="FILE", default=None,
+                        help="JSON file with a list of config objects "
+                             "overriding the experiment's grid")
+    submit.add_argument("--faults", metavar="PLAN", default=None,
+                        help="fault-plan JSON file (machine-level "
+                             "fields + worker_crash_rate chaos)")
+    submit.add_argument("--no-store", action="store_true",
+                        help="skip store lookups; every cell is freshly "
+                             "simulated (results still stored)")
+    submit.add_argument("--no-backup", action="store_true",
+                        help="disable straggler backup copies")
+    submit.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS", help="per-attempt timeout")
+    submit.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="retry budget per cell")
+    submit.add_argument("--label", default=None,
+                        help="free-form label echoed in sweep listings")
+    submit.add_argument("--detach", action="store_true",
+                        help="print the sweep id and exit without "
+                             "waiting")
+    submit.add_argument("--quiet", action="store_true",
+                        help="suppress per-event progress lines")
+    submit.add_argument("--json", action="store_true",
+                        help="print the final status snapshot as JSON "
+                             "instead of the table")
+
+    sweeps = sub.add_parser(
+        "sweeps",
+        help="list or inspect sweeps on a repro serve instance",
+    )
+    sweeps.add_argument("id", nargs="?", default=None,
+                        help="sweep id (omit to list all sweeps)")
+    sweeps.add_argument("--url", default=None, metavar="URL",
+                        help="server address (default: $REPRO_SERVE_URL "
+                             f"or 127.0.0.1:{SERVE_DEFAULT_PORT})")
+    sweeps.add_argument("--events", action="store_true",
+                        help="dump the sweep's progress events")
+    sweeps.add_argument("--table", action="store_true",
+                        help="print the sweep's assembled table")
+    sweeps.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect and maintain the content-addressed result store",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry/byte counts per experiment")
+    cache_prune = cache_sub.add_parser(
+        "prune", help="drop entries older than a cutoff")
+    cache_prune.add_argument("--older-than", required=True,
+                             metavar="DURATION",
+                             help="age cutoff, e.g. 30m, 12h, 7d, 2w "
+                                  "(bare numbers are seconds)")
+    cache_clear = cache_sub.add_parser(
+        "clear", help="drop every entry")
+    cache_ingest = cache_sub.add_parser(
+        "ingest", help="import a legacy .expcache directory's entries")
+    cache_ingest.add_argument("dir", help="directory cache to import, "
+                                          "e.g. benchmarks/.expcache")
+    for sub_parser in (cache_stats, cache_prune, cache_clear,
+                       cache_ingest):
+        sub_parser.add_argument(
+            "--store", default=None, metavar="PATH",
+            help="store path (default: $REPRO_STORE or "
+                 "~/.cache/repro/store.sqlite; a legacy .expcache "
+                 "directory also works)")
+        sub_parser.add_argument("--json", action="store_true",
+                                help="machine-readable output")
 
     machine = sub.add_parser(
         "machine",
@@ -494,15 +622,27 @@ def _cmd_bench(options, out):
     if options.trace:
         bus = TraceBus()
         sink = bus.add_sink(JsonlSink(options.trace))
-    aggregate = run_suite(
-        only=options.only,
-        jobs=options.jobs,
-        no_cache=options.no_cache,
-        timeout=options.timeout,
-        bench_dir=options.bench_dir,
-        bus=bus,
-        faults=options.faults,
-    )
+    if options.remote:
+        from .serve.client import remote_suite
+
+        aggregate = remote_suite(
+            options.remote,
+            only=options.only,
+            bench_dir=options.bench_dir,
+            faults=options.faults,
+            timeout=options.timeout,
+        )
+    else:
+        aggregate = run_suite(
+            only=options.only,
+            jobs=options.jobs,
+            no_cache=options.no_cache,
+            timeout=options.timeout,
+            bench_dir=options.bench_dir,
+            cache_dir=options.cache_dir,
+            bus=bus,
+            faults=options.faults,
+        )
     if sink is not None:
         sink.close()
         print(f"sweep trace: {sink.written} event(s) -> {options.trace}",
@@ -532,6 +672,245 @@ def _cmd_bench(options, out):
             if not result["ok"]:
                 status = 1
     return status
+
+
+def _serve_url(options):
+    import os
+
+    return (options.url or os.environ.get("REPRO_SERVE_URL")
+            or f"127.0.0.1:{SERVE_DEFAULT_PORT}")
+
+
+_DURATION_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0,
+                   "w": 7 * 86400.0}
+
+
+def _parse_duration(text):
+    """``"30m"`` / ``"12h"`` / ``"7d"`` / ``"3600"`` -> seconds."""
+    text = text.strip().lower()
+    unit = 1.0
+    if text and text[-1] in _DURATION_UNITS:
+        unit = _DURATION_UNITS[text[-1]]
+        text = text[:-1]
+    try:
+        return float(text) * unit
+    except ValueError:
+        raise SystemExit(
+            f"bad duration {text!r}: use a number with an optional "
+            "s/m/h/d/w suffix, e.g. 30m or 7d") from None
+
+
+def _cmd_serve(options, out):
+    """Run the sweep service until SIGINT or POST /shutdown."""
+    from .serve.server import run_server
+
+    bus = None
+    sink = None
+    if options.trace:
+        bus = TraceBus()
+        sink = bus.add_sink(JsonlSink(options.trace))
+    try:
+        return run_server(
+            host=options.host,
+            port=(SERVE_DEFAULT_PORT if options.port is None
+                  else options.port),
+            workers=options.workers,
+            store_path=options.store,
+            no_store=options.no_store,
+            timeout=options.timeout,
+            retries=options.retries,
+            backup_fraction=options.backup_fraction,
+            bench_dir=options.bench_dir,
+            bus=bus,
+        )
+    finally:
+        if sink is not None:
+            sink.close()
+
+
+def _submit_request(options):
+    request = {}
+    if options.experiment:
+        request["experiment"] = options.experiment
+    if options.callable_:
+        request["callable"] = options.callable_
+    if options.grid:
+        with open(options.grid, "r", encoding="utf-8") as fh:
+            request["grid"] = json.load(fh)
+    if options.faults:
+        with open(options.faults, "r", encoding="utf-8") as fh:
+            request["faults"] = json.load(fh)
+    if options.no_store:
+        request["no_store"] = True
+    if options.no_backup:
+        request["backup"] = False
+    if options.timeout is not None:
+        request["timeout"] = options.timeout
+    if options.retries is not None:
+        request["retries"] = options.retries
+    if options.label:
+        request["label"] = options.label
+    return request
+
+
+def _cmd_submit(options, out):
+    """Submit one sweep; print its table (stdout) when it finishes."""
+    from .serve.client import ServeClient, ServeError
+
+    client = ServeClient(_serve_url(options))
+    request = _submit_request(options)
+    if not request.get("experiment") and not request.get("callable"):
+        raise SystemExit("submit needs an experiment name (e.g. "
+                         "e07_trapezoid) or --callable")
+    try:
+        submitted = client.submit(request)
+        sweep_id = submitted["id"]
+        if options.detach:
+            print(sweep_id, file=out)
+            return 0
+
+        def on_event(event):
+            if options.quiet:
+                return
+            print(f"  [{sweep_id}] {event.get('kind')}: "
+                  f"{event.get('detail', '')}", file=sys.stderr)
+
+        status = client.wait(sweep_id, on_event=on_event)
+        if options.json:
+            print(json.dumps(status, indent=2, sort_keys=True,
+                             default=repr), file=out)
+            return 0 if (status["state"] == "done"
+                         and not status["failed"]) else 1
+        if status["state"] != "done" or status["failed"]:
+            for row in status.get("records", []):
+                if row["status"] != "ok":
+                    print(f"[FAILED] {status['experiment']}"
+                          f"[{row['index']}] {row['status']} after "
+                          f"{row['attempts']} attempt(s):\n"
+                          f"{row['error']}", file=sys.stderr)
+            return 1
+        # The table prints with a trailing newline — byte-identical to
+        # the benchmarks/results/<name>.txt a local bench run writes.
+        print(client.table(sweep_id), end="", file=out)
+        stats = status["stats"]
+        print(f"[{sweep_id}] {status['experiment']}: "
+              f"{status['cells']} cell(s), "
+              f"{stats['store_hits']} from store, "
+              f"{stats['executed']} simulated, "
+              f"{status['wall_seconds']:.2f}s", file=sys.stderr)
+        return 0
+    except ServeError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(f"cannot reach {_serve_url(options)}: {exc} "
+              "(is `repro serve` running?)", file=sys.stderr)
+        return 1
+
+
+def _cmd_sweeps(options, out):
+    """List or inspect sweeps on the server."""
+    from .serve.client import ServeClient, ServeError
+
+    client = ServeClient(_serve_url(options))
+    try:
+        if options.id is None:
+            sweeps = client.sweeps()
+            if options.json:
+                print(json.dumps(sweeps, indent=2, sort_keys=True,
+                                 default=repr), file=out)
+                return 0
+            if not sweeps:
+                print("no sweeps", file=out)
+                return 0
+            for sweep in sweeps:
+                label = f"  [{sweep['label']}]" if sweep.get("label") \
+                    else ""
+                print(f"  {sweep['id']}  {sweep['state']:<8} "
+                      f"{sweep['experiment']:<24} "
+                      f"{sweep['completed']}/{sweep['cells']} cells "
+                      f"({sweep['cached']} cached) "
+                      f"{sweep['wall_seconds']:.2f}s{label}", file=out)
+            return 0
+        if options.table:
+            print(client.table(options.id), end="", file=out)
+            return 0
+        if options.events:
+            chunk = client.events(options.id, since=0, timeout=0.0)
+            for event in chunk["events"]:
+                print(json.dumps(event, sort_keys=True, default=repr),
+                      file=out)
+            return 0
+        status = client.status(options.id)
+        if options.json:
+            print(json.dumps(status, indent=2, sort_keys=True,
+                             default=repr), file=out)
+            return 0
+        for key in ("id", "experiment", "label", "state", "cells",
+                    "completed", "ok", "failed", "cached",
+                    "wall_seconds"):
+            print(f"  {key}: {status[key]}", file=out)
+        for key, value in sorted(status["stats"].items()):
+            print(f"  stats.{key}: {value}", file=out)
+        return 0
+    except ServeError as exc:
+        print(f"sweeps failed: {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(f"cannot reach {_serve_url(options)}: {exc} "
+              "(is `repro serve` running?)", file=sys.stderr)
+        return 1
+
+
+def _cmd_cache(options, out):
+    """Inspect / prune / clear / ingest the durable result store."""
+    from .serve.store import open_store
+
+    store = open_store(options.store)
+    try:
+        if options.cache_command == "stats":
+            stats = store.stats()
+            if options.json:
+                print(json.dumps(stats, indent=2, sort_keys=True,
+                                 default=repr), file=out)
+                return 0
+            print(f"  store: {stats['root']} [{stats['backend']}]",
+                  file=out)
+            print(f"  entries: {stats['entries']} "
+                  f"({stats['bytes']} bytes)", file=out)
+            if stats.get("oldest_age_seconds") is not None:
+                print(f"  oldest: {stats['oldest_age_seconds']:.0f}s ago",
+                      file=out)
+            for name, entry in sorted(stats["experiments"].items()):
+                print(f"    {name:<28} {entry['entries']:>5} entries "
+                      f"{entry['bytes']:>10} bytes", file=out)
+            return 0
+        if options.cache_command == "prune":
+            dropped = store.prune(_parse_duration(options.older_than))
+            print(f"pruned {dropped} entr"
+                  f"{'y' if dropped == 1 else 'ies'} older than "
+                  f"{options.older_than}", file=out)
+            return 0
+        if options.cache_command == "clear":
+            dropped = store.clear()
+            print(f"cleared {dropped} entr"
+                  f"{'y' if dropped == 1 else 'ies'}", file=out)
+            return 0
+        if options.cache_command == "ingest":
+            if not hasattr(store, "ingest_dir"):
+                raise SystemExit("ingest needs a SQLite store target "
+                                 "(--store pointing at a directory "
+                                 "cache cannot ingest)")
+            added = store.ingest_dir(options.dir)
+            print(f"ingested {added} entr"
+                  f"{'y' if added == 1 else 'ies'} from {options.dir}",
+                  file=out)
+            return 0
+        raise SystemExit(f"unknown cache command "
+                         f"{options.cache_command!r}")
+    finally:
+        if hasattr(store, "close"):
+            store.close()
 
 
 def _cmd_machine(options, out):
@@ -584,6 +963,10 @@ def main(argv=None, out=None):
         "stats": _cmd_stats,
         "bench": _cmd_bench,
         "machine": _cmd_machine,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "sweeps": _cmd_sweeps,
+        "cache": _cmd_cache,
     }[options.command]
     try:
         return handler(options, out)

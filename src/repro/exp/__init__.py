@@ -20,8 +20,9 @@ Progress and telemetry stream through the existing :mod:`repro.obs` bus
 See docs/EXPERIMENT_ENGINE.md.
 """
 
-from .cache import ResultCache, code_fingerprint, invalidate_fingerprints
-from .engine import RunRecord, records_payload, run_experiment
+from .cache import (ResultCache, code_fingerprint, invalidate_fingerprints,
+                    resolve_cache_dir)
+from .engine import RunRecord, TaskQueue, records_payload, run_experiment
 from .experiment import Experiment, grid
 from .tables import parse_cell, payload_to_table, table_to_payload
 
@@ -29,12 +30,14 @@ __all__ = [
     "Experiment",
     "ResultCache",
     "RunRecord",
+    "TaskQueue",
     "code_fingerprint",
     "grid",
     "invalidate_fingerprints",
     "parse_cell",
     "payload_to_table",
     "records_payload",
+    "resolve_cache_dir",
     "run_experiment",
     "table_to_payload",
 ]

@@ -20,12 +20,12 @@ import os
 import sys
 import time
 
-from .cache import ResultCache, invalidate_fingerprints
+from .cache import ResultCache, invalidate_fingerprints, resolve_cache_dir
 from .engine import run_experiment
 from .experiment import Experiment
 from .tables import payload_to_table, table_rows, table_to_payload
 
-__all__ = ["find_bench_dir", "run_suite"]
+__all__ = ["build_experiment", "find_bench_dir", "run_suite"]
 
 #: Seconds one benchmark run may take before it is terminated + retried.
 DEFAULT_TIMEOUT = 300.0
@@ -77,10 +77,12 @@ def _select(experiments, only):
     return selected
 
 
-def _build_experiment(bench_dir, module_name, fn_name, out_name):
-    """The Experiment for one table: the module's declared sweep when it
-    has one, a single-config legacy wrapper otherwise."""
-    module = importlib.import_module(module_name)
+def build_experiment(module, fn_name, out_name):
+    """The Experiment for one table of an imported bench ``module``: the
+    module's declared sweep when it has one, a single-config legacy
+    wrapper otherwise.  Returns ``(experiment, is_sweep)``.  Public so
+    the sweep service (:mod:`repro.serve`) resolves requests through the
+    exact machinery ``repro bench`` uses."""
     sweeps = getattr(module, "SWEEPS", None)
     module_file = getattr(module, "__file__", None)
     code_paths = [module_file] if module_file else []
@@ -92,11 +94,16 @@ def _build_experiment(bench_dir, module_name, fn_name, out_name):
     return Experiment(
         name=out_name,
         run=_run_legacy_table,
-        grid=[{"module": module_name, "fn": fn_name}],
+        grid=[{"module": module.__name__, "fn": fn_name}],
         title=out_name,
         assemble=lambda exp, values: payload_to_table(values[0]),
         code_paths=code_paths,
     ), False
+
+
+def _build_experiment(bench_dir, module_name, fn_name, out_name):
+    return build_experiment(importlib.import_module(module_name),
+                            fn_name, out_name)
 
 
 def run_suite(only=None, jobs=None, no_cache=False, timeout=None,
@@ -142,8 +149,7 @@ def run_suite(only=None, jobs=None, no_cache=False, timeout=None,
 
     cache = None
     if not no_cache:
-        cache = ResultCache(cache_dir
-                            or os.path.join(bench_dir, ".expcache"))
+        cache = ResultCache(resolve_cache_dir(cache_dir, bench_dir))
     timeout = DEFAULT_TIMEOUT if timeout is None else timeout
 
     telemetry = []

@@ -13,15 +13,38 @@ code changed, while re-running an untouched sweep is pure cache hits.
 
 Only successful runs are cached; timeouts and errors are always retried
 on the next invocation.
+
+The cache location is configurable: ``repro bench --cache-dir``, the
+``cache_dir=`` kwarg to :func:`repro.exp.bench.run_suite`, or the
+``REPRO_EXP_CACHE`` environment variable (in that precedence order),
+falling back to ``<benchmarks>/.expcache``.  The same ``get``/``put``
+interface is implemented by the durable SQLite store behind ``repro
+serve`` (:mod:`repro.serve.store`), which subsumes this directory layout
+for service deployments.
 """
 
 import functools
 import hashlib
 import json
 import os
+import time
 
 __all__ = ["ResultCache", "code_fingerprint", "config_key",
-           "invalidate_fingerprints"]
+           "invalidate_fingerprints", "resolve_cache_dir"]
+
+
+def resolve_cache_dir(cache_dir=None, bench_dir=None):
+    """The experiment-cache directory: explicit argument, then the
+    ``REPRO_EXP_CACHE`` environment variable, then the historical
+    ``<benchmarks>/.expcache`` default."""
+    if cache_dir:
+        return os.path.abspath(cache_dir)
+    env = os.environ.get("REPRO_EXP_CACHE")
+    if env:
+        return os.path.abspath(env)
+    if bench_dir:
+        return os.path.join(os.path.abspath(bench_dir), ".expcache")
+    raise ValueError("no cache_dir, $REPRO_EXP_CACHE, or bench_dir given")
 
 
 def _iter_source_files(path):
@@ -121,3 +144,65 @@ class ResultCache:
             json.dump(entry, fh, sort_keys=True, default=repr)
             fh.write("\n")
         os.replace(tmp, path)
+
+    # -- inspection / maintenance (the `repro cache` surface) ----------
+    def entries(self):
+        """Yield ``(experiment, key, path, mtime, bytes)`` per entry."""
+        if not os.path.isdir(self.root):
+            return
+        for experiment in sorted(os.listdir(self.root)):
+            exp_dir = os.path.join(self.root, experiment)
+            if not os.path.isdir(exp_dir):
+                continue
+            for filename in sorted(os.listdir(exp_dir)):
+                if not filename.endswith(".json"):
+                    continue
+                path = os.path.join(exp_dir, filename)
+                try:
+                    info = os.stat(path)
+                except OSError:
+                    continue
+                yield (experiment, filename[:-5], path,
+                       info.st_mtime, info.st_size)
+
+    def stats(self):
+        """Aggregate disk stats plus this process's hit/miss counters."""
+        per_experiment = {}
+        total_bytes = 0
+        count = 0
+        oldest = None
+        for experiment, _key, _path, mtime, size in self.entries():
+            bucket = per_experiment.setdefault(
+                experiment, {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += size
+            total_bytes += size
+            count += 1
+            oldest = mtime if oldest is None else min(oldest, mtime)
+        return {
+            "backend": "dir",
+            "root": self.root,
+            "entries": count,
+            "bytes": total_bytes,
+            "experiments": per_experiment,
+            "oldest_age_seconds": (None if oldest is None
+                                   else round(time.time() - oldest, 1)),
+            "session": {"hits": self.hits, "misses": self.misses},
+        }
+
+    def prune(self, older_than_seconds):
+        """Delete entries older than the cutoff; returns entries removed."""
+        cutoff = time.time() - older_than_seconds
+        removed = 0
+        for _experiment, _key, path, mtime, _size in list(self.entries()):
+            if mtime < cutoff:
+                try:
+                    os.remove(path)
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def clear(self):
+        """Delete every entry; returns entries removed."""
+        return self.prune(-1.0)

@@ -17,8 +17,19 @@ looked up by content hash of (experiment, config, code-version) first;
 hits never spawn a worker.  Progress streams through a
 :class:`repro.obs.TraceBus` as ``sweep_begin`` / ``sweep_task`` /
 ``sweep_end`` events.
+
+The timeout clock starts *before* the worker process is spawned and the
+worker reports a ``begin`` handshake when it is about to enter the run
+function, so interpreter startup and module import time count against
+the budget too; a run that times out records which phase it died in
+(``RunRecord.timeout_phase``: ``"startup"`` or ``"run"``).
+
+The retry-aware work list lives in :class:`TaskQueue` so the long-lived
+sweep service (:mod:`repro.serve.scheduler`) schedules from the same
+structure the batch engine does.
 """
 
+import collections
 import multiprocessing
 import os
 import time
@@ -29,10 +40,20 @@ from typing import Any, Optional
 
 from .cache import config_key, repro_fingerprint
 
-__all__ = ["RunRecord", "records_payload", "run_experiment"]
+__all__ = ["RunRecord", "TaskQueue", "experiment_code_version",
+           "records_payload", "run_experiment"]
 
 #: Statuses a run can end in.  ``ok`` is the only cached one.
 STATUSES = ("ok", "error", "timeout")
+
+#: Extra attempts a failed run gets before a failure row is recorded
+#: (shared default between the batch engine and the sweep service).
+DEFAULT_RETRIES = 1
+
+#: The lifecycle phases a worker attempt moves through.  ``startup``
+#: covers process spawn + interpreter/module import, ``run`` is the run
+#: function itself; a timeout records the phase it struck.
+PHASES = ("startup", "run")
 
 
 @dataclass
@@ -48,6 +69,9 @@ class RunRecord:
     wall_seconds: float = 0.0
     cached: bool = False
     cache_key: Optional[str] = None
+    #: For ``status == "timeout"``: the phase the final attempt was in
+    #: when the deadline struck (``"startup"`` or ``"run"``).
+    timeout_phase: Optional[str] = None
 
     @property
     def ok(self):
@@ -65,6 +89,8 @@ class RunRecord:
             "attempts": self.attempts,
             "cached": self.cached,
         }
+        if self.timeout_phase is not None:
+            out["timeout_phase"] = self.timeout_phase
         if include_timing:
             out["wall_seconds"] = round(self.wall_seconds, 3)
         return out
@@ -77,11 +103,90 @@ def records_payload(records, include_timing=False):
             for record in ordered]
 
 
+class TaskQueue:
+    """A retry-aware FIFO of work items with optional requeue delays.
+
+    Items are opaque tuples; the queue only orders them.  ``push`` adds
+    an item ready immediately (or at ``not_before``), ``pop`` returns
+    the oldest ready item or ``None``, and ``next_ready`` tells a
+    scheduler how long it may sleep before new work matures.  Both the
+    batch engine below and the long-running sweep service
+    (:mod:`repro.serve.scheduler`) drive their workers from this.
+    """
+
+    __slots__ = ("_ready", "_delayed")
+
+    def __init__(self):
+        self._ready = collections.deque()
+        self._delayed = []  # [(not_before, item)] — small, scanned linearly
+
+    def __len__(self):
+        return len(self._ready) + len(self._delayed)
+
+    def __bool__(self):
+        return bool(self._ready) or bool(self._delayed)
+
+    def push(self, item, front=False, not_before=None):
+        """Add ``item``; ``front`` jumps the FIFO (inline retries),
+        ``not_before`` (a monotonic timestamp) delays maturity."""
+        if not_before is not None:
+            self._delayed.append((not_before, item))
+        elif front:
+            self._ready.appendleft(item)
+        else:
+            self._ready.append(item)
+
+    def _mature(self, now):
+        if not self._delayed:
+            return
+        due = [pair for pair in self._delayed if pair[0] <= now]
+        if due:
+            self._delayed = [p for p in self._delayed if p[0] > now]
+            for _, item in sorted(due, key=lambda pair: pair[0]):
+                self._ready.append(item)
+
+    def pop(self, now=None):
+        """The oldest ready item, or ``None`` if none has matured."""
+        self._mature(time.monotonic() if now is None else now)
+        return self._ready.popleft() if self._ready else None
+
+    def next_ready(self, now=None):
+        """Seconds until a delayed item matures (0 if one is ready now,
+        ``None`` when the queue is empty)."""
+        now = time.monotonic() if now is None else now
+        self._mature(now)
+        if self._ready:
+            return 0.0
+        if not self._delayed:
+            return None
+        return max(0.0, min(t for t, _ in self._delayed) - now)
+
+
+def experiment_code_version(experiment):
+    """The code-version stamp cache keys carry for ``experiment``: the
+    repro package fingerprint plus any ``code_paths`` the experiment
+    names (its benchmark module, typically).  Shared by the batch engine
+    and the sweep service so their cache keys agree."""
+    version = repro_fingerprint()
+    if experiment.code_paths:
+        from .cache import code_fingerprint
+
+        version += "+" + code_fingerprint(
+            *[os.path.abspath(p) for p in experiment.code_paths])
+    return version
+
+
 def _worker_main(conn, run, config):
-    """Child-process body: run one config, ship the outcome back."""
+    """Child-process body: run one config, ship the outcome back.
+
+    The ``begin`` handshake marks the startup→run phase transition so
+    the parent can attribute a timeout to interpreter/import startup
+    versus the run function itself.
+    """
     import sys
 
     try:
+        conn.send(("begin", None, None))
         value = run(config)
         conn.send(("ok", value, None))
     except BaseException:  # noqa: BLE001 — the parent turns this into a row
@@ -109,6 +214,7 @@ class _Task:
     started: float
     deadline: Optional[float] = None
     cache_key: Optional[str] = None
+    phase: str = "startup"
 
 
 def _spawn(context, experiment, index, attempt, timeout):
@@ -119,24 +225,27 @@ def _spawn(context, experiment, index, attempt, timeout):
         name=f"sweep-{experiment.name}-{index}",
         daemon=True,
     )
+    # The clock starts before the fork/exec so spawn + import time is
+    # charged against the same per-run budget as the run itself.
+    now = time.monotonic()
     process.start()
     child_conn.close()
-    now = time.monotonic()
     return _Task(
         index=index, attempt=attempt, process=process, conn=parent_conn,
         started=now, deadline=(now + timeout) if timeout else None,
     )
 
 
-def _collect(task):
-    """Read the worker's message (or diagnose its death); reap it."""
+def _recv(task):
+    """One message off the worker pipe, or None on EOF/breakage."""
     try:
-        if task.conn.poll():
-            message = task.conn.recv()
-        else:
-            message = None
+        return task.conn.recv()
     except (EOFError, OSError):
-        message = None
+        return None
+
+
+def _reap(task, message):
+    """Close and join a finished worker; diagnose a silent death."""
     task.conn.close()
     task.process.join()
     if message is None:
@@ -153,31 +262,29 @@ def _emit(bus, clock_start, kind, detail="", **fields):
 
 
 def run_experiment(experiment, jobs=None, cache=None, timeout=None,
-                   retries=1, bus=None, progress=None):
+                   retries=DEFAULT_RETRIES, bus=None, progress=None):
     """Execute every config in ``experiment.grid``; returns RunRecords
     in grid order.
 
     ``jobs``: worker processes (default ``os.cpu_count()``); ``0`` runs
     the grid inline in this process (no isolation, no timeout — the
-    debugging path).  ``timeout``: seconds per attempt; an expired worker
-    is terminated and the run retried up to ``retries`` more times before
-    a ``timeout`` record is written.  ``cache``: a
-    :class:`~repro.exp.cache.ResultCache`; hits skip execution entirely.
-    ``bus``: a :class:`repro.obs.TraceBus` for progress telemetry.
-    ``progress``: callable invoked with each finished :class:`RunRecord`.
+    debugging path).  ``timeout``: seconds per attempt (spawn + import
+    + run); an expired worker is terminated and the run retried up to
+    ``retries`` more times before a ``timeout`` record is written.
+    ``cache``: any content-addressed store with the
+    :class:`~repro.exp.cache.ResultCache` ``get``/``put`` interface;
+    hits skip execution entirely.  ``bus``: a :class:`repro.obs.TraceBus`
+    for progress telemetry.  ``progress``: callable invoked with each
+    finished :class:`RunRecord`.
     """
     if jobs is None:
         jobs = os.cpu_count() or 1
     clock_start = time.monotonic()
-    code_version = repro_fingerprint() if cache is not None else None
-    if cache is not None and experiment.code_paths:
-        from .cache import code_fingerprint
-
-        code_version += "+" + code_fingerprint(
-            *[os.path.abspath(p) for p in experiment.code_paths])
+    code_version = (experiment_code_version(experiment)
+                    if cache is not None else None)
 
     records = {}
-    pending = []
+    pending = TaskQueue()
     _emit(bus, clock_start, "sweep_begin", experiment.name,
           configs=len(experiment.grid), jobs=jobs)
 
@@ -208,9 +315,9 @@ def run_experiment(experiment, jobs=None, cache=None, timeout=None,
                 finish(RunRecord(index=index, config=config, status="ok",
                                  value=value, cached=True, cache_key=key))
                 continue
-        pending.append((index, 0, key))
+        pending.push((index, 0, key))
 
-    def record_outcome(index, attempt, key, message, wall):
+    def record_outcome(index, attempt, key, message, wall, phase=None):
         status, value, error = message
         config = experiment.grid[index]
         if status == "ok":
@@ -224,14 +331,15 @@ def run_experiment(experiment, jobs=None, cache=None, timeout=None,
             return (index, attempt + 1, key)  # reschedule
         finish(RunRecord(index=index, config=config, status=status,
                          error=error, attempts=attempt + 1,
-                         wall_seconds=wall, cache_key=key))
+                         wall_seconds=wall, cache_key=key,
+                         timeout_phase=phase if status == "timeout" else None))
         return None
 
     # ------------------------------------------------------------------
     # inline path (jobs=0): no processes, no timeout enforcement
     if jobs == 0:
         while pending:
-            index, attempt, key = pending.pop(0)
+            index, attempt, key = pending.pop()
             started = time.monotonic()
             try:
                 message = ("ok", experiment.run(experiment.grid[index]), None)
@@ -247,7 +355,7 @@ def run_experiment(experiment, jobs=None, cache=None, timeout=None,
             retry = record_outcome(index, attempt, key, message,
                                    time.monotonic() - started)
             if retry is not None:
-                pending.insert(0, retry)
+                pending.push(retry, front=True)
     else:
         context = multiprocessing.get_context(
             "fork" if "fork" in multiprocessing.get_all_start_methods()
@@ -255,7 +363,7 @@ def run_experiment(experiment, jobs=None, cache=None, timeout=None,
         running = []
         while pending or running:
             while pending and len(running) < jobs:
-                index, attempt, key = pending.pop(0)
+                index, attempt, key = pending.pop()
                 task = _spawn(context, experiment, index, attempt, timeout)
                 task.cache_key = key
                 running.append(task)
@@ -272,23 +380,32 @@ def run_experiment(experiment, jobs=None, cache=None, timeout=None,
             still_running = []
             for task in running:
                 if task.conn in ready:
-                    message = _collect(task)
+                    message = _recv(task)
+                    if message is not None and message[0] == "begin":
+                        # Startup handshake: the worker entered its run
+                        # function — not a completion, keep waiting.
+                        task.phase = "run"
+                        still_running.append(task)
+                        continue
+                    message = _reap(task, message)
                     retry = record_outcome(task.index, task.attempt,
                                            task.cache_key, message,
                                            now - task.started)
                     if retry is not None:
-                        pending.append(retry)
+                        pending.push(retry)
                 elif task.deadline is not None and now >= task.deadline:
                     task.process.terminate()
                     task.process.join()
                     task.conn.close()
                     message = ("timeout", None,
-                               f"run exceeded {timeout}s and was terminated")
+                               f"run exceeded {timeout}s (in {task.phase} "
+                               f"phase) and was terminated")
                     retry = record_outcome(task.index, task.attempt,
                                            task.cache_key, message,
-                                           now - task.started)
+                                           now - task.started,
+                                           phase=task.phase)
                     if retry is not None:
-                        pending.append(retry)
+                        pending.push(retry)
                 else:
                     still_running.append(task)
             running = still_running

@@ -46,11 +46,18 @@ from dataclasses import asdict, dataclass, fields
 from .common.rng import DeterministicRng
 from .common.stats import Counter
 
-__all__ = ["FaultPlan", "FaultInjector", "coerce_plan"]
+__all__ = ["FaultPlan", "FaultInjector", "SCHEDULING_FIELDS", "coerce_plan"]
 
 #: Rate fields, all probabilities in [0, 1].
 _RATE_FIELDS = ("net_delay_rate", "mem_slow_rate", "mem_fail_rate",
-                "pe_stall_rate", "pe_crash_rate")
+                "pe_stall_rate", "pe_crash_rate", "worker_crash_rate")
+
+#: Plan fields that act on the *experiment infrastructure* (the
+#: `repro serve` worker pool) rather than on a simulated machine.  They
+#: can never change a run's value — only its scheduling — so the sweep
+#: service strips them from cache keys and from the plan it exports to
+#: machine construction.
+SCHEDULING_FIELDS = ("worker_crash_rate",)
 
 
 @dataclass
@@ -78,6 +85,11 @@ class FaultPlan:
     pe_stall_cycles: float = 0.0
     #: Per-instruction probability of a PE crash (drop + re-fire).
     pe_crash_rate: float = 0.0
+    #: Per-attempt probability that a `repro serve` *worker process*
+    #: crashes before running its assigned cell (scheduling-level chaos
+    #: for liveness tests; never touches a simulated machine).  Attempts
+    #: past ``max_retries`` never crash, so progress is guaranteed.
+    worker_crash_rate: float = 0.0
     #: Recovery policy: base backoff (cycles) before a failed operation
     #: is retried, and the draw budget after which a given request's
     #: transient fault clears (liveness guarantee).

@@ -58,6 +58,23 @@ KINDS = (
     "sweep_task",  # one grid point finished (fields: index, status,
                    # attempts, cached, wall)
     "sweep_end",   # sweep finished (fields: ok, failed, cached, wall)
+    # Sweep service (repro.serve; source = "serve", time = wall seconds
+    # since the scheduler started)
+    "serve_request",      # a sweep request was accepted (fields: sweep,
+                          # experiment, cells)
+    "serve_store_hit",    # a cell was answered from the durable store
+                          # (fields: sweep, index)
+    "serve_assign",       # a cell was handed to a worker (fields: sweep,
+                          # index, worker, attempt, backup)
+    "serve_backup",       # a straggler cell was re-issued to an idle
+                          # worker (fields: sweep, index, worker)
+    "serve_requeue",      # an in-flight cell went back on the queue
+                          # (fields: sweep, index, attempt, reason)
+    "serve_worker_spawn", # a pool worker process started (fields: worker)
+    "serve_worker_exit",  # a pool worker died or was terminated
+                          # (fields: worker, reason)
+    "serve_sweep_done",   # every cell of a sweep completed (fields:
+                          # sweep, ok, failed, cached, executed, wall)
 )
 
 

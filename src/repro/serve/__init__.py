@@ -1,0 +1,34 @@
+"""Simulation-as-a-service: a sweep scheduler with a durable store.
+
+``repro serve`` turns the batch experiment engine into a long-running
+service — the paper's latency-tolerance argument applied to our own
+pipeline.  A persistent worker pool (:mod:`~repro.serve.scheduler`)
+executes sweep cells with straggler backup tasks and worker-failure
+recovery; a content-addressed SQLite store (:mod:`~repro.serve.store`)
+answers repeat sweeps without simulating; a stdlib asyncio HTTP front
+end (:mod:`~repro.serve.server`) and client (:mod:`~repro.serve.client`)
+carry the JSON protocol (:mod:`~repro.serve.protocol`).
+
+See ``docs/SERVICE.md`` for the API reference and deployment notes.
+"""
+
+from .client import ServeClient, ServeError, remote_suite
+from .protocol import DEFAULT_PORT, ProtocolError, SweepRequest
+from .scheduler import SweepScheduler
+from .server import ServerThread, run_server
+from .store import SqliteStore, default_store_path, open_store
+
+__all__ = [
+    "DEFAULT_PORT",
+    "ProtocolError",
+    "ServeClient",
+    "ServeError",
+    "ServerThread",
+    "SqliteStore",
+    "SweepRequest",
+    "SweepScheduler",
+    "default_store_path",
+    "open_store",
+    "remote_suite",
+    "run_server",
+]

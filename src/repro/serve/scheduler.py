@@ -1,0 +1,701 @@
+"""The sweep scheduler: a persistent worker pool in the MapReduce
+master/worker shape.
+
+The paper's scalability argument — tolerate latency, keep many
+outstanding operations in flight, recover from stragglers — applied to
+our own experiment pipeline.  A single :class:`SweepScheduler` owns a
+pool of long-lived worker processes and any number of concurrently
+running sweeps; cells flow through the same
+:class:`~repro.exp.engine.TaskQueue` the batch engine uses, and finished
+values land in a durable content-addressed store
+(:mod:`repro.serve.store`) so repeat sweeps never simulate.
+
+Failure handling (Dean & Ghemawat's three classics):
+
+* **Worker death** — a worker whose pipe hits EOF (crash, OOM kill,
+  ``worker_crash_rate`` chaos) has its in-flight cell re-queued with the
+  retry/backoff machinery (growing delay, bounded attempts) and the pool
+  respawns a replacement lazily.
+* **Timeout** — a worker past its per-attempt deadline (which covers
+  dispatch + module import + run, with a ``begin`` handshake splitting
+  startup from run) is terminated and the cell retried; the final
+  failure row records ``timeout_phase``.
+* **Backup tasks** — when a sweep's unfinished-cell count drops to the
+  straggler threshold and workers sit idle, the scheduler re-issues the
+  longest-running cells to them, bounded at ``backup_fraction`` of the
+  grid.  The first completion wins; this is safe *because results are
+  deterministic* — both copies compute byte-identical values, so
+  first-wins cannot change the table, only the wall clock.
+
+Threading: one background scheduler thread owns all worker pipes and
+the store; HTTP/CLI threads call :meth:`submit` / :meth:`status` /
+:meth:`events_after` / :meth:`wait`, which only touch state under the
+scheduler lock and wake the thread through a self-pipe.
+"""
+
+import itertools
+import math
+import multiprocessing
+import os
+import threading
+import time
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _wait_connections
+from typing import Any, Optional
+
+from ..exp.cache import config_key
+from ..exp.engine import (DEFAULT_RETRIES, RunRecord, TaskQueue,
+                          experiment_code_version, records_payload)
+from .protocol import (SweepRequest, key_config, machine_plan,
+                       resolve_experiment, scheduling_plan)
+
+__all__ = ["SweepScheduler", "SweepState"]
+
+#: Base requeue delay (seconds); attempt ``n`` waits ``BACKOFF * 2**n``.
+RETRY_BACKOFF = 0.05
+#: Upper bound on any single requeue delay.
+RETRY_BACKOFF_CAP = 2.0
+
+
+@dataclass
+class _Assignment:
+    """One cell attempt running on one worker."""
+
+    sweep_id: str
+    index: int
+    attempt: int
+    key: Optional[str]
+    backup: bool
+    started: float
+    deadline: Optional[float]
+    phase: str = "startup"
+
+
+@dataclass
+class _Worker:
+    """One persistent pool worker process."""
+
+    wid: int
+    process: Any
+    conn: Any
+    busy: Optional[_Assignment] = None
+    spawned: float = 0.0
+    completed: int = 0
+
+
+class SweepState:
+    """Everything the scheduler tracks for one submitted sweep."""
+
+    def __init__(self, sweep_id, request, experiment, code_version,
+                 plan, chaos, retries, timeout):
+        self.id = sweep_id
+        self.request = request
+        self.experiment = experiment
+        self.code_version = code_version
+        self.plan = plan          # machine-level fault plan (or None)
+        self.chaos = chaos        # scheduling-level chaos (or None)
+        self.retries = retries
+        self.timeout = timeout
+        self.state = "queued"     # queued | running | done | aborted
+        self.created = time.monotonic()
+        self.created_wall = time.time()
+        self.wall_seconds = None
+        self.records = {}         # index -> RunRecord (completed cells)
+        self.queue = TaskQueue()  # (index, attempt, key) awaiting a worker
+        self.live = {}            # index -> live assignment count
+        self.backups_issued = 0
+        self.events = []          # [{seq, t, kind, detail, ...}]
+        self.done = threading.Event()
+        self.stats = {
+            "store_hits": 0, "executed": 0, "requeued": 0,
+            "timeouts": 0, "worker_deaths": 0, "backups": 0,
+            "backup_wins": 0, "duplicates_ignored": 0,
+        }
+
+    @property
+    def cells(self):
+        return len(self.experiment.grid)
+
+    @property
+    def remaining(self):
+        return self.cells - len(self.records)
+
+    def snapshot(self, include_records=True):
+        """A JSON-able status view (called under the scheduler lock)."""
+        ordered = sorted(self.records.values(), key=lambda r: r.index)
+        out = {
+            "id": self.id,
+            "experiment": self.experiment.name,
+            "label": self.request.label,
+            "state": self.state,
+            "cells": self.cells,
+            "completed": len(self.records),
+            "ok": sum(1 for r in ordered if r.ok),
+            "failed": sum(1 for r in ordered if not r.ok),
+            "cached": sum(1 for r in ordered if r.cached),
+            "stats": dict(self.stats),
+            "created": self.created_wall,
+            "wall_seconds": (self.wall_seconds if self.wall_seconds
+                             is not None
+                             else round(time.monotonic() - self.created, 3)),
+            "events": len(self.events),
+        }
+        if include_records:
+            out["records"] = records_payload(ordered)
+        return out
+
+
+class SweepScheduler:
+    """Master of the persistent worker pool; see the module docstring."""
+
+    def __init__(self, store=None, workers=None, timeout=None,
+                 retries=DEFAULT_RETRIES, backup_fraction=0.2,
+                 backup_threshold=None, bus=None, bench_dir=None):
+        self.store = store
+        self.size = max(1, workers if workers is not None
+                        else (os.cpu_count() or 2))
+        self.timeout = timeout
+        self.retries = retries
+        self.backup_fraction = backup_fraction
+        #: Backups start once a sweep's unfinished cells fit in the pool.
+        self.backup_threshold = (backup_threshold if backup_threshold
+                                 is not None else self.size)
+        self.bus = bus
+        self.bench_dir = bench_dir
+        self._lock = threading.RLock()
+        self._sweeps = {}
+        self._order = []
+        self._workers = {}
+        self._tasks = {}           # task_id -> (_Worker, _Assignment)
+        self._next_sweep = itertools.count(1)
+        self._next_wid = itertools.count(1)
+        self._next_task = itertools.count(1)
+        self._intake = []
+        self._closing = False
+        self._clock0 = time.monotonic()
+        self._context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn")
+        self._wake_r, self._wake_w = multiprocessing.Pipe(duplex=False)
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="serve-scheduler")
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self):
+        if not self._started:
+            self._started = True
+            self._thread.start()
+        return self
+
+    def close(self, timeout=10.0):
+        """Stop the scheduler thread and the worker pool.  Unfinished
+        sweeps are marked ``aborted`` and their waiters released."""
+        with self._lock:
+            self._closing = True
+        self._wake()
+        if self._started:
+            self._thread.join(timeout)
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def _wake(self):
+        try:
+            self._wake_w.send_bytes(b"w")
+        except (OSError, ValueError):
+            pass
+
+    # -- the public (cross-thread) surface -----------------------------
+    def submit(self, payload):
+        """Accept a sweep request (a dict or :class:`SweepRequest`);
+        returns the sweep id.  Raises
+        :class:`~repro.serve.protocol.ProtocolError` on a bad request —
+        resolution happens here, in the caller's thread, so a bad
+        experiment name fails fast with a clean error."""
+        request = (payload if isinstance(payload, SweepRequest)
+                   else SweepRequest.from_dict(payload))
+        if request.bench_dir is None and self.bench_dir is not None:
+            request.bench_dir = self.bench_dir
+        plan = machine_plan(request.faults)
+        chaos = scheduling_plan(request.faults)
+        experiment = resolve_experiment(request.spec(), grid=request.grid,
+                                        plan=plan)
+        code_version = experiment_code_version(experiment)
+        retries = request.retries
+        if retries is None:
+            # A crash-chaos sweep must outlast its crash budget
+            # (attempts at or past max_retries never crash): liveness.
+            retries = max(self.retries,
+                          chaos["max_retries"] if chaos else 0)
+        timeout = (request.timeout if request.timeout is not None
+                   else self.timeout)
+        with self._lock:
+            sweep_id = f"sw{next(self._next_sweep):04d}"
+            sweep = SweepState(sweep_id, request, experiment, code_version,
+                               plan, chaos, retries, timeout)
+            self._sweeps[sweep_id] = sweep
+            self._order.append(sweep_id)
+            self._intake.append(sweep_id)
+            self._event(sweep, "serve_request", experiment.name,
+                        experiment=experiment.name, cells=sweep.cells)
+        self._wake()
+        return sweep_id
+
+    def get(self, sweep_id):
+        with self._lock:
+            return self._sweeps.get(sweep_id)
+
+    def status(self, sweep_id, include_records=True):
+        """A JSON-able snapshot of one sweep, or ``None``."""
+        with self._lock:
+            sweep = self._sweeps.get(sweep_id)
+            return (None if sweep is None
+                    else sweep.snapshot(include_records))
+
+    def list_sweeps(self):
+        with self._lock:
+            return [self._sweeps[sid].snapshot(include_records=False)
+                    for sid in self._order]
+
+    def events_after(self, sweep_id, since=0):
+        """Events with ``seq >= since`` (a snapshot), plus sweep state."""
+        with self._lock:
+            sweep = self._sweeps.get(sweep_id)
+            if sweep is None:
+                return None, None
+            return list(sweep.events[since:]), sweep.state
+
+    def wait(self, sweep_id, timeout=None):
+        """Block until a sweep completes; returns True if it did."""
+        with self._lock:
+            sweep = self._sweeps.get(sweep_id)
+        if sweep is None:
+            raise KeyError(sweep_id)
+        return sweep.done.wait(timeout)
+
+    def table_text(self, sweep_id):
+        """The assembled result table for a finished, fully-ok sweep
+        (``None`` while running / failed / assembler-less)."""
+        with self._lock:
+            sweep = self._sweeps.get(sweep_id)
+            if sweep is None or sweep.state != "done":
+                return None
+            ordered = sorted(sweep.records.values(), key=lambda r: r.index)
+            if any(not r.ok for r in ordered):
+                return None
+            if sweep.experiment.assemble is None:
+                return None
+            values = [r.value for r in ordered]
+        return str(sweep.experiment.table(values))
+
+    def pool_stats(self):
+        with self._lock:
+            return {
+                "size": self.size,
+                "alive": len(self._workers),
+                "busy": sum(1 for w in self._workers.values() if w.busy),
+                "sweeps": len(self._sweeps),
+                "active": sum(1 for s in self._sweeps.values()
+                              if s.state in ("queued", "running")),
+            }
+
+    # -- events --------------------------------------------------------
+    def _event(self, sweep, kind, detail="", **fields):
+        record = {"seq": len(sweep.events),
+                  "t": round(time.monotonic() - sweep.created, 6),
+                  "kind": kind, "detail": detail}
+        record.update(fields)
+        sweep.events.append(record)
+        if self.bus is not None:
+            self.bus.emit(round(time.monotonic() - self._clock0, 6),
+                          "serve", kind, detail, sweep=sweep.id, **fields)
+
+    def _pool_event(self, kind, detail="", **fields):
+        if self.bus is not None:
+            self.bus.emit(round(time.monotonic() - self._clock0, 6),
+                          "serve", kind, detail, **fields)
+
+    # -- scheduler-thread internals (all called under the lock) --------
+    def _intake_pass(self, now):
+        """Answer freshly submitted sweeps from the store; queue the rest."""
+        while self._intake:
+            sweep = self._sweeps[self._intake.pop(0)]
+            use_store = (self.store is not None
+                         and not sweep.request.no_store)
+            self._event(sweep, "sweep_begin", sweep.experiment.name,
+                        configs=sweep.cells, jobs=self.size)
+            sweep.state = "running"
+            for index, config in enumerate(sweep.experiment.grid):
+                key = None
+                if use_store or self.store is not None:
+                    key = config_key(sweep.experiment.name,
+                                     key_config(config, sweep.plan),
+                                     sweep.code_version)
+                if use_store:
+                    found, value = self.store.get(sweep.experiment.name,
+                                                  key)
+                    if found:
+                        sweep.stats["store_hits"] += 1
+                        self._event(sweep, "serve_store_hit",
+                                    f"{sweep.experiment.name}[{index}]",
+                                    index=index)
+                        self._finish_cell(sweep, RunRecord(
+                            index=index, config=config, status="ok",
+                            value=value, cached=True, cache_key=key))
+                        continue
+                sweep.queue.push((index, 0, key))
+            self._check_done(sweep)
+
+    def _spawn_worker(self):
+        wid = next(self._next_wid)
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        from .protocol import pool_worker_main
+
+        process = self._context.Process(
+            target=pool_worker_main, args=(child_conn, wid),
+            name=f"serve-worker-{wid}", daemon=True)
+        process.start()
+        child_conn.close()
+        worker = _Worker(wid=wid, process=process, conn=parent_conn,
+                         spawned=time.monotonic())
+        self._workers[wid] = worker
+        self._pool_event("serve_worker_spawn", f"worker {wid}", worker=wid)
+        return worker
+
+    def _idle_worker(self):
+        for worker in self._workers.values():
+            if worker.busy is None:
+                return worker
+        if len(self._workers) < self.size:
+            return self._spawn_worker()
+        return None
+
+    def _dispatch(self, worker, sweep, index, attempt, key, backup, now):
+        task_id = next(self._next_task)
+        timeout = sweep.timeout
+        assignment = _Assignment(
+            sweep_id=sweep.id, index=index, attempt=attempt, key=key,
+            backup=backup, started=now,
+            deadline=(now + timeout) if timeout else None)
+        message = ("task", {
+            "task_id": task_id,
+            "index": index,
+            "attempt": attempt,
+            "spec": sweep.request.spec(),
+            "config": sweep.experiment.grid[index],
+            "plan": sweep.plan,
+            "chaos": sweep.chaos,
+        })
+        try:
+            worker.conn.send(message)
+        except (OSError, ValueError, BrokenPipeError):
+            # The worker died between completions; reap it and requeue.
+            self._worker_died(worker, "send failed")
+            sweep.queue.push((index, attempt, key), front=True)
+            return False
+        worker.busy = assignment
+        self._tasks[task_id] = (worker, assignment)
+        sweep.live[index] = sweep.live.get(index, 0) + 1
+        kind = "serve_backup" if backup else "serve_assign"
+        self._event(sweep, kind,
+                    f"{sweep.experiment.name}[{index}] -> worker "
+                    f"{worker.wid}",
+                    index=index, worker=worker.wid, attempt=attempt,
+                    backup=backup)
+        if backup:
+            sweep.backups_issued += 1
+            sweep.stats["backups"] += 1
+        return True
+
+    def _assign_pass(self, now):
+        for sid in self._order:
+            sweep = self._sweeps[sid]
+            if sweep.state != "running":
+                continue
+            while True:
+                item = sweep.queue.pop(now)
+                if item is None:
+                    break
+                index, attempt, key = item
+                if index in sweep.records:
+                    continue  # a backup copy won while this waited
+                worker = self._idle_worker()
+                if worker is None:
+                    sweep.queue.push(item, front=True)
+                    return
+                self._dispatch(worker, sweep, index, attempt, key,
+                               backup=False, now=now)
+        self._backup_pass(now)
+
+    def _backup_pass(self, now):
+        """Re-issue straggler cells to idle workers (first-wins)."""
+        if self.backup_fraction <= 0.0:
+            return
+        for sid in self._order:
+            sweep = self._sweeps[sid]
+            if (sweep.state != "running" or not sweep.request.backup
+                    or sweep.queue or sweep.remaining == 0
+                    or sweep.remaining > self.backup_threshold):
+                continue
+            budget = (max(1, math.ceil(self.backup_fraction * sweep.cells))
+                      - sweep.backups_issued)
+            if budget <= 0:
+                continue
+            # The slowest cells: single-copy in-flight work, oldest first.
+            candidates = sorted(
+                (assignment.started, assignment.index, assignment.attempt,
+                 assignment.key)
+                for _w, assignment in self._tasks.values()
+                if assignment.sweep_id == sid
+                and not assignment.backup
+                and assignment.index not in sweep.records
+                and sweep.live.get(assignment.index, 0) == 1)
+            for started, index, attempt, key in candidates:
+                if budget <= 0:
+                    break
+                worker = self._idle_worker()
+                if worker is None:
+                    return
+                if self._dispatch(worker, sweep, index, attempt, key,
+                                  backup=True, now=now):
+                    budget -= 1
+
+    def _finish_cell(self, sweep, record):
+        sweep.records[record.index] = record
+        fields = dict(index=record.index, status=record.status,
+                      attempts=record.attempts, cached=record.cached,
+                      wall=round(record.wall_seconds, 4))
+        if record.error:
+            fields["error"] = record.error.strip().splitlines()[-1][:200]
+        self._event(sweep, "sweep_task",
+                    f"{sweep.experiment.name}[{record.index}] "
+                    f"{record.status}", **fields)
+        self._check_done(sweep)
+
+    def _check_done(self, sweep):
+        if sweep.state == "running" and sweep.remaining == 0:
+            sweep.state = "done"
+            sweep.wall_seconds = round(time.monotonic() - sweep.created, 4)
+            ordered = sorted(sweep.records.values(), key=lambda r: r.index)
+            summary = dict(
+                ok=sum(1 for r in ordered if r.ok),
+                failed=sum(1 for r in ordered if not r.ok),
+                cached=sum(1 for r in ordered if r.cached),
+                wall=sweep.wall_seconds)
+            self._event(sweep, "sweep_end", sweep.experiment.name,
+                        **summary)
+            self._event(sweep, "serve_sweep_done", sweep.experiment.name,
+                        executed=sweep.stats["executed"], **summary)
+            sweep.done.set()
+
+    def _attempt_over(self, assignment, status, value, error, now,
+                      phase=None):
+        """One attempt finished (ok, error, timeout, or worker death)."""
+        sweep = self._sweeps.get(assignment.sweep_id)
+        if sweep is None:
+            return
+        index = assignment.index
+        sweep.live[index] = max(0, sweep.live.get(index, 0) - 1)
+        if index in sweep.records:
+            # A sibling copy already won this cell; results are
+            # byte-identical by determinism, so drop this one.
+            sweep.stats["duplicates_ignored"] += 1
+            return
+        if status == "ok":
+            if assignment.key is not None and self.store is not None:
+                self.store.put(sweep.experiment.name, assignment.key,
+                               key_config(sweep.experiment.grid[index],
+                                          sweep.plan),
+                               sweep.code_version, value)
+            sweep.stats["executed"] += 1
+            if assignment.backup:
+                sweep.stats["backup_wins"] += 1
+            self._finish_cell(sweep, RunRecord(
+                index=index, config=sweep.experiment.grid[index],
+                status="ok", value=value, attempts=assignment.attempt + 1,
+                wall_seconds=now - assignment.started,
+                cache_key=assignment.key))
+            return
+        # Failure path.  If a sibling copy is still running, let it race
+        # on — it may well succeed; this copy's failure costs nothing.
+        if sweep.live.get(index, 0) > 0:
+            self._event(sweep, "serve_requeue",
+                        f"{sweep.experiment.name}[{index}] copy failed; "
+                        "sibling still running",
+                        index=index, attempt=assignment.attempt,
+                        reason="sibling_live")
+            return
+        if assignment.attempt < sweep.retries:
+            delay = min(RETRY_BACKOFF_CAP,
+                        RETRY_BACKOFF * (2 ** assignment.attempt))
+            sweep.queue.push((index, assignment.attempt + 1,
+                              assignment.key), not_before=now + delay)
+            sweep.stats["requeued"] += 1
+            self._event(sweep, "serve_requeue",
+                        f"{sweep.experiment.name}[{index}] attempt "
+                        f"{assignment.attempt} {status}",
+                        index=index, attempt=assignment.attempt + 1,
+                        reason=status)
+            return
+        self._finish_cell(sweep, RunRecord(
+            index=index, config=sweep.experiment.grid[index],
+            status=status, error=error, attempts=assignment.attempt + 1,
+            wall_seconds=now - assignment.started,
+            cache_key=assignment.key,
+            timeout_phase=phase if status == "timeout" else None))
+
+    def _drop_task(self, worker):
+        """Detach the worker's current task; returns the assignment."""
+        assignment = worker.busy
+        worker.busy = None
+        for task_id, (w, a) in list(self._tasks.items()):
+            if w is worker and a is assignment:
+                del self._tasks[task_id]
+        return assignment
+
+    def _worker_died(self, worker, reason):
+        now = time.monotonic()
+        self._workers.pop(worker.wid, None)
+        assignment = self._drop_task(worker)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        worker.process.join(timeout=1.0)
+        code = worker.process.exitcode
+        self._pool_event("serve_worker_exit",
+                         f"worker {worker.wid}: {reason}",
+                         worker=worker.wid, reason=reason)
+        if assignment is not None:
+            sweep = self._sweeps.get(assignment.sweep_id)
+            if sweep is not None:
+                sweep.stats["worker_deaths"] += 1
+            self._attempt_over(
+                assignment, "error", None,
+                f"worker process died (exit code {code}) while running "
+                f"cell {assignment.index}", now)
+
+    def _check_deadlines(self, now):
+        for worker in list(self._workers.values()):
+            assignment = worker.busy
+            if (assignment is None or assignment.deadline is None
+                    or now < assignment.deadline):
+                continue
+            sweep = self._sweeps.get(assignment.sweep_id)
+            timeout = sweep.timeout if sweep else None
+            self._workers.pop(worker.wid, None)
+            self._drop_task(worker)
+            worker.process.terminate()
+            worker.process.join(timeout=1.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            if sweep is not None:
+                sweep.stats["timeouts"] += 1
+            self._pool_event("serve_worker_exit",
+                             f"worker {worker.wid}: timeout",
+                             worker=worker.wid, reason="timeout")
+            self._attempt_over(
+                assignment, "timeout", None,
+                f"cell exceeded {timeout}s (in {assignment.phase} phase) "
+                "and its worker was terminated", now,
+                phase=assignment.phase)
+
+    def _handle_message(self, worker, message, now):
+        kind = message[0]
+        if kind == "begin":
+            if worker.busy is not None:
+                worker.busy.phase = "run"
+            return
+        if kind == "done":
+            _kind, task_id, status, value, error = message
+            entry = self._tasks.pop(task_id, None)
+            worker.busy = None
+            worker.completed += 1
+            if entry is None:
+                return  # task was cancelled (timeout path) — stale reply
+            _worker, assignment = entry
+            self._attempt_over(assignment, status, value, error, now)
+
+    def _wait_timeout(self, now):
+        """How long the wait may block: next deadline or queued delay."""
+        horizon = None
+        for worker in self._workers.values():
+            if worker.busy is not None and worker.busy.deadline is not None:
+                remaining = worker.busy.deadline - now
+                horizon = (remaining if horizon is None
+                           else min(horizon, remaining))
+        for sid in self._order:
+            sweep = self._sweeps[sid]
+            if sweep.state != "running":
+                continue
+            delay = sweep.queue.next_ready(now)
+            if delay is not None:
+                horizon = delay if horizon is None else min(horizon, delay)
+        if horizon is None:
+            return None
+        return max(0.0, horizon)
+
+    def _run(self):
+        while True:
+            with self._lock:
+                if self._closing:
+                    self._shutdown()
+                    return
+                now = time.monotonic()
+                self._intake_pass(now)
+                self._check_deadlines(now)
+                self._assign_pass(now)
+                conns = [w.conn for w in self._workers.values()]
+                conns.append(self._wake_r)
+                timeout = self._wait_timeout(now)
+            ready = _wait_connections(conns, timeout=timeout)
+            with self._lock:
+                now = time.monotonic()
+                if self._wake_r in ready:
+                    while self._wake_r.poll():
+                        try:
+                            self._wake_r.recv_bytes()
+                        except (EOFError, OSError):
+                            break
+                for worker in list(self._workers.values()):
+                    if worker.conn not in ready:
+                        continue
+                    while True:
+                        try:
+                            if not worker.conn.poll():
+                                break
+                            message = worker.conn.recv()
+                        except (EOFError, OSError):
+                            self._worker_died(worker, "pipe closed")
+                            break
+                        self._handle_message(worker, message, now)
+
+    def _shutdown(self):
+        for worker in list(self._workers.values()):
+            try:
+                worker.conn.send(("stop",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        deadline = time.monotonic() + 2.0
+        for worker in self._workers.values():
+            worker.process.join(timeout=max(0.0,
+                                            deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        self._workers.clear()
+        self._tasks.clear()
+        for sweep in self._sweeps.values():
+            if sweep.state in ("queued", "running"):
+                sweep.state = "aborted"
+                sweep.done.set()

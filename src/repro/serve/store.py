@@ -1,0 +1,214 @@
+"""The durable content-addressed result store behind ``repro serve``.
+
+A *store* maps ``(experiment, key)`` — where ``key`` is the existing
+:func:`repro.exp.cache.config_key` content hash of (experiment, config,
+code-version) — to a finished run value.  Two backends implement one
+interface:
+
+* :class:`SqliteStore` — a single SQLite file with persistent hit
+  counters and timestamps; the service backend.  One writer at a time
+  (WAL mode), safe across threads behind an internal lock.  Designed to
+  hold millions of cached experiment cells: lookups are a primary-key
+  probe, and maintenance (``stats`` / ``prune`` / ``clear``) runs as SQL
+  aggregates, never a directory walk.
+* :class:`~repro.exp.cache.ResultCache` (re-exported as ``DirStore``) —
+  the legacy one-JSON-file-per-entry layout at ``benchmarks/.expcache``.
+
+Both satisfy the duck type :func:`repro.exp.engine.run_experiment`
+accepts as ``cache=``, so the batch engine and the sweep service answer
+repeat queries from the same entries.  :func:`open_store` picks the
+backend from a path (an existing legacy directory stays a ``DirStore``;
+anything else becomes SQLite), and :func:`default_store_path` resolves
+``$REPRO_STORE`` falling back to ``~/.cache/repro``.
+
+Byte-compatibility: values round-trip through the same canonical JSON
+(``sort_keys`` + ``default=repr``) the directory cache uses, so a sweep
+served from either backend assembles a byte-identical table.
+"""
+
+import json
+import os
+import sqlite3
+import threading
+import time
+
+from ..exp.cache import ResultCache as DirStore
+
+__all__ = ["DirStore", "SqliteStore", "default_store_path", "open_store"]
+
+#: Name of the SQLite file created inside a store *directory*.
+STORE_FILENAME = "store.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    experiment   TEXT NOT NULL,
+    key          TEXT NOT NULL,
+    config       TEXT NOT NULL,
+    code_version TEXT,
+    value        TEXT NOT NULL,
+    created      REAL NOT NULL,
+    hits         INTEGER NOT NULL DEFAULT 0,
+    last_hit     REAL,
+    PRIMARY KEY (experiment, key)
+);
+"""
+
+
+def default_store_path():
+    """The store location: ``$REPRO_STORE`` or ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_STORE")
+    if env:
+        return os.path.abspath(env)
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+def _looks_like_dir_cache(path):
+    """True when ``path`` is an existing legacy ``.expcache`` layout:
+    per-experiment subdirectories holding ``<key>.json`` entries."""
+    if not os.path.isdir(path):
+        return False
+    if os.path.isfile(os.path.join(path, STORE_FILENAME)):
+        return False
+    for name in os.listdir(path):
+        child = os.path.join(path, name)
+        if os.path.isdir(child):
+            if any(f.endswith(".json") for f in os.listdir(child)):
+                return True
+    return False
+
+
+def open_store(path=None):
+    """Open the store at ``path`` (default :func:`default_store_path`).
+
+    An existing legacy directory cache opens as a :class:`DirStore`;
+    a ``*.sqlite``/``*.db`` path, or any other directory, opens as a
+    :class:`SqliteStore` (``<dir>/store.sqlite`` for directories).
+    """
+    path = os.path.abspath(path or default_store_path())
+    if path.endswith((".sqlite", ".db")) or os.path.isfile(path):
+        return SqliteStore(path)
+    if _looks_like_dir_cache(path):
+        return DirStore(path)
+    return SqliteStore(os.path.join(path, STORE_FILENAME))
+
+
+class SqliteStore:
+    """SQLite-backed content-addressed result store."""
+
+    def __init__(self, path):
+        self.path = os.path.abspath(path)
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._db = sqlite3.connect(self.path, check_same_thread=False)
+        with self._lock:
+            self._db.execute("PRAGMA journal_mode=WAL")
+            self._db.execute(_SCHEMA)
+            self._db.commit()
+
+    # -- the engine cache interface ------------------------------------
+    def get(self, experiment_name, key):
+        """(found, value) with persistent hit accounting."""
+        with self._lock:
+            row = self._db.execute(
+                "SELECT value FROM results WHERE experiment=? AND key=?",
+                (experiment_name, key)).fetchone()
+            if row is None:
+                self.misses += 1
+                return False, None
+            self._db.execute(
+                "UPDATE results SET hits=hits+1, last_hit=? "
+                "WHERE experiment=? AND key=?",
+                (time.time(), experiment_name, key))
+            self._db.commit()
+        self.hits += 1
+        return True, json.loads(row[0])
+
+    def put(self, experiment_name, key, config, code_version, value):
+        """Persist one successful run value (idempotent upsert)."""
+        blob = json.dumps(value, sort_keys=True, default=repr)
+        config_blob = json.dumps(config, sort_keys=True, default=repr)
+        with self._lock:
+            self._db.execute(
+                "INSERT INTO results (experiment, key, config, "
+                "code_version, value, created) VALUES (?, ?, ?, ?, ?, ?) "
+                "ON CONFLICT(experiment, key) DO UPDATE SET value=?",
+                (experiment_name, key, config_blob, code_version, blob,
+                 time.time(), blob))
+            self._db.commit()
+
+    # -- maintenance (the `repro cache` surface) -----------------------
+    def stats(self):
+        """Aggregate store statistics, including persistent hit counts."""
+        with self._lock:
+            total, total_bytes, total_hits, oldest = self._db.execute(
+                "SELECT COUNT(*), COALESCE(SUM(LENGTH(value)), 0), "
+                "COALESCE(SUM(hits), 0), MIN(created) FROM results"
+            ).fetchone()
+            per_experiment = {
+                name: {"entries": entries, "bytes": size, "hits": hits}
+                for name, entries, size, hits in self._db.execute(
+                    "SELECT experiment, COUNT(*), SUM(LENGTH(value)), "
+                    "SUM(hits) FROM results GROUP BY experiment "
+                    "ORDER BY experiment")
+            }
+        return {
+            "backend": "sqlite",
+            "root": self.path,
+            "entries": total,
+            "bytes": total_bytes,
+            "hits": total_hits,
+            "experiments": per_experiment,
+            "oldest_age_seconds": (None if oldest is None
+                                   else round(time.time() - oldest, 1)),
+            "session": {"hits": self.hits, "misses": self.misses},
+        }
+
+    def prune(self, older_than_seconds):
+        """Delete entries created before the cutoff; returns rows removed."""
+        cutoff = time.time() - older_than_seconds
+        with self._lock:
+            cursor = self._db.execute(
+                "DELETE FROM results WHERE created < ?", (cutoff,))
+            self._db.commit()
+        return cursor.rowcount
+
+    def clear(self):
+        """Delete every entry; returns rows removed."""
+        with self._lock:
+            cursor = self._db.execute("DELETE FROM results")
+            self._db.commit()
+        return cursor.rowcount
+
+    def ingest_dir(self, root):
+        """Import a legacy directory cache (``benchmarks/.expcache``
+        layout) into this store; returns entries imported.  Existing
+        keys are left untouched (the directory entry is not newer)."""
+        imported = 0
+        for experiment, key, path, _mtime, _size in DirStore(root).entries():
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    entry = json.load(fh)
+            except (OSError, ValueError):
+                continue
+            with self._lock:
+                cursor = self._db.execute(
+                    "INSERT OR IGNORE INTO results (experiment, key, "
+                    "config, code_version, value, created) "
+                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    (experiment, key,
+                     json.dumps(entry.get("config"), sort_keys=True,
+                                default=repr),
+                     entry.get("code_version"),
+                     json.dumps(entry.get("value"), sort_keys=True,
+                                default=repr),
+                     time.time()))
+            imported += cursor.rowcount
+        with self._lock:
+            self._db.commit()
+        return imported
+
+    def close(self):
+        with self._lock:
+            self._db.close()

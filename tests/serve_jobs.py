@@ -1,0 +1,39 @@
+"""Run functions for the sweep-service tests.
+
+These live in their own module (not the test file) so pool workers can
+resolve them by name: a sweep request carries ``"serve_jobs:square"``
+and the worker imports this module — exactly how a real client names an
+inline callable.
+"""
+
+import os
+import time
+
+
+def square(config):
+    return {"x": config["x"], "y": config["x"] * config["x"]}
+
+
+def fail_on_three(config):
+    if config["x"] == 3:
+        raise ValueError("three is right out")
+    return {"x": config["x"]}
+
+
+def sleep_forever(config):
+    time.sleep(config.get("sleep", 60.0))
+    return "done"
+
+
+def slow_first_copy(config):
+    """Sleep only on the first execution of each cell (a sentinel file
+    marks later copies): the original copy straggles, a backup copy
+    returns instantly.  The value never depends on which copy ran."""
+    sentinel = os.path.join(config["dir"], f"cell{config['x']}.seen")
+    try:
+        fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        os.close(fd)
+        time.sleep(config.get("delay", 1.0))
+    except FileExistsError:
+        pass
+    return {"x": config["x"], "y": config["x"] * config["x"]}

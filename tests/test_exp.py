@@ -233,3 +233,78 @@ class TestParseCell:
         assert rebuilt.rows == table.rows
         assert rebuilt.columns == table.columns
         assert rebuilt.notes == table.notes
+
+
+class TestTaskQueue:
+    def test_fifo_and_front(self):
+        from repro.exp import TaskQueue
+
+        queue = TaskQueue()
+        queue.push("a")
+        queue.push("b")
+        queue.push("urgent", front=True)
+        assert [queue.pop(), queue.pop(), queue.pop()] == ["urgent", "a", "b"]
+        assert queue.pop() is None
+        assert not queue
+
+    def test_delayed_items_mature(self):
+        from repro.exp import TaskQueue
+
+        queue = TaskQueue()
+        queue.push("later", not_before=100.0)
+        queue.push("now")
+        assert len(queue) == 2
+        assert queue.pop(now=50.0) == "now"
+        assert queue.pop(now=50.0) is None      # not mature yet
+        assert queue.next_ready(50.0) == 50.0   # how long to sleep
+        assert queue.pop(now=100.0) == "later"
+        assert queue.next_ready(100.0) is None
+
+    def test_bool_counts_delayed(self):
+        from repro.exp import TaskQueue
+
+        queue = TaskQueue()
+        queue.push("x", not_before=10.0)
+        assert queue and len(queue) == 1
+
+
+class TestTimeoutPhase:
+    def test_timeout_row_carries_phase(self):
+        experiment = Experiment(name="slow", run=slow_run,
+                                grid=[{"sleep": 30.0}])
+        (record,) = run_experiment(experiment, jobs=1, timeout=0.5)
+        assert record.status == "timeout"
+        assert record.timeout_phase in ("startup", "run")
+        assert record.payload()["timeout_phase"] == record.timeout_phase
+
+    def test_ok_rows_omit_phase_key(self):
+        experiment = Experiment(name="sq", run=square, grid=grid(x=[2]))
+        (record,) = run_experiment(experiment, jobs=1)
+        assert record.timeout_phase is None
+        assert "timeout_phase" not in record.payload()
+
+
+class TestCacheDirResolution:
+    def test_explicit_beats_env_beats_bench_dir(self, monkeypatch, tmp_path):
+        from repro.exp import resolve_cache_dir
+
+        monkeypatch.setenv("REPRO_EXP_CACHE", str(tmp_path / "env"))
+        assert resolve_cache_dir(str(tmp_path / "arg")) == \
+            str(tmp_path / "arg")
+        assert resolve_cache_dir(None) == str(tmp_path / "env")
+        monkeypatch.delenv("REPRO_EXP_CACHE")
+        assert resolve_cache_dir(None, str(tmp_path)) == \
+            str(tmp_path / ".expcache")
+        with pytest.raises(ValueError, match="cache"):
+            resolve_cache_dir(None, None)
+
+    def test_env_var_redirects_engine_cache(self, monkeypatch, tmp_path):
+        from repro.exp import resolve_cache_dir
+
+        monkeypatch.setenv("REPRO_EXP_CACHE", str(tmp_path / "redirect"))
+        cache = ResultCache(resolve_cache_dir(None))
+        experiment = Experiment(name="sq", run=square, grid=grid(x=[5]))
+        first = run_experiment(experiment, jobs=0, cache=cache)
+        second = run_experiment(experiment, jobs=0, cache=cache)
+        assert not first[0].cached and second[0].cached
+        assert (tmp_path / "redirect").is_dir()

@@ -1,0 +1,405 @@
+"""The sweep service: store, scheduler, HTTP server, client, cache CLI."""
+
+import io
+import json
+
+import pytest
+
+from repro.serve import (
+    ProtocolError,
+    ServeClient,
+    ServeError,
+    ServerThread,
+    SqliteStore,
+    SweepRequest,
+    SweepScheduler,
+    open_store,
+)
+from repro.serve.protocol import key_config, machine_plan, scheduling_plan
+from repro.serve.store import default_store_path
+
+WAIT = 120.0  # generous per-sweep ceiling; sweeps finish in seconds
+
+
+# ---------------------------------------------------------------------------
+# the durable store
+# ---------------------------------------------------------------------------
+
+class TestStore:
+    def test_round_trip_and_hit_counters(self, tmp_path):
+        store = SqliteStore(str(tmp_path / "s.sqlite"))
+        found, _ = store.get("e1", "k1")
+        assert not found
+        store.put("e1", "k1", {"x": 1}, "v0", {"y": 2})
+        found, value = store.get("e1", "k1")
+        assert found and value == {"y": 2}
+        stats = store.stats()
+        assert stats["entries"] == 1
+        assert stats["session"]["hits"] == 1
+        assert stats["session"]["misses"] == 1
+        store.close()
+
+    def test_put_is_idempotent_upsert(self, tmp_path):
+        store = SqliteStore(str(tmp_path / "s.sqlite"))
+        store.put("e1", "k1", {}, "v0", 1)
+        store.put("e1", "k1", {}, "v0", 2)
+        assert store.get("e1", "k1") == (True, 2)
+        assert store.stats()["entries"] == 1
+        store.close()
+
+    def test_prune_and_clear(self, tmp_path):
+        store = SqliteStore(str(tmp_path / "s.sqlite"))
+        for i in range(4):
+            store.put("e1", f"k{i}", {}, "v0", i)
+        assert store.prune(older_than_seconds=3600.0) == 0
+        assert store.prune(older_than_seconds=-1.0) == 4
+        store.put("e1", "k9", {}, "v0", 9)
+        assert store.clear() == 1
+        assert store.stats()["entries"] == 0
+        store.close()
+
+    def test_open_store_dispatch(self, tmp_path):
+        # A .sqlite path (even a fresh one) opens a SqliteStore.
+        explicit = open_store(str(tmp_path / "a.sqlite"))
+        assert isinstance(explicit, SqliteStore)
+        explicit.close()
+        # A plain directory gets a store.sqlite inside it.
+        inside = open_store(str(tmp_path / "fresh"))
+        assert isinstance(inside, SqliteStore)
+        assert inside.path.endswith("store.sqlite")
+        inside.close()
+        # A legacy .expcache layout (subdirs of .json files) opens as
+        # the directory cache.
+        legacy = tmp_path / "expcache" / "e1"
+        legacy.mkdir(parents=True)
+        (legacy / "abc.json").write_text('{"value": 1}')
+        dir_store = open_store(str(tmp_path / "expcache"))
+        assert not isinstance(dir_store, SqliteStore)
+
+    def test_default_store_path_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env.sqlite"))
+        assert default_store_path() == str(tmp_path / "env.sqlite")
+        monkeypatch.delenv("REPRO_STORE")
+        assert ".cache" in default_store_path()
+
+    def test_ingest_legacy_dir_cache(self, tmp_path):
+        from repro.exp import ResultCache
+
+        legacy = ResultCache(str(tmp_path / "expcache"))
+        legacy.put("e1", "deadbeef", {"x": 1}, "v0", {"y": 7})
+        store = SqliteStore(str(tmp_path / "s.sqlite"))
+        assert store.ingest_dir(str(tmp_path / "expcache")) == 1
+        assert store.get("e1", "deadbeef") == (True, {"y": 7})
+        # Re-ingesting never clobbers or duplicates.
+        assert store.ingest_dir(str(tmp_path / "expcache")) == 0
+        store.close()
+
+
+# ---------------------------------------------------------------------------
+# request validation + fault-plan splitting
+# ---------------------------------------------------------------------------
+
+class TestProtocol:
+    def test_request_needs_experiment_or_callable(self):
+        with pytest.raises(ProtocolError, match="experiment"):
+            SweepRequest.from_dict({})
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown"):
+            SweepRequest.from_dict({"experiment": "e07", "bogus": 1})
+
+    def test_callable_needs_grid(self):
+        with pytest.raises(ProtocolError, match="grid"):
+            SweepRequest.from_dict({"callable": "serve_jobs:square"})
+
+    def test_bad_fault_plan_rejected(self):
+        with pytest.raises(ProtocolError, match="fault plan"):
+            SweepRequest.from_dict({"experiment": "e07",
+                                    "faults": {"no_such_knob": 1.0}})
+
+    def test_worker_crash_rate_is_scheduling_only(self):
+        faults = {"worker_crash_rate": 0.5, "seed": 3,
+                  "mem_slow_rate": 0.01}
+        machine = machine_plan(faults)
+        chaos = scheduling_plan(faults)
+        assert "worker_crash_rate" not in machine
+        assert machine["mem_slow_rate"] == 0.01
+        assert chaos["worker_crash_rate"] == 0.5
+        # Pure chaos (no machine-level fields) leaves the cache key
+        # untouched: a chaos run shares store entries with a clean run.
+        assert machine_plan({"worker_crash_rate": 0.5}) is None
+        assert key_config({"x": 1}, None) == {"x": 1}
+        assert key_config({"x": 1}, machine) == {
+            "__faults__": machine, "config": {"x": 1}}
+
+
+# ---------------------------------------------------------------------------
+# the scheduler: stragglers, crashes, store hits
+# ---------------------------------------------------------------------------
+
+def _request(grid, **extra):
+    payload = {"callable": "serve_jobs:square", "grid": grid}
+    payload.update(extra)
+    return payload
+
+
+class TestScheduler:
+    def test_sweep_executes_and_repeat_hits_store(self, tmp_path):
+        grid = [{"x": i} for i in range(5)]
+        with SweepScheduler(store=open_store(str(tmp_path)),
+                            workers=2) as sched:
+            first = sched.submit(_request(grid))
+            assert sched.wait(first, timeout=WAIT)
+            second = sched.submit(_request(grid))
+            assert sched.wait(second, timeout=WAIT)
+            s1 = sched.status(first)
+            s2 = sched.status(second)
+        assert s1["stats"]["executed"] == 5
+        assert s2["stats"]["executed"] == 0          # zero new tasks
+        assert s2["stats"]["store_hits"] == 5
+        assert ([r["value"] for r in s1["records"]]
+                == [r["value"] for r in s2["records"]]
+                == [{"x": i, "y": i * i} for i in range(5)])
+
+    def test_backup_first_wins_is_byte_identical(self, tmp_path):
+        # One cell's original copy straggles (sentinel-file trick); the
+        # backup copy returns instantly and must win without changing
+        # a byte of the records.
+        def run(backup, subdir):
+            work = tmp_path / subdir
+            work.mkdir()
+            grid = [{"x": 0, "dir": str(work), "delay": 3.0},
+                    {"x": 1, "dir": str(work), "delay": 0.0},
+                    {"x": 2, "dir": str(work), "delay": 0.0},
+                    {"x": 3, "dir": str(work), "delay": 0.0}]
+            with SweepScheduler(store=None, workers=2,
+                                backup_fraction=0.5) as sched:
+                sid = sched.submit(
+                    {"callable": "serve_jobs:slow_first_copy",
+                     "grid": grid, "backup": backup})
+                assert sched.wait(sid, timeout=WAIT)
+                return sched.status(sid)
+
+        backed = run(True, "a")
+        assert backed["stats"]["backups"] >= 1
+        # First completion won: the straggling copy (3s) never held up
+        # the sweep, whichever copy drew the short straw.
+        assert backed["wall_seconds"] < 3.0
+        plain = run(False, "b")
+        assert plain["stats"]["backups"] == 0
+        assert plain["wall_seconds"] >= 3.0  # rode the straggler out
+
+        def canonical(status):
+            rows = []
+            for row in status["records"]:
+                row = dict(row)
+                row["config"] = {k: v for k, v in row["config"].items()
+                                 if k not in ("dir",)}
+                rows.append(row)
+            return json.dumps(rows, sort_keys=True)
+
+        assert canonical(backed) == canonical(plain)
+
+    def test_crashed_workers_recovered(self, tmp_path):
+        grid = [{"x": i} for i in range(8)]
+        chaos = {"worker_crash_rate": 0.5, "seed": 7, "max_retries": 4}
+        with SweepScheduler(store=open_store(str(tmp_path)),
+                            workers=2) as sched:
+            sid = sched.submit(_request(grid, faults=chaos))
+            assert sched.wait(sid, timeout=WAIT)
+            status = sched.status(sid)
+        assert status["state"] == "done"
+        assert status["failed"] == 0
+        assert status["stats"]["worker_deaths"] >= 1
+        assert ([r["value"] for r in status["records"]]
+                == [{"x": i, "y": i * i} for i in range(8)])
+
+    def test_crash_rows_identical_to_clean_run(self, tmp_path):
+        grid = [{"x": i} for i in range(6)]
+        chaos = {"worker_crash_rate": 0.6, "seed": 11, "max_retries": 4}
+        with SweepScheduler(store=None, workers=2) as sched:
+            sid_clean = sched.submit(_request(grid))
+            sched.wait(sid_clean, timeout=WAIT)
+            sid_chaos = sched.submit(_request(grid, faults=chaos))
+            sched.wait(sid_chaos, timeout=WAIT)
+            clean = sched.status(sid_clean)
+            chaotic = sched.status(sid_chaos)
+        assert chaotic["stats"]["worker_deaths"] >= 1
+        assert ([r["value"] for r in clean["records"]]
+                == [r["value"] for r in chaotic["records"]])
+        # attempts/wall differ under chaos; values cannot.
+
+    def test_cell_timeout_records_phase(self, tmp_path):
+        request = {"callable": "serve_jobs:sleep_forever",
+                   "grid": [{"sleep": 60.0}],
+                   "timeout": 1.0, "retries": 0}
+        with SweepScheduler(store=None, workers=1) as sched:
+            sid = sched.submit(request)
+            assert sched.wait(sid, timeout=WAIT)
+            status = sched.status(sid)
+        (row,) = status["records"]
+        assert row["status"] == "timeout"
+        assert row["timeout_phase"] == "run"
+
+    def test_failed_cells_surface_as_rows(self, tmp_path):
+        request = {"callable": "serve_jobs:fail_on_three",
+                   "grid": [{"x": 1}, {"x": 3}], "retries": 1}
+        with SweepScheduler(store=None, workers=2) as sched:
+            sid = sched.submit(request)
+            assert sched.wait(sid, timeout=WAIT)
+            status = sched.status(sid)
+            assert sched.table_text(sid) is None
+        ok, bad = status["records"]
+        assert ok["status"] == "ok"
+        assert bad["status"] == "error"
+        assert "three is right out" in bad["error"]
+        assert bad["attempts"] == 2
+
+    def test_bad_request_fails_fast(self):
+        with SweepScheduler(store=None, workers=1) as sched:
+            with pytest.raises(ProtocolError, match="unknown experiment"):
+                sched.submit({"experiment": "no_such_table"})
+
+
+# ---------------------------------------------------------------------------
+# the HTTP server + client (one server for the whole class)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    store = str(tmp_path_factory.mktemp("serve") / "store.sqlite")
+    with ServerThread(store_path=store, workers=2,
+                      err=io.StringIO()) as handle:
+        yield handle
+
+
+class TestHttp:
+    def test_healthz(self, server):
+        health = ServeClient(server.url).health()
+        assert health["ok"] is True
+        assert health["pool"]["size"] == 2
+
+    def test_unknown_routes_and_sweeps_404(self, server):
+        client = ServeClient(server.url)
+        with pytest.raises(ServeError) as err:
+            client.status("sw9999")
+        assert err.value.status == 404
+        with pytest.raises(ServeError) as err:
+            client._request("GET", "/no/such/route")
+        assert err.value.status == 404
+
+    def test_bad_request_is_400(self, server):
+        with pytest.raises(ServeError) as err:
+            ServeClient(server.url).submit({"bogus": 1})
+        assert err.value.status == 400
+        assert "unknown" in str(err.value)
+
+    def test_submit_wait_events_table(self, server):
+        client = ServeClient(server.url)
+        grid = [{"x": i} for i in range(4)]
+        submitted = client.submit(_request(grid))
+        assert submitted["id"].startswith("sw")
+        seen = []
+        status = client.wait(submitted["id"], timeout=WAIT,
+                             on_event=seen.append)
+        assert status["state"] == "done"
+        assert status["ok"] == 4
+        kinds = {event["kind"] for event in seen}
+        assert "sweep_begin" in kinds
+        assert "sweep_task" in kinds
+        assert "sweep_end" in kinds
+        # The event feed paginates: a fresh read from 0 returns
+        # everything, a read from the end returns nothing new.
+        chunk = client.events(submitted["id"], since=0, timeout=0.0)
+        assert chunk["next"] == len(chunk["events"]) > 0
+        done = client.events(submitted["id"], since=chunk["next"],
+                             timeout=0.0)
+        assert done["events"] == []
+        assert done["state"] == "done"
+        # No assembler on an inline callable sweep -> table is a 409.
+        with pytest.raises(ServeError) as err:
+            client.table(submitted["id"])
+        assert err.value.status == 409
+
+    def test_repeat_submit_all_store_hits(self, server):
+        client = ServeClient(server.url)
+        grid = [{"x": 100 + i} for i in range(3)]
+        first = client.run(_request(grid), timeout=WAIT)
+        again = client.run(_request(grid), timeout=WAIT)
+        assert first["stats"]["executed"] == 3
+        assert again["stats"]["executed"] == 0
+        assert again["stats"]["store_hits"] == 3
+        assert ([r["value"] for r in first["records"]]
+                == [r["value"] for r in again["records"]])
+
+    def test_store_stats_route(self, server):
+        stats = ServeClient(server.url).store_stats()
+        assert stats["backend"] == "sqlite"
+        assert stats["entries"] >= 1
+
+    def test_sweep_listing(self, server):
+        sweeps = ServeClient(server.url).sweeps()
+        assert len(sweeps) >= 1
+        assert all("records" not in sweep for sweep in sweeps)
+
+
+# ---------------------------------------------------------------------------
+# the cache CLI
+# ---------------------------------------------------------------------------
+
+class TestCacheCli:
+    def _main(self, *argv):
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_stats_prune_clear(self, tmp_path):
+        store_path = str(tmp_path / "s.sqlite")
+        store = SqliteStore(store_path)
+        for i in range(3):
+            store.put("e07_trapezoid", f"k{i}", {"x": i}, "v0", i)
+        store.close()
+        code, text = self._main("cache", "stats", "--store", store_path)
+        assert code == 0
+        assert "3 entries" in text and "e07_trapezoid" in text
+        code, text = self._main("cache", "prune", "--older-than", "2w",
+                                "--store", store_path)
+        assert code == 0 and "pruned 0" in text
+        code, text = self._main("cache", "clear", "--store", store_path)
+        assert code == 0 and "cleared 3" in text
+
+    def test_stats_json_shape(self, tmp_path):
+        store_path = str(tmp_path / "s.sqlite")
+        SqliteStore(store_path).close()
+        code, text = self._main("cache", "stats", "--json",
+                                "--store", store_path)
+        assert code == 0
+        stats = json.loads(text)
+        assert stats["entries"] == 0 and stats["backend"] == "sqlite"
+
+    def test_ingest_subcommand(self, tmp_path):
+        from repro.exp import ResultCache
+
+        legacy = ResultCache(str(tmp_path / "expcache"))
+        legacy.put("e1", "cafe", {"x": 1}, "v0", 41)
+        store_path = str(tmp_path / "s.sqlite")
+        code, text = self._main("cache", "ingest",
+                                str(tmp_path / "expcache"),
+                                "--store", store_path)
+        assert code == 0 and "ingested 1" in text
+        store = SqliteStore(store_path)
+        assert store.get("e1", "cafe") == (True, 41)
+        store.close()
+
+    def test_duration_parsing(self):
+        from repro.cli import _parse_duration
+
+        assert _parse_duration("90") == 90.0
+        assert _parse_duration("30m") == 1800.0
+        assert _parse_duration("12h") == 12 * 3600.0
+        assert _parse_duration("7d") == 7 * 86400.0
+        assert _parse_duration("2w") == 14 * 86400.0
+        with pytest.raises(SystemExit):
+            _parse_duration("fortnight")
