@@ -20,11 +20,20 @@ same comparison the ``REPRO_SIM_KERNEL=legacy`` switch gives whole
 programs).  ``--experiments`` additionally times the wall-clock gated
 experiments (e10 scaling sweep, e19 crossover) in subprocesses.
 
+The ``psim`` section measures the sharded parallel kernel
+(:mod:`repro.common.psim`): cross-shard ring throughput per mode, and an
+e10-style TTDA matmul timed serial vs. ``shards=4``.  The recorded
+``host_cpus`` qualifies the speedup — on a single-CPU host (or any
+CPython with the GIL and ``mode=thread``) the conservative kernel pays
+its synchronization overhead without the parallel hardware to buy it
+back, so speedups below 1.0 are the *honest* expected result there.
+
 Usage::
 
     python benchmarks/bench_micro_kernel.py                # both kernels
     python benchmarks/bench_micro_kernel.py --legacy       # legacy only
     python benchmarks/bench_micro_kernel.py --experiments  # + e10/e19
+    python benchmarks/bench_micro_kernel.py --skip-psim    # old sections only
 """
 
 import argparse
@@ -37,6 +46,7 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.common.psim import ShardedSimulator  # noqa: E402
 from repro.common.simulator import CalendarSimulator, LegacySimulator  # noqa: E402
 
 REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
@@ -146,6 +156,115 @@ SCENARIOS = [
 ]
 
 
+# ----------------------------------------------------------------------
+# Parallel-kernel (psim) scenarios.
+# ----------------------------------------------------------------------
+
+def psim_ring(n_events, shards=4, mode=None, owners_per_shard=8,
+              lookahead=1.0):
+    """Cross-shard token ring: ``shards * owners_per_shard`` owners laid
+    round-robin over the shards, each running an independent chain that
+    hops to the next owner — so nearly every post crosses a shard
+    boundary at exactly the channel lookahead (the conservative kernel's
+    worst case: maximal synchronization per unit of work)."""
+    if mode is None:
+        sim = CalendarSimulator()       # serial baseline, same code path
+        shards = 1
+    else:
+        sim = ShardedSimulator(shards=shards, mode=mode)
+    n = shards * owners_per_shard
+    owners = [object() for _ in range(n)]
+    if mode is not None:
+        links = {}
+        for s in range(shards):
+            links[(s, (s + 1) % shards)] = lookahead
+            links[((s + 1) % shards, s)] = lookahead
+        if shards == 1:
+            links = {}
+        sim.configure_shards(
+            [(owner, i % shards) for i, owner in enumerate(owners)], links
+        )
+
+    def hop(i, budget):
+        budget[0] -= 1
+        if budget[0] > 0:
+            j = (i + 1) % n
+            sim.post_to(owners[j], lookahead, hop, j, budget)
+
+    per_chain = max(1, n_events // n)
+    for i in range(n):
+        sim.post_to(owners[i], 0, hop, i, [per_chain])
+    sim.run()
+    return sim.events_fired
+
+
+PSIM_MODES = (None, "sequenced", "window", "thread")
+
+#: The e10-style workload for the serial-vs-parallel machine timing:
+#: the same matmul the e10 scaling sweep runs, at its largest PE count.
+PSIM_E10_CONFIG = {"n_pes": 16}
+PSIM_E10_WORKLOAD = {"workload": "matmul", "args": [6]}
+PSIM_E10_SHARDS = 4
+
+
+def run_psim_bench(n_events, repeat):
+    """Ring throughput per mode + e10-style TTDA serial/parallel timing."""
+    from repro.machines import registry
+
+    ring = {}
+    for mode in PSIM_MODES:
+        label = mode or "serial"
+        best = 0.0
+        fired = 0
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            fired = psim_ring(n_events, mode=mode)
+            elapsed = time.perf_counter() - t0
+            best = max(best, fired / elapsed if elapsed > 0 else 0.0)
+        ring[f"{label}_events_per_sec"] = round(best)
+        ring["events_fired"] = fired
+
+    spec = {"machine": "ttda", "config": dict(PSIM_E10_CONFIG),
+            "workload": dict(PSIM_E10_WORKLOAD)}
+    timings = {}
+    for label, shards, mode in (("serial", None, None),
+                                ("sequenced", PSIM_E10_SHARDS, None),
+                                ("thread", PSIM_E10_SHARDS, "thread")):
+        if mode is None:
+            os.environ.pop("REPRO_PSIM_MODE", None)
+        else:
+            os.environ["REPRO_PSIM_MODE"] = mode
+        run_spec = dict(spec)
+        if shards:
+            run_spec["config"] = dict(spec["config"], shards=shards)
+        best = None
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            registry.run_spec(run_spec)
+            elapsed = time.perf_counter() - t0
+            best = elapsed if best is None else min(best, elapsed)
+        timings[f"{label}_wall_seconds"] = round(best, 3)
+    os.environ.pop("REPRO_PSIM_MODE", None)
+
+    serial = timings["serial_wall_seconds"]
+    return {
+        "host_cpus": os.cpu_count(),
+        "ring": dict(ring, shards=PSIM_E10_SHARDS),
+        "e10_ttda_matmul": dict(
+            timings,
+            config=dict(PSIM_E10_CONFIG),
+            workload=dict(PSIM_E10_WORKLOAD),
+            shards=PSIM_E10_SHARDS,
+            sequenced_speedup=round(
+                serial / timings["sequenced_wall_seconds"], 2
+            ) if timings["sequenced_wall_seconds"] else 0.0,
+            thread_speedup=round(
+                serial / timings["thread_wall_seconds"], 2
+            ) if timings["thread_wall_seconds"] else 0.0,
+        ),
+    }
+
+
 def _time_scenario(fn, sim_class, n_events, repeat):
     """Best-of-``repeat`` events/sec (best-of defeats scheduler noise)."""
     best = 0.0
@@ -203,6 +322,8 @@ def main(argv=None):
                         help="benchmark only the legacy heapq kernel")
     parser.add_argument("--experiments", action="store_true",
                         help="also time the gated experiments (e10, e19)")
+    parser.add_argument("--skip-psim", action="store_true",
+                        help="skip the parallel-kernel (psim) section")
     parser.add_argument("--out", default=DEFAULT_OUT,
                         help="output JSON path (default: repo BENCH_perf.json)")
     parser.add_argument("--no-write", action="store_true",
@@ -241,6 +362,20 @@ def main(argv=None):
         geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
         payload["kernel"]["geomean_speedup"] = round(geomean, 2)
         print(f"\ngeomean speedup: {geomean:.2f}x")
+
+    if not args.skip_psim and not args.legacy:
+        print("\nbenchmarking the sharded parallel kernel (psim)...")
+        psim = run_psim_bench(args.events, args.repeat)
+        payload["psim"] = psim
+        ring = psim["ring"]
+        for label in ("serial", "sequenced", "window", "thread"):
+            print(f"  ring {label:>9}: "
+                  f"{ring[f'{label}_events_per_sec']:>8} ev/s")
+        e10 = psim["e10_ttda_matmul"]
+        print(f"  e10 ttda matmul: serial {e10['serial_wall_seconds']:.3f}s, "
+              f"sequenced x{e10['sequenced_speedup']:.2f}, "
+              f"thread x{e10['thread_speedup']:.2f} "
+              f"(shards={e10['shards']}, host_cpus={psim['host_cpus']})")
 
     if args.experiments:
         print("\ntiming gated experiments (subprocess, cache off)...")

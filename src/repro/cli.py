@@ -176,6 +176,10 @@ def build_parser():
                        help="fault-plan JSON file; fault-aware sweeps "
                             "(e20) read it (and its optional 'levels' "
                             "list) while building their grids")
+    bench.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="run every simulation on the sharded parallel "
+                            "kernel with N shards (sets REPRO_SIM_SHARDS; "
+                            "tables stay byte-identical to serial runs)")
     bench.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="result-cache directory (default: "
                             "$REPRO_EXP_CACHE or <benchmarks>/.expcache)")
@@ -315,6 +319,12 @@ def build_parser():
     machine.add_argument("--faults", metavar="PLAN", default=None,
                          help="fault-plan JSON file passed to the model "
                               "as faults=...")
+    machine.add_argument("--shards", type=int, default=None, metavar="N",
+                         help="pass shards=N to the model (sharded "
+                              "parallel kernel)")
+    machine.add_argument("--topology", action="store_true",
+                         help="print the machine's partition graph "
+                              "(registry.describe) instead of running it")
     machine.add_argument("--json", action="store_true",
                          help="emit the SimResult as JSON")
     return parser
@@ -617,6 +627,15 @@ def _cmd_bench(options, out):
     from .exp.bench import run_suite
     from .obs import JsonlSink, TraceBus
 
+    if options.shards is not None:
+        import os
+
+        from .common.simulator import resolve_shards
+
+        # The env route (not per-spec config) keeps specs, cache keys,
+        # and config echoes byte-identical to serial runs — which is the
+        # whole point: the psim-smoke CI job diffs the tables.
+        os.environ["REPRO_SIM_SHARDS"] = str(resolve_shards(options.shards))
     bus = None
     sink = None
     if options.trace:
@@ -928,6 +947,14 @@ def _cmd_machine(options, out):
         from .faults import coerce_plan
 
         config["faults"] = coerce_plan(options.faults).as_dict()
+    if options.shards is not None:
+        from .common.simulator import resolve_shards
+
+        config["shards"] = resolve_shards(options.shards)
+    if options.topology:
+        print(json.dumps(registry.describe(options.name, **config),
+                         indent=2, sort_keys=True), file=out)
+        return 0
     model = registry.create(options.name, **config)
     result = model.run(**_parse_kv(options.workload, "--workload"))
     if options.json:

@@ -50,7 +50,7 @@ import time
 from .errors import SimulationError
 
 __all__ = ["Event", "Simulator", "CalendarSimulator", "LegacySimulator",
-           "KERNELS", "resolve_kernel"]
+           "KERNELS", "resolve_kernel", "resolve_shards"]
 
 #: Lazily-cancelled events tolerated before the queue is compacted.
 _COMPACT_MIN = 512
@@ -232,6 +232,14 @@ class CalendarSimulator:
                 f"cannot schedule at t={time} before current time t={self._now}"
             )
         self.post(time - self._now, fn, *args)
+
+    def post_to(self, owner, delay, fn, *args):
+        """Owner-routed :meth:`post`.  The serial kernel has one queue, so
+        the owner is irrelevant here; the sharded kernel
+        (:mod:`repro.common.psim`) routes the event to ``owner``'s shard.
+        Components use this for cross-unit communication so the same code
+        runs on every kernel."""
+        self.post(delay, fn, *args)
 
     def attach_bus(self, bus):
         """Publish kernel lifecycle events (run begin/end, quiescence) to
@@ -480,6 +488,10 @@ class LegacySimulator:
         """API-compatible alias for :meth:`schedule_at`."""
         self.schedule_at(time, fn, *args)
 
+    def post_to(self, owner, delay, fn, *args):
+        """Owner-routed :meth:`post` (owner ignored on a serial kernel)."""
+        self.schedule(delay, fn, *args)
+
     def attach_bus(self, bus):
         """Publish kernel lifecycle events to ``bus``."""
         self.bus = bus
@@ -565,28 +577,77 @@ class LegacySimulator:
 
 
 #: Kernel name -> class; the ``Simulator`` factory and the ``kernel=``
-#: kwarg both resolve through this table.
-KERNELS = {"calendar": CalendarSimulator, "legacy": LegacySimulator}
+#: kwarg both resolve through this table.  The ``parallel`` entry is a
+#: lazy placeholder — :mod:`repro.common.psim` imports this module, so
+#: the class is loaded on first resolution rather than at import time.
+KERNELS = {
+    "calendar": CalendarSimulator,
+    "legacy": LegacySimulator,
+    "parallel": None,
+}
 
 
-def resolve_kernel(kernel=None):
+def resolve_shards(shards=None):
+    """Validated shard count from ``shards`` or ``$REPRO_SIM_SHARDS``.
+
+    Returns 1 when nothing was requested.  Rejects non-integers (bools
+    included) and counts below 1 with :class:`SimulationError` instead of
+    letting a bad value crash deep inside a run.
+    """
+    if shards is None:
+        raw = os.environ.get("REPRO_SIM_SHARDS", "")
+        if not raw:
+            return 1
+        try:
+            shards = int(raw)
+        except ValueError:
+            raise SimulationError(
+                f"REPRO_SIM_SHARDS={raw!r} is not an integer"
+            ) from None
+    if isinstance(shards, bool) or not isinstance(shards, int):
+        raise SimulationError(
+            f"shards must be a positive integer, got {shards!r}"
+        )
+    if shards < 1:
+        raise SimulationError(
+            f"shards must be a positive integer, got {shards!r}"
+        )
+    return shards
+
+
+def resolve_kernel(kernel=None, shards=None):
     """The kernel class for ``kernel`` (or ``$REPRO_SIM_KERNEL``).
 
     Resolution happens per call — *not* at import time — so setting the
     environment variable after ``import repro`` works, as does passing
-    ``kernel="legacy"`` explicitly.
+    ``kernel="legacy"`` explicitly.  Asking for more than one shard
+    implies the parallel kernel when no kernel was named; naming a
+    *serial* kernel while asking for shards is a contradiction and
+    raises rather than silently running on one queue.
     """
-    name = kernel or os.environ.get("REPRO_SIM_KERNEL", "") or "calendar"
-    try:
-        return KERNELS[name.lower()]
-    except KeyError:
+    name = kernel or os.environ.get("REPRO_SIM_KERNEL", "") or ""
+    shards = resolve_shards(shards)
+    if not name:
+        name = "parallel" if shards > 1 else "calendar"
+    name = name.lower()
+    if name not in KERNELS:
         raise SimulationError(
             f"unknown simulator kernel {name!r} "
             f"(expected one of {sorted(KERNELS)})"
-        ) from None
+        )
+    if shards > 1 and name != "parallel":
+        raise SimulationError(
+            f"kernel {name!r} is serial and cannot honour shards={shards}; "
+            "use kernel='parallel' (or unset REPRO_SIM_KERNEL)"
+        )
+    cls = KERNELS[name]
+    if cls is None:  # lazy-load the parallel kernel
+        from .psim import ShardedSimulator
+        KERNELS["parallel"] = cls = ShardedSimulator
+    return cls
 
 
-def Simulator(kernel=None, **kwargs):  # noqa: N802 — class-like factory
+def Simulator(kernel=None, shards=None, **kwargs):  # noqa: N802 — class-like factory
     """Construct a simulator on the selected kernel.
 
     Historically ``Simulator`` was a module-level alias bound at import
@@ -594,5 +655,11 @@ def Simulator(kernel=None, **kwargs):  # noqa: N802 — class-like factory
     It is now a factory resolving the choice at construction; every
     call site (``Simulator()``) is source-compatible, and
     ``isinstance`` checks should name a concrete kernel class.
+
+    ``shards`` (or ``$REPRO_SIM_SHARDS``) above 1 selects the sharded
+    parallel kernel; serial kernels reject an explicit shard count.
     """
-    return resolve_kernel(kernel)(**kwargs)
+    cls = resolve_kernel(kernel, shards)
+    if getattr(cls, "__name__", "") == "ShardedSimulator":
+        kwargs.setdefault("shards", resolve_shards(shards))
+    return cls(**kwargs)

@@ -22,42 +22,32 @@ measurement the paper's critique of its machine rests on:
 * :mod:`ttda` — the tagged-token dataflow machine of §2, adapted to the
   same API.
 
-The pre-registry entry points (``build_cmmp``, ``run_hotspot``,
-``locality_sweep``, ``VLIWModel(...)``, ...) still work but emit
-``DeprecationWarning``; new code should go through the registry.
+Models that can run on the sharded parallel kernel expose ``topology()``
+(the partition graph; see :mod:`repro.common.topology`), and
+``registry.describe(name)`` reports it — along with the honest
+``max_shards: 1`` for the machines whose zero-slack couplings forbid
+partitioning.
+
+The pre-registry free functions (``build_cmmp``, ``run_hotspot``,
+``locality_sweep``, ...) went through one release of
+``DeprecationWarning`` shims and are now gone; importing one raises
+``AttributeError`` with the registry replacement spelled out.
 """
 
 from . import registry
 from .api import MachineModel, SimResult
-from .cmmp import CmmpModel, build_cmmp, crossbar_scaling_table, semaphore_cost
-from .cmstar import (
-    CmstarModel,
-    build_cmstar,
-    locality_kernel,
-    locality_sweep,
-)
-from .hep import (
-    HepModel,
-    build_hep,
-    producer_consumer_traffic,
-    saturation_table,
-)
+from .cmmp import CmmpModel
+from .cmstar import CmstarModel, locality_kernel
+from .hep import HepModel
 from .connection_machine import (
     CMConfig,
     CMResult,
     ConnectionMachine,
-    ConnectionMachineModel,
     IlliacIV,
-    IlliacIVModel,
 )
 from .ttda import TtdaModel
-from .ultracomputer import (
-    UltracomputerModel,
-    UltraResult,
-    hotspot_sweep,
-    run_hotspot,
-)
-from .vliw import StaticSchedule, VliwModel, VLIWModel, schedule_length
+from .ultracomputer import UltracomputerModel, UltraResult
+from .vliw import StaticSchedule, VliwModel, schedule_length
 
 __all__ = [
     "CMConfig",
@@ -65,29 +55,53 @@ __all__ = [
     "CmmpModel",
     "CmstarModel",
     "ConnectionMachine",
-    "ConnectionMachineModel",
     "HepModel",
     "IlliacIV",
-    "IlliacIVModel",
     "MachineModel",
     "SimResult",
     "StaticSchedule",
     "TtdaModel",
     "UltraResult",
     "UltracomputerModel",
-    "VLIWModel",
     "VliwModel",
-    "build_cmmp",
-    "build_cmstar",
-    "build_hep",
-    "crossbar_scaling_table",
-    "producer_consumer_traffic",
-    "registry",
-    "saturation_table",
-    "hotspot_sweep",
     "locality_kernel",
-    "locality_sweep",
-    "run_hotspot",
+    "registry",
     "schedule_length",
-    "semaphore_cost",
 ]
+
+#: Removed PR 2 deprecation shims -> the registry idiom that replaces
+#: them.  One release of ``__getattr__`` guidance before the names
+#: disappear entirely.
+_REMOVED = {
+    "build_cmmp": 'registry.create("cmmp", ...).build()',
+    "crossbar_scaling_table":
+        'registry.create("cmmp", n_procs=n).run("array_sum")',
+    "semaphore_cost": 'registry.create("cmmp", ...).run("semaphore")',
+    "build_cmstar": 'registry.create("cmstar", ...).build()',
+    "locality_sweep":
+        'registry.create("cmstar", ...).run(remote_fraction=f)',
+    "build_hep": 'registry.create("hep", ...).build()',
+    "saturation_table": 'registry.create("hep", contexts=c).run()',
+    "producer_consumer_traffic":
+        'registry.create("hep").run("producer_consumer")',
+    "run_hotspot": 'registry.create("ultracomputer", ...).hotspot(...)',
+    "hotspot_sweep": "repro.exp sweeps over registry models",
+    "ConnectionMachineModel":
+        'registry.create("connection_machine", ...)',
+    "IlliacIVModel":
+        'registry.create("connection_machine", ...)'
+        '.run(workload="illiac_shifts", ...)',
+    "VLIWModel": 'registry.create("vliw", ...)',
+}
+
+
+def __getattr__(name):
+    hint = _REMOVED.get(name)
+    if hint is not None:
+        raise AttributeError(
+            f"repro.machines.{name} was removed after its deprecation "
+            f"cycle; migrate to {hint}"
+        )
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -16,20 +16,29 @@ per-machine glue.  Now there is one contract:
 sweep engine in :mod:`repro.exp` can cache and ship results across
 process boundaries without machine-specific code.
 
-The original entry points survive as thin shims that emit
-``DeprecationWarning`` (see :func:`deprecated_call`) so external callers
-keep working while in-repo code migrates to the registry.
+Models may additionally implement the optional **topology hook**::
+
+    def topology(self) -> Optional[MachineTopology]: ...
+
+returning the machine's partition graph (:mod:`repro.common.topology`):
+the units simulation state decomposes into, the directed links between
+them, and each link's minimum message latency — the lookahead the
+sharded parallel kernel (:mod:`repro.common.psim`) synchronizes on.
+Machines without the hook (or returning None) simply run on one shard;
+``registry.describe`` reports either form uniformly.
+
+(The PR 2 ``DeprecationWarning`` shims that used to live here —
+``deprecated_call`` / ``suppress_deprecation`` — are gone along with
+the shimmed entry points; ``repro.machines.__getattr__`` now raises
+with a migration hint instead.)
 """
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Protocol, runtime_checkable
 
 __all__ = [
     "MachineModel",
     "SimResult",
-    "deprecated_call",
-    "suppress_deprecation",
 ]
 
 
@@ -118,26 +127,3 @@ class MachineModel(Protocol):
 
     def run(self, **workload) -> SimResult:
         ...
-
-
-def deprecated_call(old, new):
-    """Emit the standard shim warning: ``old`` is deprecated, use ``new``."""
-    warnings.warn(
-        f"{old} is deprecated; use {new} instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-class suppress_deprecation(warnings.catch_warnings):
-    """Silence DeprecationWarning inside a ``with`` block.
-
-    The registry models are implemented *on top of* some legacy entry
-    points during the migration; this keeps their internal use of a shim
-    from warning at the user, who called the new API.
-    """
-
-    def __enter__(self):
-        log = super().__enter__()
-        warnings.simplefilter("ignore", DeprecationWarning)
-        return log

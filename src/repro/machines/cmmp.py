@@ -14,18 +14,16 @@ C.mmp effectively was: "only one processor in the machine was ever fitted
 with [a cache] ... the reason is, quite simply, the cache coherence
 problem").
 
-:class:`CmmpModel` is the registry entry point; the historical free
-functions survive as deprecation shims.
+:class:`CmmpModel` is the registry entry point.
 """
 
 from ..network.crossbar import CrossbarNetwork
 from ..vonneumann.machine import VNMachine
 from ..vonneumann import programs
-from .api import SimResult, deprecated_call
+from .api import SimResult
 from .registry import register
 
-__all__ = ["CmmpModel", "build_cmmp", "crossbar_scaling_table",
-           "semaphore_cost"]
+__all__ = ["CmmpModel"]
 
 
 def _build_cmmp(n_procs=16, memory_time=3.0, switch_latency=1.0,
@@ -124,39 +122,3 @@ class CmmpModel:
                          workload=spec, metrics=metrics,
                          accounting=accounting.as_dict())
 
-
-# ---------------------------------------------------------------------------
-# deprecation shims
-# ---------------------------------------------------------------------------
-
-def build_cmmp(n_procs=16, memory_time=3.0, switch_latency=1.0,
-               port_service_time=1.0):
-    """Deprecated shim — use ``registry.create("cmmp", ...).build()``."""
-    deprecated_call("repro.machines.build_cmmp",
-                    'registry.create("cmmp", ...).build()')
-    return _build_cmmp(n_procs=n_procs, memory_time=memory_time,
-                       switch_latency=switch_latency,
-                       port_service_time=port_service_time)
-
-
-def crossbar_scaling_table(port_counts, workload_iterations=40):
-    """Deprecated shim — [(n, crosspoints, mean_latency, utilization)]."""
-    deprecated_call("repro.machines.crossbar_scaling_table",
-                    'registry.create("cmmp", n_procs=n).run("array_sum")')
-    rows = []
-    for n in port_counts:
-        metrics, _machine, _result = CmmpModel(
-            n_procs=n)._run_array_sum(workload_iterations)
-        rows.append((n, metrics["crosspoints"], metrics["mean_latency"],
-                     metrics["mean_utilization"]))
-    return rows
-
-
-def semaphore_cost(n_procs=4, increments=16, memory_time=3.0):
-    """Deprecated shim — (cycles_per_section, alu_cycles, ratio)."""
-    deprecated_call("repro.machines.semaphore_cost",
-                    'registry.create("cmmp", ...).run("semaphore")')
-    metrics, _machine, _result = CmmpModel(
-        n_procs=n_procs, memory_time=memory_time)._run_semaphore(increments)
-    return (metrics["cycles_per_section"], metrics["alu_cycles"],
-            metrics["ratio"])

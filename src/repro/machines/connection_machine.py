@@ -22,24 +22,20 @@ serialize, and everyone waits for the farthest transfer.
 
 :class:`ConnectionMachine` is the registry entry point
 (``registry.create("connection_machine", groups_log2=10)``); its
-``illiac_shifts`` workload covers the Illiac IV restriction.  The legacy
-:class:`ConnectionMachineModel` / :class:`IlliacIVModel` constructors
-still work but emit ``DeprecationWarning``.
+``illiac_shifts`` workload covers the Illiac IV restriction.
 """
 
 import random
 from dataclasses import dataclass
 
-from .api import SimResult, deprecated_call
+from .api import SimResult
 from .registry import register
 
 __all__ = [
     "CMConfig",
     "CMResult",
     "ConnectionMachine",
-    "ConnectionMachineModel",
     "IlliacIV",
-    "IlliacIVModel",
 ]
 
 
@@ -300,35 +296,3 @@ class ConnectionMachine:
                          workload=spec, metrics=metrics,
                          accounting=accounting.as_dict())
 
-
-# ---------------------------------------------------------------------------
-# deprecation shims
-# ---------------------------------------------------------------------------
-
-class ConnectionMachineModel(ConnectionMachine):
-    """Deprecated alias — use ``registry.create("connection_machine")``.
-
-    Keeps the historical signature (one optional :class:`CMConfig`)."""
-
-    def __init__(self, config=None):
-        deprecated_call("repro.machines.ConnectionMachineModel",
-                        'registry.create("connection_machine", ...)')
-        config = config if config is not None else CMConfig()
-        super().__init__(
-            groups_log2=config.groups_log2,
-            procs_per_group=config.procs_per_group,
-            word_bits=config.word_bits,
-            message_bits=config.message_bits,
-            bit_time=config.bit_time,
-        )
-
-
-class IlliacIVModel(IlliacIV):
-    """Deprecated alias — use ``registry.create("connection_machine")``
-    with the ``illiac_shifts`` workload (or :class:`IlliacIV`)."""
-
-    def __init__(self, rows=8, cols=8, shift_time=1.0):
-        deprecated_call("repro.machines.IlliacIVModel",
-                        'registry.create("connection_machine", ...)'
-                        '.run(workload="illiac_shifts", ...)')
-        super().__init__(rows=rows, cols=cols, shift_time=shift_time)

@@ -13,17 +13,15 @@ The paper's two observations about the HEP, both measurable here:
 :class:`HepModel` is the registry entry point.  Its ``compute_loop``
 workload reproduces the machine's characteristic curve (throughput rising
 with context count until the pipeline saturates); ``producer_consumer``
-measures the busy-wait traffic of full/empty synchronization.  The
-historical free functions survive as deprecation shims.
+measures the busy-wait traffic of full/empty synchronization.
 """
 
 from ..analysis.report import Table
 from ..vonneumann import VNMachine, programs
-from .api import SimResult, deprecated_call
+from .api import SimResult
 from .registry import register
 
-__all__ = ["HepModel", "build_hep", "saturation_table",
-           "producer_consumer_traffic"]
+__all__ = ["HepModel"]
 
 
 def _build_hep(contexts=8, latency=8.0, memory_time=1.0, retry_backoff=4.0,
@@ -141,41 +139,3 @@ class HepModel:
                          workload=spec, metrics=metrics,
                          accounting=accounting.as_dict())
 
-
-# ---------------------------------------------------------------------------
-# deprecation shims
-# ---------------------------------------------------------------------------
-
-def build_hep(contexts=8, latency=8.0, memory_time=1.0, retry_backoff=4.0,
-              source=None, regs_of=None):
-    """Deprecated shim — use ``registry.create("hep", ...).build()``."""
-    deprecated_call("repro.machines.build_hep",
-                    'registry.create("hep", ...).build()')
-    return _build_hep(contexts=contexts, latency=latency,
-                      memory_time=memory_time, retry_backoff=retry_backoff,
-                      source=source, regs_of=regs_of)
-
-
-def saturation_table(context_counts=(1, 2, 4, 8, 16, 32), latency=8.0):
-    """Deprecated shim — the HEP's defining utilization-vs-contexts curve."""
-    deprecated_call("repro.machines.saturation_table",
-                    'registry.create("hep", contexts=c).run()')
-    table = Table(
-        "HEP pipeline saturation (Smith 1978 / paper footnote 2)",
-        ["contexts", "pipeline utilization", "instructions/cycle"],
-        notes=[f"one-way memory latency {latency} cycles"],
-    )
-    for contexts in context_counts:
-        result = HepModel(contexts=contexts, latency=latency).run()
-        table.add_row(contexts, result.metric("utilization"),
-                      result.metric("ipc"))
-    return table
-
-
-def producer_consumer_traffic(n=16, producer_work=24, retry_backoff=4.0):
-    """Deprecated shim — (result, retries, memory_requests_per_element)."""
-    deprecated_call("repro.machines.producer_consumer_traffic",
-                    'registry.create("hep").run("producer_consumer")')
-    result, retries, per_element, _machine = _producer_consumer(
-        n, producer_work, retry_backoff)
-    return result, retries, per_element

@@ -12,9 +12,7 @@ that "the issue of processor latency has not been specifically addressed"
 (round-trip latency still grows with log n even when combining works).
 
 :class:`UltracomputerModel` is the registry entry point
-(``registry.create("ultracomputer", stages=5)``); the historical free
-functions :func:`run_hotspot` and :func:`hotspot_sweep` survive as
-deprecation shims.
+(``registry.create("ultracomputer", stages=5)``).
 """
 
 from dataclasses import dataclass
@@ -22,12 +20,12 @@ from typing import Any, Optional
 
 from ..common.queueing import FifoServer
 from ..common.simulator import Simulator
+from ..common.topology import MachineTopology, TopologyLink, TopologyUnit
 from ..network.omega import CombiningOmegaNetwork, FetchAddRequest
-from .api import SimResult, deprecated_call
+from .api import SimResult
 from .registry import register
 
-__all__ = ["UltraResult", "UltracomputerModel", "run_hotspot",
-           "hotspot_sweep"]
+__all__ = ["UltraResult", "UltracomputerModel"]
 
 
 @dataclass
@@ -56,7 +54,7 @@ class UltraResult:
 
 def _run_hotspot(stages, combining=True, requests_per_proc=1,
                  switch_time=1.0, memory_time=2.0, spacing=0.0,
-                 faults=None):
+                 faults=None, shards=None):
     """All 2**stages processors FETCH-AND-ADD address 0.
 
     ``spacing`` staggers injections (0 = the worst-case synchronous burst
@@ -66,7 +64,7 @@ def _run_hotspot(stages, combining=True, requests_per_proc=1,
 
     plan = coerce_plan(faults)
     injector = plan.injector() if plan is not None and plan.enabled else None
-    sim = Simulator()
+    sim = Simulator(shards=shards)
     net = CombiningOmegaNetwork(sim, stages, switch_time=switch_time,
                                 combining=combining)
     net.faults = injector
@@ -139,7 +137,7 @@ class UltracomputerModel:
     """Registry model: a 2**stages-port combining omega hot-spot machine."""
 
     def __init__(self, stages=4, combining=True, switch_time=1.0,
-                 memory_time=2.0, faults=None):
+                 memory_time=2.0, faults=None, shards=None):
         from ..faults import coerce_plan
 
         plan = coerce_plan(faults)
@@ -153,6 +151,38 @@ class UltracomputerModel:
         # and every existing baseline row stay byte-identical.
         if plan is not None:
             self.config["faults"] = plan.as_dict()
+        if shards is not None:
+            self.config["shards"] = shards
+
+    def topology(self):
+        """The combining network's partition graph.
+
+        Processor ports, switch stages, and memory ports hand requests to
+        each other through inline queue submissions — a request can reach
+        the hot memory port within the same instant it enters the last
+        switch rank — so every link's minimum latency (lookahead) is 0
+        and the machine contracts to a single shard.  The synchronous
+        omega network is one tightly-coupled unit; combining reduces hot
+        traffic but adds no slack the simulator could exploit.
+        """
+        n = 2 ** self.config["stages"]
+        units = [TopologyUnit(name=f"proc{i}", kind="proc")
+                 for i in range(n)]
+        units.append(TopologyUnit(name="omega", kind="network",
+                                  weight=float(n)))
+        units += [TopologyUnit(name=f"mem{i}", kind="memory")
+                  for i in range(n)]
+        links = []
+        for i in range(n):
+            links.append(TopologyLink(src=f"proc{i}", dst="omega",
+                                      lookahead=0.0))
+            links.append(TopologyLink(src="omega", dst=f"proc{i}",
+                                      lookahead=0.0))
+            links.append(TopologyLink(src="omega", dst=f"mem{i}",
+                                      lookahead=0.0))
+            links.append(TopologyLink(src=f"mem{i}", dst="omega",
+                                      lookahead=0.0))
+        return MachineTopology(units, links)
 
     def hotspot(self, requests_per_proc=1, spacing=0.0):
         """The raw :class:`UltraResult` of one hot-spot run."""
@@ -164,6 +194,7 @@ class UltracomputerModel:
             memory_time=self.config["memory_time"],
             spacing=spacing,
             faults=self.config.get("faults"),
+            shards=self.config.get("shards"),
         )
 
     def run(self, requests_per_proc=1, spacing=0.0):
@@ -189,22 +220,3 @@ class UltracomputerModel:
             },
             accounting=result.accounting,
         )
-
-
-def run_hotspot(stages, combining=True, requests_per_proc=1,
-                switch_time=1.0, memory_time=2.0, spacing=0.0):
-    """Deprecated shim — use ``registry.create("ultracomputer", ...)``."""
-    deprecated_call("repro.machines.run_hotspot",
-                    'registry.create("ultracomputer", ...).hotspot(...)')
-    return _run_hotspot(stages, combining=combining,
-                        requests_per_proc=requests_per_proc,
-                        switch_time=switch_time, memory_time=memory_time,
-                        spacing=spacing)
-
-
-def hotspot_sweep(stage_counts, combining=True, **kwargs):
-    """Deprecated shim — one hot-spot run per machine size."""
-    deprecated_call("repro.machines.hotspot_sweep",
-                    "repro.exp sweeps over registry models")
-    return [_run_hotspot(stages, combining=combining, **kwargs)
-            for stages in stage_counts]

@@ -14,17 +14,16 @@ the program's ideal parallelism profile (obtained from the dataflow
 reference interpreter — the compiler is granted an oracle).  Latency
 surprises then charge the full excess to the machine, lockstep-style.
 
-:class:`VliwModel` is the registry entry point; constructing the legacy
-:class:`VLIWModel` still works but emits ``DeprecationWarning``.
+:class:`VliwModel` is the registry entry point.
 """
 
 import math
 from dataclasses import dataclass
 
-from .api import SimResult, deprecated_call
+from .api import SimResult
 from .registry import register
 
-__all__ = ["VliwModel", "VLIWModel", "schedule_length", "StaticSchedule"]
+__all__ = ["VliwModel", "schedule_length", "StaticSchedule"]
 
 
 def schedule_length(parallelism_profile, issue_width):
@@ -186,12 +185,3 @@ class VliwModel:
             accounting=accounting.as_dict(),
         )
 
-
-class VLIWModel(VliwModel):
-    """Deprecated alias — use ``registry.create("vliw", ...)``."""
-
-    def __init__(self, issue_width=8, assumed_latency=1.0):
-        deprecated_call("repro.machines.VLIWModel",
-                        'registry.create("vliw", ...)')
-        super().__init__(issue_width=issue_width,
-                         assumed_latency=assumed_latency)

@@ -24,6 +24,7 @@ class Network:
         self.n_ports = n_ports
         self.name = name
         self._handlers = [None] * n_ports
+        self._owners = [None] * n_ports
         self.counters = Counter()
         self.latency = Histogram()
         self.hop_counts = Histogram()
@@ -51,10 +52,26 @@ class Network:
         return registry
 
     # ------------------------------------------------------------------
-    def attach(self, port, handler):
-        """Register ``handler(packet)`` to receive deliveries at ``port``."""
+    def attach(self, port, handler, owner=None):
+        """Register ``handler(packet)`` to receive deliveries at ``port``.
+
+        ``owner`` names the simulation object that owns the port for the
+        sharded kernel's routing (see :meth:`ShardedSimulator.post_to`);
+        delivery events then execute on the owner's shard.  Serial
+        kernels ignore it.
+        """
         self._check_port(port)
         self._handlers[port] = handler
+        self._owners[port] = owner
+
+    def _post_delivery(self, packet, delay):
+        """Schedule ``_deliver`` on the destination port's owner shard
+        (a plain local post when no owner was declared)."""
+        owner = self._owners[packet.dst]
+        if owner is None:
+            self.sim.post(delay, self._deliver, packet)
+        else:
+            self.sim.post_to(owner, delay, self._deliver, packet)
 
     def send(self, src, dst, payload, size=1, cause=None):
         """Inject a packet; returns the :class:`Packet` for tracing.

@@ -183,61 +183,32 @@ class TestIlliacIV:
         assert IlliacIV().shifts_needed([]) == 0
 
 
-class TestLegacyShims:
-    """The pre-registry entry points still work, under DeprecationWarning."""
+class TestRemovedShims:
+    """The PR 2 deprecation shims are gone; the one-release ``__getattr__``
+    stub names the registry replacement instead of a bare ImportError."""
 
-    def test_run_hotspot_warns_and_matches_model(self):
-        from repro.machines import run_hotspot
-        with pytest.warns(DeprecationWarning, match="registry"):
-            legacy = run_hotspot(4, combining=True)
-        fresh = registry.create("ultracomputer", stages=4,
-                                combining=True).hotspot()
-        assert legacy.final_value == fresh.final_value
-        assert legacy.memory_arrivals == fresh.memory_arrivals
+    @pytest.mark.parametrize("name", [
+        "build_cmmp", "crossbar_scaling_table", "semaphore_cost",
+        "build_cmstar", "locality_sweep", "build_hep", "saturation_table",
+        "producer_consumer_traffic", "run_hotspot", "hotspot_sweep",
+        "ConnectionMachineModel", "IlliacIVModel", "VLIWModel",
+    ])
+    def test_removed_names_raise_with_migration_hint(self, name):
+        import repro.machines as machines
+        with pytest.raises(AttributeError, match="removed"):
+            getattr(machines, name)
+        try:
+            getattr(machines, name)
+        except AttributeError as err:
+            message = str(err)
+        assert name in message
+        assert "registry" in message or "repro.exp" in message
 
-    def test_locality_sweep_warns_and_matches_model(self):
-        from repro.machines import locality_sweep
-        with pytest.warns(DeprecationWarning):
-            rows = locality_sweep([0.0, 0.5], n_clusters=2, cluster_size=2,
-                                  n_refs=30)
-        model = registry.create("cmstar", n_clusters=2, cluster_size=2)
-        for (fraction, util, predicted) in rows:
-            result = model.run(remote_fraction=fraction, n_refs=30)
-            assert util == result.metric("utilization")
-            assert predicted == result.metric("predicted_utilization")
+    def test_import_of_removed_name_fails(self):
+        with pytest.raises(ImportError):
+            from repro.machines import run_hotspot  # noqa: F401
 
-    def test_crossbar_and_semaphore_shims_warn(self):
-        from repro.machines import crossbar_scaling_table, semaphore_cost
-        with pytest.warns(DeprecationWarning):
-            rows = crossbar_scaling_table([2, 4], workload_iterations=10)
-        assert [row[1] for row in rows] == [4, 16]
-        with pytest.warns(DeprecationWarning):
-            cycles, alu, ratio = semaphore_cost(n_procs=4, increments=8)
-        assert ratio > 10
-
-    def test_legacy_classes_warn_and_delegate(self):
-        from repro.machines import (
-            CMConfig,
-            ConnectionMachineModel,
-            IlliacIVModel,
-            VLIWModel,
-        )
-        with pytest.warns(DeprecationWarning):
-            cm = ConnectionMachineModel(CMConfig(groups_log2=8))
-        assert cm.run_graph_workload(rounds=2).comm_fraction > 0
-        with pytest.warns(DeprecationWarning):
-            assert IlliacIVModel().shifts_needed([(0, 1)]) == 1
-        interp = Interpreter(build_sum_loop())
-        interp.run(12)
-        with pytest.warns(DeprecationWarning):
-            rows = VLIWModel().width_sweep(interp, [1, 4])
-        assert rows[0][1] > rows[1][1]
-
-    def test_build_shims_warn(self):
-        from repro.machines import build_cmmp, build_cmstar
-        with pytest.warns(DeprecationWarning):
-            machine = build_cmstar(n_clusters=2, cluster_size=2)
-        assert machine is not None
-        with pytest.warns(DeprecationWarning):
-            machine = build_cmmp(n_procs=2)
-        assert machine is not None
+    def test_unknown_attribute_still_plain(self):
+        import repro.machines as machines
+        with pytest.raises(AttributeError, match="no attribute"):
+            machines.definitely_not_a_thing
