@@ -195,7 +195,7 @@ def psim_ring(n_events, shards=4, mode=None, owners_per_shard=8,
     for i in range(n):
         sim.post_to(owners[i], 0, hop, i, [per_chain])
     sim.run()
-    return sim.events_fired
+    return sim
 
 
 PSIM_MODES = (None, "sequenced", "window", "thread")
@@ -212,17 +212,22 @@ def run_psim_bench(n_events, repeat):
     from repro.machines import registry
 
     ring = {}
+    kernel_stats = {}
     for mode in PSIM_MODES:
         label = mode or "serial"
         best = 0.0
         fired = 0
         for _ in range(repeat):
             t0 = time.perf_counter()
-            fired = psim_ring(n_events, mode=mode)
+            sim = psim_ring(n_events, mode=mode)
             elapsed = time.perf_counter() - t0
+            fired = sim.events_fired
             best = max(best, fired / elapsed if elapsed > 0 else 0.0)
         ring[f"{label}_events_per_sec"] = round(best)
         ring["events_fired"] = fired
+        # Conservative-parallel honesty counters (null messages, rounds,
+        # per-shard balance) for the last repetition of each mode.
+        kernel_stats[label] = sim.kernel_stats()
 
     spec = {"machine": "ttda", "config": dict(PSIM_E10_CONFIG),
             "workload": dict(PSIM_E10_WORKLOAD)}
@@ -249,6 +254,7 @@ def run_psim_bench(n_events, repeat):
     serial = timings["serial_wall_seconds"]
     return {
         "host_cpus": os.cpu_count(),
+        "kernel_stats": kernel_stats,
         "ring": dict(ring, shards=PSIM_E10_SHARDS),
         "e10_ttda_matmul": dict(
             timings,
@@ -352,6 +358,14 @@ def main(argv=None):
               f"{leg if leg else '-':>12}  "
               f"{f'{speed:.2f}x' if speed else '-':>8}")
     payload = {
+        "meta": {
+            "host_cpus": os.cpu_count() or 1,
+            "kernel": ("legacy" if args.legacy
+                       else os.environ.get("REPRO_SIM_KERNEL")
+                       or "calendar"),
+            "shards": PSIM_E10_SHARDS if not args.skip_psim else 1,
+            "python": sys.version.split()[0],
+        },
         "kernel": {
             "events_per_scenario": args.events,
             "repeat": args.repeat,

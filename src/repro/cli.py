@@ -18,6 +18,8 @@
     python -m repro serve --workers 4           # simulation-as-a-service
     python -m repro submit e07_trapezoid        # run a sweep on the server
     python -m repro sweeps                      # list the server's sweeps
+    python -m repro sweeps sw0001 --trace t.json  # sweep Chrome trace
+    python -m repro top                         # live /metrics dashboard
     python -m repro cache stats                 # inspect the result store
 
 The entry procedure defaults to the first ``def`` in the file; override
@@ -272,8 +274,28 @@ def build_parser():
                         help="dump the sweep's progress events")
     sweeps.add_argument("--table", action="store_true",
                         help="print the sweep's assembled table")
+    sweeps.add_argument("--trace", metavar="FILE", default=None,
+                        help="fetch the sweep's Chrome trace and write "
+                             "it to FILE (open in Perfetto)")
     sweeps.add_argument("--json", action="store_true",
                         help="machine-readable output")
+
+    top = sub.add_parser(
+        "top",
+        help="live worker/queue/sweep status of a repro serve "
+             "instance, polled from its /metrics endpoint",
+    )
+    top.add_argument("url", nargs="?", default=None, metavar="URL",
+                     help="server address (default: $REPRO_SERVE_URL "
+                          f"or 127.0.0.1:{SERVE_DEFAULT_PORT})")
+    top.add_argument("--interval", type=float, default=2.0,
+                     metavar="SECONDS",
+                     help="seconds between polls (default 2)")
+    top.add_argument("--iterations", type=int, default=None, metavar="N",
+                     help="stop after N polls (default: until Ctrl-C)")
+    top.add_argument("--json", action="store_true",
+                     help="emit one parsed metrics snapshot per poll "
+                          "as JSON lines instead of the dashboard")
 
     cache = sub.add_parser(
         "cache",
@@ -566,12 +588,20 @@ def _cmd_profile(options, out):
         "time_cycles": result.time,
         "instructions": result.instructions,
     }
+    kernel_stats = getattr(getattr(machine, "sim", None),
+                           "kernel_stats", None)
+    if kernel_stats is not None:
+        meta["kernel_stats"] = kernel_stats()
     report = build_profile(ring.events, accounting, meta=meta)
     if options.json:
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True,
                          default=repr), file=out)
     else:
         print(report.format(max_path_nodes=options.path_nodes), file=out)
+        if "kernel_stats" in meta:
+            print("event kernel:", file=out)
+            for key, stat in sorted(meta["kernel_stats"].items()):
+                print(f"  {key}: {stat}", file=out)
     if options.out:
         with open(options.out, "w", encoding="utf-8") as fh:
             json.dump(report.as_dict(), fh, indent=2, sort_keys=True,
@@ -854,6 +884,16 @@ def _cmd_sweeps(options, out):
         if options.table:
             print(client.table(options.id), end="", file=out)
             return 0
+        if options.trace:
+            payload = client.trace(options.id)
+            with open(options.trace, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True, default=repr)
+                fh.write("\n")
+            print(f"trace: {len(payload['traceEvents'])} event(s) -> "
+                  f"{options.trace}", file=out)
+            print("  view: load the file at https://ui.perfetto.dev or "
+                  "chrome://tracing", file=out)
+            return 0
         if options.events:
             chunk = client.events(options.id, since=0, timeout=0.0)
             for event in chunk["events"]:
@@ -879,6 +919,100 @@ def _cmd_sweeps(options, out):
         print(f"cannot reach {_serve_url(options)}: {exc} "
               "(is `repro serve` running?)", file=sys.stderr)
         return 1
+
+
+def _top_frame(client):
+    """One poll: (parsed-metrics dict, active-sweeps list)."""
+    from .obs.live import parse_prometheus
+
+    parsed = parse_prometheus(client.metrics())
+    sweeps = [s for s in client.sweeps()
+              if s.get("state") in ("queued", "running")]
+    return parsed, sweeps
+
+
+def _metric(parsed, name, default=0.0, **labels):
+    key = (f"repro_{name}",
+           tuple(sorted(labels.items())) if labels else ())
+    return parsed.get(key, default)
+
+
+def _sum_metric(parsed, name):
+    """Sum a family over all its label sets (e.g. a status label)."""
+    return sum(v for (n, _labels), v in parsed.items()
+               if n == f"repro_{name}")
+
+
+def _cmd_top(options, out):
+    """Poll ``/metrics`` and render a one-screen live dashboard."""
+    import time as _time
+
+    from .serve.client import ServeClient
+
+    client = ServeClient(_serve_url(options))
+    previous = None
+    iteration = 0
+    try:
+        while True:
+            try:
+                parsed, active = _top_frame(client)
+            except (ConnectionError, OSError) as exc:
+                print(f"cannot reach {_serve_url(options)}: {exc} "
+                      "(is `repro serve` running?)", file=sys.stderr)
+                return 1
+            iteration += 1
+            if options.json:
+                snapshot = {f"{name}{dict(labels) or ''}": value
+                            for (name, labels), value
+                            in sorted(parsed.items())}
+                print(json.dumps(snapshot, sort_keys=True), file=out)
+            else:
+                executed = _metric(parsed, "cells_executed_total")
+                hits = _metric(parsed, "cells_store_hit_total")
+                rate = ""
+                if previous is not None:
+                    dt = max(1e-9, _time.monotonic() - previous[0])
+                    per_s = ((executed + hits) - previous[1]) / dt
+                    rate = f"  {per_s:.1f} cells/s"
+                previous = (_time.monotonic(), executed + hits)
+                alive = _metric(parsed, "workers_alive")
+                busy = _metric(parsed, "workers_busy")
+                print(f"-- repro top @ {_serve_url(options)} "
+                      f"[poll {iteration}] --", file=out)
+                print(f"  workers: {busy:g}/{alive:g} busy "
+                      f"(spawned {_metric(parsed, 'workers_spawned_total'):g}, "
+                      f"deaths {_metric(parsed, 'worker_deaths_total'):g})",
+                      file=out)
+                print(f"  queue:   {_metric(parsed, 'queue_depth'):g} "
+                      f"cell(s) queued, "
+                      f"{_metric(parsed, 'sweeps_active'):g} sweep(s) "
+                      "active", file=out)
+                print(f"  cells:   {executed:g} executed, {hits:g} from "
+                      f"store, "
+                      f"{_metric(parsed, 'cells_requeued_total'):g} "
+                      f"requeued, "
+                      f"{_metric(parsed, 'cell_timeouts_total'):g} "
+                      f"timeouts{rate}", file=out)
+                print(f"  backups: "
+                      f"{_metric(parsed, 'backup_tasks_total'):g} issued, "
+                      f"{_metric(parsed, 'backup_wins_total'):g} won",
+                      file=out)
+                print(f"  sweeps:  "
+                      f"{_metric(parsed, 'sweeps_submitted_total'):g} "
+                      "submitted, "
+                      f"{_sum_metric(parsed, 'sweeps_completed_total'):g} "
+                      "finished", file=out)
+                for sweep in active:
+                    print(f"    {sweep['id']}  {sweep['state']:<8} "
+                          f"{sweep['experiment']:<24} "
+                          f"{sweep['completed']}/{sweep['cells']} cells",
+                          file=out)
+            if options.iterations is not None \
+                    and iteration >= options.iterations:
+                return 0
+            _time.sleep(options.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_cache(options, out):
@@ -958,13 +1092,22 @@ def _cmd_machine(options, out):
     model = registry.create(options.name, **config)
     result = model.run(**_parse_kv(options.workload, "--workload"))
     if options.json:
-        print(json.dumps(result.as_dict(), indent=2, sort_keys=True,
+        payload = result.as_dict()
+        # Kernel telemetry rides the CLI report, not the cacheable
+        # payload (as_dict stays byte-identical across kernels).
+        if result.kernel_stats is not None:
+            payload["kernel_stats"] = result.kernel_stats
+        print(json.dumps(payload, indent=2, sort_keys=True,
                          default=repr), file=out)
     else:
         print(f"machine: {result.machine}", file=out)
         for section in ("config", "workload", "metrics"):
             print(f"  {section}:", file=out)
             for key, value in sorted(getattr(result, section).items()):
+                print(f"    {key}: {value}", file=out)
+        if result.kernel_stats is not None:
+            print("  kernel_stats:", file=out)
+            for key, value in sorted(result.kernel_stats.items()):
                 print(f"    {key}: {value}", file=out)
         if result.accounting is not None:
             from .obs.analysis import BUCKETS
@@ -993,6 +1136,7 @@ def main(argv=None, out=None):
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "sweeps": _cmd_sweeps,
+        "top": _cmd_top,
         "cache": _cmd_cache,
     }[options.command]
     try:

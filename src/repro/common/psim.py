@@ -213,7 +213,18 @@ class ShardedSimulator:
     def kernel_stats(self):
         """Traffic and synchronization counters for introspection."""
         lookaheads = [c.lookahead for c in self._channels.values()]
+        shard_events = [s.fired for s in self._shards]
+        populated = [n for n in shard_events if n]
+        # Load imbalance across populated shards: max/mean per-shard event
+        # count (1.0 = perfectly even).  Deterministic — derived purely
+        # from event counts, never wall-clock.
+        imbalance = None
+        if populated:
+            mean = sum(populated) / len(populated)
+            if mean > 0:
+                imbalance = round(max(populated) / mean, 4)
         return {
+            "kernel": "parallel",
             "mode": self.mode,
             "shards": self.shards,
             "populated_shards": sum(
@@ -222,6 +233,8 @@ class ShardedSimulator:
             "channels": len(self._channels),
             "min_lookahead": min(lookaheads) if lookaheads else None,
             "events_fired": self._events_fired,
+            "shard_events": shard_events,
+            "shard_imbalance": imbalance,
             "channel_messages": sum(
                 c.messages for c in self._channels.values()
             ),

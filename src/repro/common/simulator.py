@@ -426,6 +426,21 @@ class CalendarSimulator:
                 return True
         return False
 
+    def kernel_stats(self):
+        """Deterministic kernel-level counters for this run.
+
+        The shape mirrors :meth:`repro.common.psim.ShardedSimulator.
+        kernel_stats` where the concepts overlap (``kernel``,
+        ``events_fired``) so callers can surface either kernel's stats
+        without case analysis.  Wall-clock time is deliberately absent —
+        these values feed byte-stable result payloads."""
+        return {
+            "kernel": "calendar",
+            "events_fired": self._events_fired,
+            "pending": self._live,
+            "cancelled_queued": self._ncancelled,
+        }
+
     def __repr__(self):
         return (
             f"<Simulator t={self._now} pending={self.pending} "
@@ -568,6 +583,16 @@ class LegacySimulator:
             if self._peek() is not None:
                 return True
         return False
+
+    def kernel_stats(self):
+        """Deterministic kernel-level counters (see
+        :meth:`CalendarSimulator.kernel_stats`)."""
+        return {
+            "kernel": "legacy",
+            "events_fired": self._events_fired,
+            "pending": self.pending,
+            "cancelled_queued": 0,
+        }
 
     def __repr__(self):
         return (

@@ -196,6 +196,8 @@ def run_suite(only=None, jobs=None, no_cache=False, timeout=None,
             "data": table_rows(table),
         })
 
+    from ..common.simulator import resolve_shards
+
     aggregate = {
         "experiments": telemetry,
         "failures": failures,
@@ -205,6 +207,13 @@ def run_suite(only=None, jobs=None, no_cache=False, timeout=None,
                       {"root": cache.root, "hits": cache.hits,
                        "misses": cache.misses}),
             "wall_seconds": round(time.time() - suite_start, 3),
+            # Provenance: where this sweep ran.  The tables themselves
+            # are host-independent (the regression gate diffs them), the
+            # telemetry is not — stamp enough to explain a slow run.
+            "host_cpus": os.cpu_count() or 1,
+            "kernel": os.environ.get("REPRO_SIM_KERNEL") or "calendar",
+            "shards": resolve_shards(),
+            "python": sys.version.split()[0],
         },
     }
     aggregate_path = os.path.join(os.path.dirname(bench_dir),

@@ -72,6 +72,11 @@ class RunRecord:
     #: For ``status == "timeout"``: the phase the final attempt was in
     #: when the deadline struck (``"startup"`` or ``"run"``).
     timeout_phase: Optional[str] = None
+    #: For failed cells run under the sweep service: the tail of the
+    #: worker's flight recorder (a bounded list of breadcrumb dicts) so
+    #: post-mortems need no re-run.  Omitted from :meth:`payload` when
+    #: absent, keeping successful rows byte-identical to older runs.
+    flight: Optional[list] = None
 
     @property
     def ok(self):
@@ -91,6 +96,8 @@ class RunRecord:
         }
         if self.timeout_phase is not None:
             out["timeout_phase"] = self.timeout_phase
+        if self.flight is not None:
+            out["flight"] = self.flight
         if include_timing:
             out["wall_seconds"] = round(self.wall_seconds, 3)
         return out

@@ -63,6 +63,14 @@ class SimResult:
     #: network_queue / idle.  Populated by models that can attribute
     #: their cycles; read it through :meth:`profile`.
     accounting: Optional[Dict[str, Any]] = None
+    #: Optional event-kernel counters (``Simulator.kernel_stats()``):
+    #: which kernel ran, events fired, and — on the sharded parallel
+    #: kernel — null updates, channel traffic, and per-shard balance.
+    #: Telemetry about *this* run's engine, not part of the result:
+    #: excluded from ``as_dict`` so payloads stay byte-identical across
+    #: kernels (the byte-identity gate) and store-cached values never
+    #: claim the kernel that happened to populate them.
+    kernel_stats: Optional[Dict[str, Any]] = None
 
     def metric(self, name):
         """One measurement; raises KeyError naming the known metrics."""

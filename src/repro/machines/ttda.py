@@ -82,6 +82,7 @@ class TtdaModel:
         spec = {"workload": workload, "args": list(run_args)}
 
         accounting = None
+        kernel_stats = None
         if self.config["n_pes"] == 0:
             interp = Interpreter(program)
             value = interp.run(*run_args)
@@ -116,6 +117,7 @@ class TtdaModel:
                     if key.startswith("faults_")
                 )
             accounting = ttda_accounting(machine).as_dict()
+            kernel_stats = machine.sim.kernel_stats()
         return SimResult(machine=self.name, config=dict(self.config),
                          workload=spec, metrics=metrics,
-                         accounting=accounting)
+                         accounting=accounting, kernel_stats=kernel_stats)

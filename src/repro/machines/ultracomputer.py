@@ -45,6 +45,8 @@ class UltraResult:
     #: Cycle-accounting payload (``CycleAccounting.as_dict`` form):
     #: memory-port servers and switch rails decomposed over the run.
     accounting: Optional[Any] = None
+    #: Event-kernel counters (``Simulator.kernel_stats()``) for the run.
+    kernel_stats: Optional[Any] = None
 
     @property
     def serialization_factor(self):
@@ -129,6 +131,7 @@ def _run_hotspot(stages, combining=True, requests_per_proc=1,
         splits=net.counters["splits"],
         replies=net.counters["replies"],
         accounting=accounting,
+        kernel_stats=sim.kernel_stats(),
     )
 
 
@@ -219,4 +222,5 @@ class UltracomputerModel:
                 "replies": result.replies,
             },
             accounting=result.accounting,
+            kernel_stats=result.kernel_stats,
         )

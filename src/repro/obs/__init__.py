@@ -9,7 +9,10 @@ uniform way:
   :class:`ChromeTraceSink`) — typed per-event telemetry; a Chrome-format
   export opens in Perfetto as a per-PE timeline;
 * :class:`MetricsRegistry` — the existing ``repro.common.stats``
-  primitives under hierarchical names with one ``snapshot()`` call.
+  primitives under hierarchical names with one ``snapshot()`` call;
+* :class:`LiveMetrics` — thread-safe process-lifetime counters, gauges,
+  and histograms rendered in the Prometheus text format; the telemetry
+  plane behind ``repro serve``'s ``GET /metrics`` and ``repro top``.
 
 Everything is opt-in and near-zero-cost when off: machines guard each
 emission on a single ``is not None`` check.  See docs/OBSERVABILITY.md.
@@ -17,6 +20,7 @@ emission on a single ``is not None`` check.  See docs/OBSERVABILITY.md.
 
 from .bus import TraceBus
 from .events import KINDS, TraceEvent
+from .live import LiveMetrics, parse_prometheus
 from .registry import MetricsRegistry
 from .sinks import ChromeTraceSink, JsonlSink, RingSink, validate_chrome_trace
 
@@ -24,9 +28,11 @@ __all__ = [
     "KINDS",
     "ChromeTraceSink",
     "JsonlSink",
+    "LiveMetrics",
     "MetricsRegistry",
     "RingSink",
     "TraceBus",
     "TraceEvent",
+    "parse_prometheus",
     "validate_chrome_trace",
 ]

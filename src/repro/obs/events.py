@@ -75,6 +75,15 @@ KINDS = (
                           # (fields: worker, reason)
     "serve_sweep_done",   # every cell of a sweep completed (fields:
                           # sweep, ok, failed, cached, executed, wall)
+    # Worker flight recorder (repro.serve.protocol; source =
+    # "worker<N>", time = wall seconds since the task began; every
+    # event carries the sweep's trace id)
+    "flight_begin",    # a task arrived (fields: trace, sweep, index,
+                       # attempt, backup task flag when set)
+    "flight_resolve",  # the run function resolved (import/memo)
+    "flight_run",      # the run function was entered
+    "flight_done",     # the run returned a value
+    "flight_error",    # the run raised (detail = last traceback line)
 )
 
 

@@ -13,13 +13,15 @@ See ``docs/SERVICE.md`` for the API reference and deployment notes.
 """
 
 from .client import ServeClient, ServeError, remote_suite
-from .protocol import DEFAULT_PORT, ProtocolError, SweepRequest
+from .protocol import DEFAULT_PORT, FlightRecorder, ProtocolError, SweepRequest
 from .scheduler import SweepScheduler
 from .server import ServerThread, run_server
 from .store import SqliteStore, default_store_path, open_store
+from .trace import sweep_trace
 
 __all__ = [
     "DEFAULT_PORT",
+    "FlightRecorder",
     "ProtocolError",
     "ServeClient",
     "ServeError",
@@ -31,4 +33,5 @@ __all__ = [
     "open_store",
     "remote_suite",
     "run_server",
+    "sweep_trace",
 ]

@@ -77,6 +77,11 @@ class ServeClient:
     def health(self):
         return self._request("GET", "/healthz")
 
+    def metrics(self):
+        """The raw Prometheus text exposition (parse it with
+        :func:`repro.obs.live.parse_prometheus`)."""
+        return self._request("GET", "/metrics")
+
     def store_stats(self):
         return self._request("GET", "/store/stats")
 
@@ -100,6 +105,10 @@ class ServeClient:
     def table(self, sweep_id):
         """The assembled table text of a finished sweep."""
         return self._request("GET", f"/sweeps/{sweep_id}/table")
+
+    def trace(self, sweep_id):
+        """The Chrome-trace payload (a dict) of a sweep."""
+        return self._request("GET", f"/sweeps/{sweep_id}/trace")
 
     def shutdown(self):
         return self._request("POST", "/shutdown")

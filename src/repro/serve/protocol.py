@@ -40,8 +40,9 @@ from ..exp.bench import build_experiment, find_bench_dir
 from ..exp.experiment import Experiment
 from ..faults import SCHEDULING_FIELDS, FaultPlan
 
-__all__ = ["ProtocolError", "SweepRequest", "key_config", "machine_plan",
-           "pool_worker_main", "resolve_experiment", "scheduling_plan"]
+__all__ = ["FlightRecorder", "ProtocolError", "SweepRequest",
+           "key_config", "machine_plan", "pool_worker_main",
+           "resolve_experiment", "scheduling_plan"]
 
 #: Default TCP port for ``repro serve`` (after CSG Memo 226).
 DEFAULT_PORT = 8226
@@ -257,6 +258,85 @@ def resolve_experiment(spec, grid=None, plan=None):
 # ---------------------------------------------------------------------------
 # the persistent pool worker
 
+#: Breadcrumbs kept in a worker's in-memory flight ring (per task).
+FLIGHT_RING_LIMIT = 256
+#: Breadcrumbs shipped back on a ``done`` failure message.
+FLIGHT_TAIL = 50
+
+
+class FlightRecorder:
+    """A worker's black box: a bounded :class:`~repro.obs.RingSink` of
+    breadcrumb events plus a crash-safe spill file.
+
+    Every task starts a fresh recording stamped with the sweep's trace
+    id.  Breadcrumbs go two places at once: the in-memory ring (whose
+    tail rides back on a failing ``done`` message) and ``flight_path``,
+    truncated per task and flushed per event — so when the process dies
+    by ``os._exit`` (chaos), OOM kill, or the scheduler's timeout
+    ``terminate()``, the parent can still read what the worker was doing
+    from the file.  Post-mortems need no re-run.
+    """
+
+    def __init__(self, worker_id, flight_path=None,
+                 limit=FLIGHT_RING_LIMIT):
+        import time as _time
+
+        from ..obs import RingSink, TraceBus
+
+        self._time = _time
+        self.source = f"worker{worker_id}"
+        self._limit = limit
+        self.ring = RingSink(limit=limit)
+        self.bus = TraceBus(self.ring)
+        self.path = flight_path
+        self._fh = None
+        self._t0 = self._time.monotonic()
+        self._stamp = {}
+
+    def begin_task(self, task):
+        """Start recording one task: fresh ring, truncated spill file,
+        the task's trace stamp, and the ``flight_begin`` breadcrumb —
+        a failure row carries only its own task's story."""
+        from ..obs import RingSink, TraceBus
+
+        self.ring = RingSink(limit=self._limit)
+        self.bus = TraceBus(self.ring)
+        self._t0 = self._time.monotonic()
+        self._stamp = {}
+        for key in ("trace", "sweep", "index"):
+            if task.get(key) is not None:
+                self._stamp[key] = task[key]
+        if self.path is not None:
+            try:
+                self._fh = open(self.path, "w", encoding="utf-8")
+            except OSError:
+                self._fh = None
+        fields = {"attempt": task.get("attempt", 0)}
+        if task.get("backup"):
+            fields["backup"] = True
+        self.note("flight_begin",
+                  f"{task.get('experiment', '?')}[{task.get('index')}]",
+                  **fields)
+
+    def note(self, kind, detail="", **fields):
+        t = round(self._time.monotonic() - self._t0, 6)
+        stamped = dict(self._stamp)
+        stamped.update(fields)
+        event = self.bus.emit(t, self.source, kind, detail, **stamped)
+        if self._fh is not None and event is not None:
+            try:
+                self._fh.write(json.dumps(event.to_json_dict(),
+                                          sort_keys=True, default=repr)
+                               + "\n")
+                self._fh.flush()
+            except (OSError, ValueError):
+                self._fh = None
+
+    def tail(self, limit=FLIGHT_TAIL):
+        """The newest breadcrumbs as JSON-able dicts."""
+        return [event.to_json_dict()
+                for event in list(self.ring.events)[-limit:]]
+
 
 def _chaos_crash(task):
     """Deterministically crash this worker process if the task's chaos
@@ -276,15 +356,19 @@ def _chaos_crash(task):
         os._exit(CRASH_EXIT_CODE)
 
 
-def pool_worker_main(conn, worker_id):
+def pool_worker_main(conn, worker_id, flight_path=None):
     """Body of one persistent pool worker process.
 
     Resolved run functions are memoized per (spec, plan), so a worker
     that serves a thousand cells of one sweep imports its bench module
     once.  Any exception a run raises ships back as a structured
-    ``done`` error; only a ``stop`` message or pipe loss ends the loop.
+    ``done`` error (with the flight-recorder tail as a sixth element);
+    only a ``stop`` message or pipe loss ends the loop.  The
+    :class:`FlightRecorder` spills breadcrumbs to ``flight_path`` so
+    even a crash or external ``terminate()`` leaves a black box behind.
     """
     runners = {}
+    recorder = FlightRecorder(worker_id, flight_path=flight_path)
     while True:
         try:
             message = conn.recv()
@@ -295,22 +379,31 @@ def pool_worker_main(conn, worker_id):
             return
         task = message[1]
         task_id = task["task_id"]
+        # Breadcrumb lands before the chaos draw: a chaos crash must
+        # leave evidence of the task it interrupted.
+        recorder.begin_task(task)
         _chaos_crash(task)
         try:
             memo = json.dumps([task["spec"], task.get("plan")],
                               sort_keys=True)
             run = runners.get(memo)
             if run is None:
+                recorder.note("flight_resolve", str(task["spec"]))
                 run = resolve_experiment(task["spec"],
                                          plan=task.get("plan")).run
                 runners[memo] = run
             conn.send(("begin", task_id))
+            recorder.note("flight_run")
             value = run(task["config"])
+            recorder.note("flight_done")
             conn.send(("done", task_id, "ok", value, None))
         except BaseException:  # noqa: BLE001 — parent turns this into a row
             failure = traceback.format_exc()
+            recorder.note("flight_error",
+                          failure.strip().splitlines()[-1][:200])
             try:
-                conn.send(("done", task_id, "error", None, failure))
+                conn.send(("done", task_id, "error", None, failure,
+                           recorder.tail()))
             except (OSError, ValueError):
                 print(failure, file=sys.stderr)
                 return

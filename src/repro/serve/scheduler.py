@@ -34,9 +34,12 @@ scheduler lock and wake the thread through a self-pipe.
 """
 
 import itertools
+import json
 import math
 import multiprocessing
 import os
+import shutil
+import tempfile
 import threading
 import time
 from dataclasses import dataclass
@@ -46,6 +49,7 @@ from typing import Any, Optional
 from ..exp.cache import config_key
 from ..exp.engine import (DEFAULT_RETRIES, RunRecord, TaskQueue,
                           experiment_code_version, records_payload)
+from ..obs.live import LiveMetrics
 from .protocol import (SweepRequest, key_config, machine_plan,
                        resolve_experiment, scheduling_plan)
 
@@ -55,6 +59,10 @@ __all__ = ["SweepScheduler", "SweepState"]
 RETRY_BACKOFF = 0.05
 #: Upper bound on any single requeue delay.
 RETRY_BACKOFF_CAP = 2.0
+#: Flight-recorder breadcrumbs attached to a failure row, and pool-level
+#: events retained for trace assembly.
+FLIGHT_TAIL = 50
+POOL_EVENT_LIMIT = 10_000
 
 
 @dataclass
@@ -81,14 +89,19 @@ class _Worker:
     busy: Optional[_Assignment] = None
     spawned: float = 0.0
     completed: int = 0
+    #: Spill file the worker's flight recorder writes breadcrumbs to;
+    #: read back by the scheduler when the worker dies or is terminated
+    #: (the pipe is gone by then, so the tail cannot ship over it).
+    flight_path: Optional[str] = None
 
 
 class SweepState:
     """Everything the scheduler tracks for one submitted sweep."""
 
     def __init__(self, sweep_id, request, experiment, code_version,
-                 plan, chaos, retries, timeout):
+                 plan, chaos, retries, timeout, trace_id=None):
         self.id = sweep_id
+        self.trace_id = trace_id or f"tr-{sweep_id}"
         self.request = request
         self.experiment = experiment
         self.code_version = code_version
@@ -125,6 +138,7 @@ class SweepState:
         ordered = sorted(self.records.values(), key=lambda r: r.index)
         out = {
             "id": self.id,
+            "trace": self.trace_id,
             "experiment": self.experiment.name,
             "label": self.request.label,
             "state": self.state,
@@ -150,7 +164,8 @@ class SweepScheduler:
 
     def __init__(self, store=None, workers=None, timeout=None,
                  retries=DEFAULT_RETRIES, backup_fraction=0.2,
-                 backup_threshold=None, bus=None, bench_dir=None):
+                 backup_threshold=None, bus=None, bench_dir=None,
+                 metrics=None):
         self.store = store
         self.size = max(1, workers if workers is not None
                         else (os.cpu_count() or 2))
@@ -162,6 +177,7 @@ class SweepScheduler:
                                  is not None else self.size)
         self.bus = bus
         self.bench_dir = bench_dir
+        self.metrics = metrics if metrics is not None else LiveMetrics()
         self._lock = threading.RLock()
         self._sweeps = {}
         self._order = []
@@ -173,6 +189,13 @@ class SweepScheduler:
         self._intake = []
         self._closing = False
         self._clock0 = time.monotonic()
+        self._spawned_total = 0
+        self._exits_total = 0
+        self._flight_dir = None
+        #: Pool-level lifecycle events (spawn/exit), kept for sweep trace
+        #: assembly — sweep-level events live on each SweepState.
+        self.pool_events = []
+        self._declare_metrics()
         self._context = multiprocessing.get_context(
             "fork" if "fork" in multiprocessing.get_all_start_methods()
             else "spawn")
@@ -180,6 +203,49 @@ class SweepScheduler:
         self._thread = threading.Thread(target=self._run, daemon=True,
                                         name="serve-scheduler")
         self._started = False
+
+    # -- telemetry -----------------------------------------------------
+    def _declare_metrics(self):
+        """Register the scheduler's metric families (names + help text)
+        up front so ``/metrics`` is fully populated from the first
+        scrape, counters included, even before any sweep runs."""
+        m = self.metrics
+        m.counter("sweeps_submitted_total", "Sweep requests accepted")
+        m.counter("sweeps_completed_total",
+                  "Sweeps finished, labeled by terminal state")
+        m.counter("cells_executed_total",
+                  "Grid cells computed by a pool worker")
+        m.counter("cells_store_hit_total",
+                  "Grid cells answered from the durable store")
+        m.counter("cells_requeued_total",
+                  "Cell attempts requeued after a failure")
+        m.counter("cell_timeouts_total",
+                  "Cell attempts terminated at their deadline")
+        m.counter("worker_deaths_total",
+                  "Worker processes that died mid-task")
+        m.counter("workers_spawned_total", "Worker processes started")
+        m.counter("backup_tasks_total",
+                  "Backup (straggler) copies issued")
+        m.counter("backup_wins_total", "Cells won by a backup copy")
+        m.gauge_fn("sweeps_active",
+                   "Sweeps currently queued or running",
+                   lambda: self.pool_stats()["active"])
+        m.gauge_fn("queue_depth",
+                   "Cells awaiting a worker across running sweeps",
+                   lambda: self.pool_stats()["queue_depth"])
+        m.gauge_fn("workers_alive", "Live pool worker processes",
+                   lambda: self.pool_stats()["alive"])
+        m.gauge_fn("workers_busy", "Pool workers running a cell",
+                   lambda: self.pool_stats()["busy"])
+        m.gauge_fn("worker_busy",
+                   "Per-worker busy flag (1 = running a cell)",
+                   self._worker_gauge)
+
+    def _worker_gauge(self):
+        with self._lock:
+            return {(("worker", str(w.wid)),):
+                    (0 if w.busy is None else 1)
+                    for w in self._workers.values()}
 
     # -- lifecycle -----------------------------------------------------
     def start(self):
@@ -237,11 +303,13 @@ class SweepScheduler:
             sweep_id = f"sw{next(self._next_sweep):04d}"
             sweep = SweepState(sweep_id, request, experiment, code_version,
                                plan, chaos, retries, timeout)
+            sweep.created_rel = sweep.created - self._clock0
             self._sweeps[sweep_id] = sweep
             self._order.append(sweep_id)
             self._intake.append(sweep_id)
             self._event(sweep, "serve_request", experiment.name,
                         experiment=experiment.name, cells=sweep.cells)
+        self.metrics.inc("sweeps_submitted_total")
         self._wake()
         return sweep_id
 
@@ -298,9 +366,14 @@ class SweepScheduler:
                 "size": self.size,
                 "alive": len(self._workers),
                 "busy": sum(1 for w in self._workers.values() if w.busy),
+                "spawned": self._spawned_total,
+                "restarts": self._exits_total,
                 "sweeps": len(self._sweeps),
                 "active": sum(1 for s in self._sweeps.values()
                               if s.state in ("queued", "running")),
+                "queue_depth": sum(
+                    len(s.queue) for s in self._sweeps.values()
+                    if s.state == "running"),
             }
 
     # -- events --------------------------------------------------------
@@ -312,12 +385,17 @@ class SweepScheduler:
         sweep.events.append(record)
         if self.bus is not None:
             self.bus.emit(round(time.monotonic() - self._clock0, 6),
-                          "serve", kind, detail, sweep=sweep.id, **fields)
+                          "serve", kind, detail, sweep=sweep.id,
+                          trace=sweep.trace_id, **fields)
 
     def _pool_event(self, kind, detail="", **fields):
+        record = {"t": round(time.monotonic() - self._clock0, 6),
+                  "kind": kind, "detail": detail}
+        record.update(fields)
+        if len(self.pool_events) < POOL_EVENT_LIMIT:
+            self.pool_events.append(record)
         if self.bus is not None:
-            self.bus.emit(round(time.monotonic() - self._clock0, 6),
-                          "serve", kind, detail, **fields)
+            self.bus.emit(record["t"], "serve", kind, detail, **fields)
 
     # -- scheduler-thread internals (all called under the lock) --------
     def _intake_pass(self, now):
@@ -340,6 +418,7 @@ class SweepScheduler:
                                                   key)
                     if found:
                         sweep.stats["store_hits"] += 1
+                        self.metrics.inc("cells_store_hit_total")
                         self._event(sweep, "serve_store_hit",
                                     f"{sweep.experiment.name}[{index}]",
                                     index=index)
@@ -350,19 +429,30 @@ class SweepScheduler:
                 sweep.queue.push((index, 0, key))
             self._check_done(sweep)
 
+    def _flight_root(self):
+        if self._flight_dir is None:
+            self._flight_dir = tempfile.mkdtemp(prefix="repro-serve-flight-")
+        return self._flight_dir
+
     def _spawn_worker(self):
         wid = next(self._next_wid)
         parent_conn, child_conn = self._context.Pipe(duplex=True)
         from .protocol import pool_worker_main
 
+        flight_path = os.path.join(self._flight_root(),
+                                   f"worker{wid}.jsonl")
         process = self._context.Process(
             target=pool_worker_main, args=(child_conn, wid),
+            kwargs={"flight_path": flight_path},
             name=f"serve-worker-{wid}", daemon=True)
         process.start()
         child_conn.close()
         worker = _Worker(wid=wid, process=process, conn=parent_conn,
-                         spawned=time.monotonic())
+                         spawned=time.monotonic(),
+                         flight_path=flight_path)
         self._workers[wid] = worker
+        self._spawned_total += 1
+        self.metrics.inc("workers_spawned_total")
         self._pool_event("serve_worker_spawn", f"worker {wid}", worker=wid)
         return worker
 
@@ -389,6 +479,12 @@ class SweepScheduler:
             "config": sweep.experiment.grid[index],
             "plan": sweep.plan,
             "chaos": sweep.chaos,
+            # Telemetry: the sweep's trace id rides along so the
+            # worker's flight-recorder events carry it end to end.
+            "sweep": sweep.id,
+            "trace": sweep.trace_id,
+            "backup": backup,
+            "experiment": sweep.experiment.name,
         })
         try:
             worker.conn.send(message)
@@ -409,6 +505,7 @@ class SweepScheduler:
         if backup:
             sweep.backups_issued += 1
             sweep.stats["backups"] += 1
+            self.metrics.inc("backup_tasks_total")
         return True
 
     def _assign_pass(self, now):
@@ -464,11 +561,13 @@ class SweepScheduler:
                                   backup=True, now=now):
                     budget -= 1
 
-    def _finish_cell(self, sweep, record):
+    def _finish_cell(self, sweep, record, worker=None):
         sweep.records[record.index] = record
         fields = dict(index=record.index, status=record.status,
                       attempts=record.attempts, cached=record.cached,
                       wall=round(record.wall_seconds, 4))
+        if worker is not None:
+            fields["worker"] = worker
         if record.error:
             fields["error"] = record.error.strip().splitlines()[-1][:200]
         self._event(sweep, "sweep_task",
@@ -490,10 +589,11 @@ class SweepScheduler:
                         **summary)
             self._event(sweep, "serve_sweep_done", sweep.experiment.name,
                         executed=sweep.stats["executed"], **summary)
+            self.metrics.inc("sweeps_completed_total", status="done")
             sweep.done.set()
 
     def _attempt_over(self, assignment, status, value, error, now,
-                      phase=None):
+                      phase=None, worker=None, flight=None):
         """One attempt finished (ok, error, timeout, or worker death)."""
         sweep = self._sweeps.get(assignment.sweep_id)
         if sweep is None:
@@ -512,13 +612,15 @@ class SweepScheduler:
                                           sweep.plan),
                                sweep.code_version, value)
             sweep.stats["executed"] += 1
+            self.metrics.inc("cells_executed_total")
             if assignment.backup:
                 sweep.stats["backup_wins"] += 1
+                self.metrics.inc("backup_wins_total")
             self._finish_cell(sweep, RunRecord(
                 index=index, config=sweep.experiment.grid[index],
                 status="ok", value=value, attempts=assignment.attempt + 1,
                 wall_seconds=now - assignment.started,
-                cache_key=assignment.key))
+                cache_key=assignment.key), worker=worker)
             return
         # Failure path.  If a sibling copy is still running, let it race
         # on — it may well succeed; this copy's failure costs nothing.
@@ -527,7 +629,9 @@ class SweepScheduler:
                         f"{sweep.experiment.name}[{index}] copy failed; "
                         "sibling still running",
                         index=index, attempt=assignment.attempt,
-                        reason="sibling_live")
+                        reason="sibling_live", **(
+                            {"worker": worker} if worker is not None
+                            else {}))
             return
         if assignment.attempt < sweep.retries:
             delay = min(RETRY_BACKOFF_CAP,
@@ -535,18 +639,22 @@ class SweepScheduler:
             sweep.queue.push((index, assignment.attempt + 1,
                               assignment.key), not_before=now + delay)
             sweep.stats["requeued"] += 1
+            self.metrics.inc("cells_requeued_total")
             self._event(sweep, "serve_requeue",
                         f"{sweep.experiment.name}[{index}] attempt "
                         f"{assignment.attempt} {status}",
                         index=index, attempt=assignment.attempt + 1,
-                        reason=status)
+                        reason=status, **(
+                            {"worker": worker} if worker is not None
+                            else {}))
             return
         self._finish_cell(sweep, RunRecord(
             index=index, config=sweep.experiment.grid[index],
             status=status, error=error, attempts=assignment.attempt + 1,
             wall_seconds=now - assignment.started,
             cache_key=assignment.key,
-            timeout_phase=phase if status == "timeout" else None))
+            timeout_phase=phase if status == "timeout" else None,
+            flight=flight), worker=worker)
 
     def _drop_task(self, worker):
         """Detach the worker's current task; returns the assignment."""
@@ -556,6 +664,25 @@ class SweepScheduler:
             if w is worker and a is assignment:
                 del self._tasks[task_id]
         return assignment
+
+    def _read_flight(self, worker):
+        """The tail of a dead worker's flight-recorder spill file (the
+        pipe is gone, so this is the only copy of its last moments)."""
+        path = worker.flight_path
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except OSError:
+            return None
+        tail = []
+        for line in lines[-FLIGHT_TAIL:]:
+            try:
+                tail.append(json.loads(line))
+            except ValueError:
+                continue  # torn final write mid-crash
+        return tail or None
 
     def _worker_died(self, worker, reason):
         now = time.monotonic()
@@ -567,6 +694,7 @@ class SweepScheduler:
             pass
         worker.process.join(timeout=1.0)
         code = worker.process.exitcode
+        self._exits_total += 1
         self._pool_event("serve_worker_exit",
                          f"worker {worker.wid}: {reason}",
                          worker=worker.wid, reason=reason)
@@ -574,10 +702,12 @@ class SweepScheduler:
             sweep = self._sweeps.get(assignment.sweep_id)
             if sweep is not None:
                 sweep.stats["worker_deaths"] += 1
+            self.metrics.inc("worker_deaths_total")
             self._attempt_over(
                 assignment, "error", None,
                 f"worker process died (exit code {code}) while running "
-                f"cell {assignment.index}", now)
+                f"cell {assignment.index}", now, worker=worker.wid,
+                flight=self._read_flight(worker))
 
     def _check_deadlines(self, now):
         for worker in list(self._workers.values()):
@@ -597,6 +727,8 @@ class SweepScheduler:
                 pass
             if sweep is not None:
                 sweep.stats["timeouts"] += 1
+            self._exits_total += 1
+            self.metrics.inc("cell_timeouts_total")
             self._pool_event("serve_worker_exit",
                              f"worker {worker.wid}: timeout",
                              worker=worker.wid, reason="timeout")
@@ -604,7 +736,8 @@ class SweepScheduler:
                 assignment, "timeout", None,
                 f"cell exceeded {timeout}s (in {assignment.phase} phase) "
                 "and its worker was terminated", now,
-                phase=assignment.phase)
+                phase=assignment.phase, worker=worker.wid,
+                flight=self._read_flight(worker))
 
     def _handle_message(self, worker, message, now):
         kind = message[0]
@@ -613,14 +746,18 @@ class SweepScheduler:
                 worker.busy.phase = "run"
             return
         if kind == "done":
-            _kind, task_id, status, value, error = message
+            # 5-tuple from older workers; 6th element is the flight-
+            # recorder tail a failing run ships back over the pipe.
+            _kind, task_id, status, value, error = message[:5]
+            flight = message[5] if len(message) > 5 else None
             entry = self._tasks.pop(task_id, None)
             worker.busy = None
             worker.completed += 1
             if entry is None:
                 return  # task was cancelled (timeout path) — stale reply
             _worker, assignment = entry
-            self._attempt_over(assignment, status, value, error, now)
+            self._attempt_over(assignment, status, value, error, now,
+                               worker=worker.wid, flight=flight)
 
     def _wait_timeout(self, now):
         """How long the wait may block: next deadline or queued delay."""
@@ -698,4 +835,9 @@ class SweepScheduler:
         for sweep in self._sweeps.values():
             if sweep.state in ("queued", "running"):
                 sweep.state = "aborted"
+                self.metrics.inc("sweeps_completed_total",
+                                 status="aborted")
                 sweep.done.set()
+        if self._flight_dir is not None:
+            shutil.rmtree(self._flight_dir, ignore_errors=True)
+            self._flight_dir = None

@@ -11,7 +11,8 @@ dependencies beyond the interpreter.
 
 API (see docs/SERVICE.md for curl examples)::
 
-    GET  /healthz             liveness + pool stats
+    GET  /healthz             liveness + pool/queue stats
+    GET  /metrics             Prometheus text exposition (live telemetry)
     GET  /store/stats         durable store statistics
     POST /sweeps              submit a sweep request -> {"id": ...}
     GET  /sweeps              all sweeps (summaries)
@@ -20,17 +21,20 @@ API (see docs/SERVICE.md for curl examples)::
                               &timeout=S); returns when new events
                               arrive, the sweep finishes, or S elapses
     GET  /sweeps/<id>/table   the assembled result table (text/plain)
+    GET  /sweeps/<id>/trace   Chrome/Perfetto trace of the whole sweep
     POST /shutdown            graceful stop (tests / CI)
 """
 
 import asyncio
 import json
 import threading
+import time
 import urllib.parse
 
 from .protocol import DEFAULT_PORT, ProtocolError
 from .scheduler import SweepScheduler
 from .store import open_store
+from .trace import sweep_trace
 
 __all__ = ["ServeApp", "ServerThread", "run_server"]
 
@@ -54,6 +58,26 @@ class ServeApp:
         self.scheduler = scheduler
         self.store = store
         self.stopping = asyncio.Event()
+        self.metrics = scheduler.metrics
+        self.metrics.counter("http_requests_total",
+                             "HTTP requests served, by route template")
+        self.metrics.histogram("http_request_seconds",
+                               "HTTP request latency, by route template")
+        if store is not None:
+            self.metrics.gauge_fn(
+                "store_entries", "Rows in the content-addressed store",
+                lambda: store.stats().get("entries", 0))
+            self.metrics.gauge_fn(
+                "store_bytes", "Payload bytes in the store",
+                lambda: store.stats().get("bytes", 0))
+
+    @staticmethod
+    def _route_label(method, path):
+        """Collapse sweep ids so the route label set stays bounded."""
+        parts = [p for p in path.split("/") if p]
+        if parts[:1] == ["sweeps"] and len(parts) >= 2:
+            parts = ["sweeps", "*"] + parts[2:]
+        return f"{method} /" + "/".join(parts)
 
     # -- transport -----------------------------------------------------
     async def handle(self, reader, writer):
@@ -83,6 +107,8 @@ class ServeApp:
             parsed = urllib.parse.urlsplit(target)
             query = {k: v[-1] for k, v in
                      urllib.parse.parse_qs(parsed.query).items()}
+            label = self._route_label(method, parsed.path)
+            started = time.perf_counter()
             try:
                 await self._route(writer, method, parsed.path, query, body)
             except ProtocolError as exc:
@@ -90,6 +116,11 @@ class ServeApp:
             except Exception as exc:  # noqa: BLE001 — report, don't die
                 await self._send(writer, 500,
                                  {"error": f"{type(exc).__name__}: {exc}"})
+            finally:
+                self.metrics.inc("http_requests_total", route=label)
+                self.metrics.observe("http_request_seconds",
+                                     time.perf_counter() - started,
+                                     route=label)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         finally:
@@ -118,9 +149,14 @@ class ServeApp:
     async def _route(self, writer, method, path, query, body):
         parts = [p for p in path.split("/") if p]
         if path == "/healthz" and method == "GET":
+            pool = self.scheduler.pool_stats()
             await self._send(writer, 200,
-                             {"ok": True, "pool":
-                              self.scheduler.pool_stats()})
+                             {"ok": True, "pool": pool,
+                              "queue_depth": pool["queue_depth"]})
+        elif path == "/metrics" and method == "GET":
+            await self._send(
+                writer, 200, self.metrics.render(),
+                content_type="text/plain; version=0.0.4; charset=utf-8")
         elif path == "/store/stats" and method == "GET":
             if self.store is None:
                 await self._send(writer, 404, {"error": "no store attached"})
@@ -151,6 +187,14 @@ class ServeApp:
         elif (parts[:1] == ["sweeps"] and len(parts) == 3
                 and parts[2] == "table" and method == "GET"):
             await self._table(writer, parts[1])
+        elif (parts[:1] == ["sweeps"] and len(parts) == 3
+                and parts[2] == "trace" and method == "GET"):
+            payload = sweep_trace(self.scheduler, parts[1])
+            if payload is None:
+                await self._send(writer, 404,
+                                 {"error": f"no sweep {parts[1]!r}"})
+            else:
+                await self._send(writer, 200, payload)
         else:
             await self._send(writer, 404, {"error": f"no route for "
                                            f"{method} {path}"})
@@ -169,6 +213,7 @@ class ServeApp:
             "status_url": f"/sweeps/{sweep_id}",
             "events_url": f"/sweeps/{sweep_id}/events",
             "table_url": f"/sweeps/{sweep_id}/table",
+            "trace_url": f"/sweeps/{sweep_id}/trace",
         })
 
     async def _events(self, writer, sweep_id, query):

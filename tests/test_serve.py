@@ -344,6 +344,165 @@ class TestHttp:
 
 
 # ---------------------------------------------------------------------------
+# the live telemetry plane: /healthz, /metrics, sweep traces, flight
+# recorder, long-poll edge cases
+# ---------------------------------------------------------------------------
+
+def _metric(parsed, name, **labels):
+    return parsed.get(
+        (f"repro_{name}", tuple(sorted(labels.items()))), 0.0)
+
+
+class TestTelemetry:
+    def test_healthz_reports_pool_liveness(self, server):
+        health = ServeClient(server.url).health()
+        pool = health["pool"]
+        assert pool["size"] == 2
+        assert pool["alive"] == 2
+        assert pool["spawned"] >= pool["alive"]
+        assert pool["restarts"] >= 0
+        assert health["queue_depth"] == pool["queue_depth"]
+
+    def test_metrics_exposition_parses_and_counters_move(self, server):
+        from repro.obs.live import parse_prometheus
+
+        client = ServeClient(server.url)
+        before = parse_prometheus(client.metrics())
+        grid = [{"x": 200 + i} for i in range(3)]
+        client.run(_request(grid, no_store=True), timeout=WAIT)
+        after = parse_prometheus(client.metrics())
+        assert (_metric(after, "sweeps_submitted_total")
+                == _metric(before, "sweeps_submitted_total") + 1)
+        assert (_metric(after, "cells_executed_total")
+                >= _metric(before, "cells_executed_total") + 3)
+        assert _metric(after, "sweeps_completed_total", status="done") >= 1
+        assert _metric(after, "workers_alive") == 2
+        assert _metric(after, "workers_spawned_total") >= 2
+        # Per-worker gauge carries a label per pool slot.
+        assert _metric(after, "worker_busy", worker="1") in (0.0, 1.0)
+        # The HTTP layer meters itself, including this very route.
+        assert _metric(after, "http_requests_total",
+                       route="GET /metrics") >= 1
+        assert _metric(after, "http_request_seconds_count",
+                       route="POST /sweeps") >= 1
+
+    def test_metrics_render_is_deterministic(self, server):
+        client = ServeClient(server.url)
+        # Strip the only moving self-measurement (this scrape's own
+        # latency sample lands between the two reads).
+        def stable(text):
+            return [line for line in text.splitlines()
+                    if "http_request" not in line]
+
+        assert stable(client.metrics()) == stable(client.metrics())
+
+    def test_trace_endpoint_is_valid_chrome_trace(self, server):
+        from repro.obs.sinks import validate_chrome_trace
+
+        client = ServeClient(server.url)
+        grid = [{"x": 300 + i} for i in range(6)]
+        status = client.run(_request(grid, no_store=True), timeout=WAIT)
+        payload = client.trace(status["id"])
+        validate_chrome_trace(payload)
+        slices = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == 6          # one duration slice per cell
+        assert {e["tid"] for e in slices} >= {1, 2}  # both workers
+        assert all(e["args"]["trace"] == f"tr-{status['id']}"
+                   for e in slices)
+        assert payload["otherData"]["state"] == "done"
+        with pytest.raises(ServeError) as err:
+            client.trace("sw9999")
+        assert err.value.status == 404
+
+    def test_trace_records_crash_recovery(self):
+        from repro.obs.sinks import validate_chrome_trace
+        from repro.serve import sweep_trace
+
+        grid = [{"x": i} for i in range(8)]
+        chaos = {"worker_crash_rate": 0.5, "seed": 7, "max_retries": 4}
+        with SweepScheduler(store=None, workers=2) as sched:
+            sid = sched.submit(_request(grid, faults=chaos))
+            assert sched.wait(sid, timeout=WAIT)
+            status = sched.status(sid)
+            payload = sweep_trace(sched, sid)
+        assert status["stats"]["worker_deaths"] >= 1
+        validate_chrome_trace(payload)
+        names = [e["name"] for e in payload["traceEvents"]]
+        # A killed attempt closes as a requeue slice and the pool's
+        # worker-exit instant lands on the same timeline.
+        assert any("requeue:" in name for name in names)
+        assert "serve_worker_exit" in names
+        assert sweep_trace(sched, "sw9999") is None
+
+    def test_failure_rows_carry_flight_tail(self):
+        request = {"callable": "serve_jobs:fail_on_three",
+                   "grid": [{"x": 1}, {"x": 3}], "retries": 0}
+        with SweepScheduler(store=None, workers=1) as sched:
+            sid = sched.submit(request)
+            assert sched.wait(sid, timeout=WAIT)
+            status = sched.status(sid)
+        ok, bad = status["records"]
+        assert ok["status"] == "ok"
+        assert "flight" not in ok       # payload key is only-when-set
+        kinds = [crumb["kind"] for crumb in bad["flight"]]
+        assert kinds[0] == "flight_begin"
+        assert kinds[-1] == "flight_error"
+        assert all(crumb["sweep"] == sid for crumb in bad["flight"])
+        assert all(crumb["trace"] == f"tr-{sid}"
+                   for crumb in bad["flight"])
+        assert all(crumb["index"] == 1 for crumb in bad["flight"])
+
+    def test_longpoll_finished_sweep_returns_immediately(self, server):
+        import time
+
+        client = ServeClient(server.url)
+        status = client.run(_request([{"x": 400}]), timeout=WAIT)
+        t0 = time.monotonic()
+        chunk = client.events(status["id"], since=0, timeout=20.0)
+        assert time.monotonic() - t0 < 5.0
+        assert chunk["state"] == "done"
+        assert chunk["events"]
+
+    def test_longpoll_no_new_events_honors_timeout(self, server):
+        import time
+
+        client = ServeClient(server.url)
+        submitted = client.submit(
+            {"callable": "serve_jobs:sleep_forever",
+             "grid": [{"sleep": 2.5}], "timeout": 30.0})
+        sid = submitted["id"]
+        # Drain what exists, then poll at the cursor end while the cell
+        # is still sleeping: the poll must ride out its window, not spin.
+        chunk = client.events(sid, since=0, timeout=0.0)
+        t0 = time.monotonic()
+        again = client.events(sid, since=chunk["next"], timeout=1.0)
+        elapsed = time.monotonic() - t0
+        if again["state"] == "running" and not again["events"]:
+            assert 0.8 <= elapsed < 5.0
+        client.wait(sid, timeout=WAIT)  # leave the pool idle
+
+    def test_longpoll_cursor_reuse_no_dup_no_drop(self, server):
+        client = ServeClient(server.url)
+        status = client.run(_request([{"x": 402}, {"x": 403}]),
+                            timeout=WAIT)
+        full = client.events(status["id"], since=0, timeout=0.0)["events"]
+        assert [e["seq"] for e in full] == list(range(len(full)))
+        stepped, since = [], 0
+        while True:
+            chunk = client.events(status["id"], since=since, timeout=0.0)
+            if not chunk["events"]:
+                break
+            stepped.extend(chunk["events"])
+            since = chunk["next"]
+        assert stepped == full
+        # Re-reading an old cursor replays the identical suffix.
+        mid = len(full) // 2
+        again = client.events(status["id"], since=mid,
+                              timeout=0.0)["events"]
+        assert again == full[mid:]
+
+
+# ---------------------------------------------------------------------------
 # the cache CLI
 # ---------------------------------------------------------------------------
 
