@@ -20,6 +20,15 @@ same comparison the ``REPRO_SIM_KERNEL=legacy`` switch gives whole
 programs).  ``--experiments`` additionally times the wall-clock gated
 experiments (e10 scaling sweep, e19 crossover) in subprocesses.
 
+The ``batch`` section measures ``exec_mode="batch"`` (the SoA batch
+drain) against the reference event path on two batch-heavy scenarios —
+a 256-PE waiting-matching pool and a 2048-bank full/empty memory system
+— plus an e10-style TTDA matmul timed under both modes.  The gate is
+recorded as ``{target, achieved, met}``; because batch mode replays
+every handler byte-identically, the un-vectorizable per-event machinery
+bounds it near parity on real components, and an unmet gate with the
+honest number is the expected outcome (see docs/PERFORMANCE.md).
+
 The ``psim`` section measures the sharded parallel kernel
 (:mod:`repro.common.psim`): cross-shard ring throughput per mode, and an
 e10-style TTDA matmul timed serial vs. ``shards=4``.  The recorded
@@ -271,6 +280,188 @@ def run_psim_bench(n_events, repeat):
     }
 
 
+# ----------------------------------------------------------------------
+# Batch execution mode (exec_mode="batch") scenarios.
+# ----------------------------------------------------------------------
+
+#: The gate the ISSUE sets for the batch-heavy scenarios.  Recorded as
+#: ``{target, achieved, met}`` — honestly, like the psim section: the
+#: batch drain replays every entry's exact handler body to stay
+#: byte-identical, so the un-vectorizable per-event machinery (FIFO
+#: server restarts, queue bookkeeping, downstream submits) bounds the
+#: achievable speedup on real components regardless of batch width.
+BATCH_GATE_TARGET = 2.5
+
+#: The e10-style workload timed event-vs-batch (recorded, not gated).
+BATCH_E10_CONFIG = {"n_pes": 64}
+BATCH_E10_WORKLOAD = {"workload": "matmul", "args": [8]}
+
+
+def batch_token_match(exec_mode, n_pes=256, pairs=8192):
+    """Wide waiting-matching pool: ``pairs`` dyadic ADD token pairs
+    injected at t=0 into a ``n_pes``-PE tagged-token machine, then run
+    to quiescence.  Every instant drains one completion per PE — runs
+    up to ``n_pes`` wide through the waiting-matching, fetch, ALU and
+    output sections (the §1.2 shape: a large pool of homogeneous ready
+    work)."""
+    from repro.dataflow.machine import MachineConfig, TaggedTokenMachine
+    from repro.dataflow.tags import intern_tag, reset_intern_table
+    from repro.dataflow.token import Token, TokenKind
+    from repro.graph import Opcode, ProgramBuilder
+
+    pb = ProgramBuilder()
+    b = pb.procedure("pairs")
+    add = b.emit(Opcode.ADD, name="a+b")
+    ret = b.emit(Opcode.RETURN)
+    b.wire(add, ret, 0)
+    b.param((add, 0))
+    b.param((add, 1))
+    program = pb.build(validate=False)
+
+    machine = TaggedTokenMachine(
+        program, MachineConfig(n_pes=n_pes, exec_mode=exec_mode))
+    reset_intern_table()
+    sim = machine.sim
+    for i in range(pairs):
+        tag = intern_tag(None, "pairs", add, i + 1)
+        pe = machine.mapping.pe_of(tag)
+        target = machine.pes[pe]
+        for port in (0, 1):
+            token = Token(tag, port, i, TokenKind.NORMAL, nt=2)
+            sim.post_to(target, 0, target.receive, token.routed_to(pe))
+    t0 = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - t0
+    matches = sum(pe.counters["matches"] for pe in machine.pes)
+    assert matches == pairs, f"expected {pairs} matches, got {matches}"
+    return sim.events_fired, elapsed, sim.kernel_stats()
+
+
+def batch_bank_service(exec_mode, banks=2048, rounds=40):
+    """Wide memory-bank pool: ``banks`` full/empty-bit memory modules,
+    each cycling LOAD / WRITEF / READF / FAA request chains — every
+    instant completes one request per bank, so the batch kernel sees
+    ``banks``-wide runs through the vectorized full/empty gather."""
+    from repro.common.batch import BatchPlane
+    from repro.common.simulator import Simulator
+    from repro.vonneumann.isa import Op
+    from repro.vonneumann.memory import (
+        BankServeKind, FullBitPlane, MemRequest, MemoryModule,
+    )
+
+    sim = Simulator()
+    modules = [MemoryModule(sim, 1.0, name=f"m{i}") for i in range(banks)]
+    if exec_mode == "batch" and isinstance(sim, CalendarSimulator):
+        plane = sim.attach_batch_plane(BatchPlane())
+        full = FullBitPlane()
+        for module in modules:
+            module.full_bits = full
+        kind = BankServeKind(sim, full)
+        for module in modules:
+            plane.register(module.server._complete, kind)
+    ops = (Op.LOAD, Op.WRITEF, Op.READF, Op.FAA)
+    done = [0]
+
+    def chain(i, k):
+        if k >= rounds:
+            done[0] += 1
+            return
+        request = MemRequest(ops[k % 4], i, value=k)
+        modules[i].submit(request, lambda _resp, i=i, k=k: chain(i, k + 1))
+
+    for i in range(banks):
+        chain(i, 0)
+    t0 = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - t0
+    assert done[0] == banks, f"expected {banks} chains done, got {done[0]}"
+    return sim.events_fired, elapsed, sim.kernel_stats()
+
+
+BATCH_SCENARIOS = [
+    ("token_match", batch_token_match),
+    ("bank_service", batch_bank_service),
+]
+
+
+def run_batch_bench(repeat):
+    """Batch-vs-event throughput on the gate scenarios + an e10-style
+    TTDA matmul timed under both modes (recorded, not gated)."""
+    from repro.machines import registry
+
+    scenarios = {}
+    speedups = []
+    for name, fn in BATCH_SCENARIOS:
+        row = {}
+        stats = None
+        for mode in ("event", "batch"):
+            best = 0.0
+            fired = 0
+            for _ in range(repeat):
+                fired, elapsed, kernel_stats = fn(mode)
+                rate = fired / elapsed if elapsed > 0 else 0.0
+                best = max(best, rate)
+                if mode == "batch":
+                    stats = kernel_stats
+            row[f"{mode}_events_per_sec"] = round(best)
+            row["events_fired"] = fired
+        event = row["event_events_per_sec"]
+        row["speedup"] = (
+            round(row["batch_events_per_sec"] / event, 2) if event else 0.0
+        )
+        row["batch_kernel_stats"] = {
+            key: stats.get(key) for key in
+            ("batched_ops", "batch_flushes", "max_batch_width")
+        }
+        speedups.append(row["speedup"])
+        scenarios[name] = row
+
+    spec = {"machine": "ttda", "config": dict(BATCH_E10_CONFIG),
+            "workload": dict(BATCH_E10_WORKLOAD)}
+    timings = {}
+    for mode in ("event", "batch"):
+        run_spec = dict(spec)
+        run_spec["config"] = dict(spec["config"], exec_mode=mode)
+        best = None
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            registry.run_spec(run_spec)
+            elapsed = time.perf_counter() - t0
+            best = elapsed if best is None else min(best, elapsed)
+        timings[f"{mode}_wall_seconds"] = round(best, 3)
+    event_wall = timings["event_wall_seconds"]
+    batch_wall = timings["batch_wall_seconds"]
+
+    achieved = math.exp(
+        sum(math.log(s) for s in speedups) / len(speedups)
+    ) if all(s > 0 for s in speedups) else 0.0
+    section = {
+        "scenarios": scenarios,
+        "e10_ttda_matmul": dict(
+            timings,
+            config=dict(BATCH_E10_CONFIG),
+            workload=dict(BATCH_E10_WORKLOAD),
+            speedup=round(event_wall / batch_wall, 2) if batch_wall else 0.0,
+        ),
+        "gate": {
+            "target": BATCH_GATE_TARGET,
+            "achieved": round(achieved, 2),
+            "met": achieved >= BATCH_GATE_TARGET,
+        },
+    }
+    if not section["gate"]["met"]:
+        # The honest story, recorded next to the number (PERFORMANCE.md
+        # has the full analysis): byte-identical replay means the batch
+        # kernels only lift the *compute* out of each handler, and the
+        # per-event control machinery they must replay dominates.
+        section["gate"]["note"] = (
+            "batch mode trades throughput for byte-identical replay; the "
+            "un-vectorizable per-event machinery bounds it near parity "
+            "on real components (see docs/PERFORMANCE.md)"
+        )
+    return section
+
+
 def _time_scenario(fn, sim_class, n_events, repeat):
     """Best-of-``repeat`` events/sec (best-of defeats scheduler noise)."""
     best = 0.0
@@ -330,6 +521,8 @@ def main(argv=None):
                         help="also time the gated experiments (e10, e19)")
     parser.add_argument("--skip-psim", action="store_true",
                         help="skip the parallel-kernel (psim) section")
+    parser.add_argument("--skip-batch", action="store_true",
+                        help="skip the batch execution mode section")
     parser.add_argument("--out", default=DEFAULT_OUT,
                         help="output JSON path (default: repo BENCH_perf.json)")
     parser.add_argument("--no-write", action="store_true",
@@ -357,12 +550,15 @@ def main(argv=None):
         print(f"{name:<{width}}  {cal if cal else '-':>14}  "
               f"{leg if leg else '-':>12}  "
               f"{f'{speed:.2f}x' if speed else '-':>8}")
+    from repro.common.batch import resolve_exec_mode
+
     payload = {
         "meta": {
             "host_cpus": os.cpu_count() or 1,
             "kernel": ("legacy" if args.legacy
                        else os.environ.get("REPRO_SIM_KERNEL")
                        or "calendar"),
+            "exec_mode": resolve_exec_mode(),
             "shards": PSIM_E10_SHARDS if not args.skip_psim else 1,
             "python": sys.version.split()[0],
         },
@@ -390,6 +586,25 @@ def main(argv=None):
               f"sequenced x{e10['sequenced_speedup']:.2f}, "
               f"thread x{e10['thread_speedup']:.2f} "
               f"(shards={e10['shards']}, host_cpus={psim['host_cpus']})")
+
+    if not args.skip_batch and not args.legacy:
+        print("\nbenchmarking batch execution mode (exec_mode=batch)...")
+        batch = run_batch_bench(args.repeat)
+        payload["batch"] = batch
+        for name, row in batch["scenarios"].items():
+            stats = row["batch_kernel_stats"]
+            print(f"  {name:>12}: event {row['event_events_per_sec']:>8} ev/s, "
+                  f"batch {row['batch_events_per_sec']:>8} ev/s, "
+                  f"x{row['speedup']:.2f} "
+                  f"(ops={stats['batched_ops']}, "
+                  f"max_width={stats['max_batch_width']})")
+        e10 = batch["e10_ttda_matmul"]
+        print(f"  e10 ttda matmul: event {e10['event_wall_seconds']:.3f}s, "
+              f"batch {e10['batch_wall_seconds']:.3f}s, x{e10['speedup']:.2f}")
+        gate = batch["gate"]
+        verdict = "met" if gate["met"] else "NOT met"
+        print(f"  gate: {gate['achieved']:.2f}x achieved vs "
+              f"{gate['target']:.1f}x target ({verdict})")
 
     if args.experiments:
         print("\ntiming gated experiments (subprocess, cache off)...")

@@ -1,0 +1,209 @@
+"""Batch execution mode: structure-of-arrays kernels over the calendar drain.
+
+The calendar kernel (PR 4) made event *dispatch* cheap; the remaining
+per-event cost is the Python inside the machine cores — one token matched,
+one memory request served, one instruction executed per callback.  The
+paper's own throughput argument (§1.2) is about draining large pools of
+homogeneous ready work, and that is exactly the shape the calendar queue
+exposes: every bucket holds one simulated instant's arrivals, already in
+deterministic FIFO order.
+
+``exec_mode="batch"`` (or ``REPRO_EXEC_MODE=batch``) turns that bucket
+into a batch.  Before the drain fires a bucket segment, the attached
+:class:`BatchPlane` *scans* it for contiguous runs of entries whose
+callback belongs to a registered :class:`BatchKind` — all waiting-matching
+completions, all memory-bank services, all ALU completions at this
+instant.  Each run is then applied by the kind's ``apply_run``: one Python
+call that gathers the run into structure-of-arrays form (numpy int arrays
+of tags/ports/addresses/opcodes), does the homogeneous compute vectorized,
+and replays the per-entry side effects **in exact bucket order**.
+
+Byte-identity is by construction, not by testing:
+
+* the bucket already *is* the arrival-ordered event log, and ``apply_run``
+  replays each entry's handler body (inlined, with the vectorized result
+  substituted for the scalar compute) at its exact position — so every
+  downstream ``submit``/``post`` happens in the same order, at the same
+  simulated time, with the same values as the event path;
+* a kind's vectorized pre-pass may only read state that is written
+  exclusively by entries of that same kind, and one unit (one FIFO
+  server, one bank, one controller) completes at most once per bucket
+  segment — so the pre-pass can never observe state mid-mutation;
+* runs never contain cancellable :class:`~repro.common.simulator.Event`
+  records (every hot path posts bare tuples, which cannot be cancelled),
+  and the scan stops adding entries once the run would overrun the
+  remaining event budget — so budget exhaustion still leaves a resumable
+  unfired tail, exactly like the event path.
+
+If a batched handler raises, the drain counts the whole run as fired and
+lets the exception propagate (the machine is dead either way); the raise
+itself happens at the same entry, with the same message, as event mode.
+
+Fault injection and tracing need per-event interposition, so machines
+deregister their kinds (the plane stays attached and reports zero batched
+ops) when a fault plan or trace bus is active; the run simply takes the
+reference event path under ``exec_mode="batch"``.
+"""
+
+import os
+
+from .errors import SimulationError
+
+try:  # numpy is the whole point, but the plane stays inert without it
+    import numpy as np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    np = None
+
+__all__ = ["EXEC_MODES", "resolve_exec_mode", "BatchKind", "FusedKind",
+           "BatchPlane", "np"]
+
+#: Known execution modes.  ``event`` is the per-callback reference path;
+#: ``batch`` drains homogeneous bucket runs through SoA kernels.
+EXEC_MODES = ("event", "batch")
+
+
+def resolve_exec_mode(exec_mode=None):
+    """Validated execution mode from ``exec_mode`` or ``$REPRO_EXEC_MODE``.
+
+    Resolution happens per call — *not* at import time — so setting the
+    environment variable after ``import repro`` works (the
+    :func:`~repro.common.simulator.resolve_kernel` lesson).  An explicit
+    ``exec_mode=`` argument wins over the environment; unknown names
+    raise :class:`SimulationError` instead of silently running the
+    reference path.
+    """
+    name = exec_mode or os.environ.get("REPRO_EXEC_MODE", "") or "event"
+    name = name.lower()
+    if name not in EXEC_MODES:
+        raise SimulationError(
+            f"unknown exec mode {name!r} (expected one of {list(EXEC_MODES)})"
+        )
+    return name
+
+
+class BatchKind:
+    """One homogeneous class of bucket entries.
+
+    Subclasses implement :meth:`apply_run`, which must fire every entry in
+    ``bucket[start:end]`` exactly as the event path would have — same side
+    effects, same order — and may vectorize any compute that only depends
+    on state owned by this kind.  ``min_run`` is the smallest run worth
+    the SoA gather; shorter runs stay on the scalar path.
+    """
+
+    #: Display name (``kernel_stats`` / debugging).
+    name = "kind"
+    #: Runs shorter than this are left to the scalar drain.
+    min_run = 2
+
+    def apply_run(self, bucket, start, end):
+        raise NotImplementedError
+
+
+class FusedKind(BatchKind):
+    """Dispatch-fusion only: fire a run of same-shaped entries in one tight
+    loop, skipping the drain's per-entry type and budget checks.  No SoA
+    compute — the win is call overhead, so it only pays on wide runs."""
+
+    name = "fused"
+    min_run = 8
+
+    def apply_run(self, bucket, start, end):
+        for i in range(start, end):
+            fn, args = bucket[i]
+            fn(*args)
+
+
+class BatchPlane:
+    """The per-simulator registry of batch kinds plus its counters.
+
+    Attached to a :class:`~repro.common.simulator.CalendarSimulator` via
+    ``attach_batch_plane``; the drain consults :meth:`scan` at each bucket
+    segment boundary.  Counters feed ``kernel_stats()`` (telemetry only —
+    never result payloads).
+    """
+
+    __slots__ = ("_kinds", "batched_ops", "batch_flushes", "max_batch_width")
+
+    def __init__(self):
+        self._kinds = {}  # posted fn (bound method) -> BatchKind
+        self.batched_ops = 0
+        self.batch_flushes = 0
+        self.max_batch_width = 0
+
+    def register(self, fn, kind):
+        """Route posted entries whose callback equals ``fn`` to ``kind``."""
+        self._kinds[fn] = kind
+        return kind
+
+    @property
+    def kinds(self):
+        return self._kinds
+
+    def scan(self, bucket, idx, n, remaining):
+        """Contiguous batchable runs in ``bucket[idx:n]``.
+
+        Returns ``[(start, end, kind), ...]`` in position order.  Only
+        bare-tuple entries join runs (Events stay scalar, so cancellation
+        semantics are untouched), and the walk stops once ``remaining``
+        prospective fires have been counted — every run is guaranteed to
+        fit inside the caller's event budget even if interleaved scalar
+        entries fire first.
+        """
+        kinds = self._kinds
+        runs = []
+        append = runs.append
+        prospective = 0
+        run_start = -1
+        run_kind = None
+        i = idx
+        while i < n:
+            entry = bucket[i]
+            if type(entry) is tuple:
+                if prospective >= remaining:
+                    break
+                prospective += 1
+                kind = kinds.get(entry[0])
+                if kind is not None:
+                    if kind is run_kind:
+                        i += 1
+                        continue
+                    if run_kind is not None and i - run_start >= run_kind.min_run:
+                        append((run_start, i, run_kind))
+                    run_start = i
+                    run_kind = kind
+                    i += 1
+                    continue
+            elif not entry.cancelled:
+                if prospective >= remaining:
+                    break
+                prospective += 1
+            if run_kind is not None:
+                if i - run_start >= run_kind.min_run:
+                    append((run_start, i, run_kind))
+                run_kind = None
+            i += 1
+        if run_kind is not None and i - run_start >= run_kind.min_run:
+            append((run_start, i, run_kind))
+        return runs
+
+    def note_run(self, width):
+        self.batch_flushes += 1
+        self.batched_ops += width
+        if width > self.max_batch_width:
+            self.max_batch_width = width
+
+    def stats(self):
+        """The ``kernel_stats()`` extension for a batch-mode run."""
+        return {
+            "exec_mode": "batch",
+            "batched_ops": self.batched_ops,
+            "batch_flushes": self.batch_flushes,
+            "max_batch_width": self.max_batch_width,
+        }
+
+    def __repr__(self):
+        return (
+            f"<BatchPlane kinds={len(self._kinds)} "
+            f"ops={self.batched_ops} flushes={self.batch_flushes}>"
+        )

@@ -196,6 +196,7 @@ def run_suite(only=None, jobs=None, no_cache=False, timeout=None,
             "data": table_rows(table),
         })
 
+    from ..common.batch import resolve_exec_mode
     from ..common.simulator import resolve_shards
 
     aggregate = {
@@ -213,6 +214,7 @@ def run_suite(only=None, jobs=None, no_cache=False, timeout=None,
             "host_cpus": os.cpu_count() or 1,
             "kernel": os.environ.get("REPRO_SIM_KERNEL") or "calendar",
             "shards": resolve_shards(),
+            "exec_mode": resolve_exec_mode(),
             "python": sys.version.split()[0],
         },
     }

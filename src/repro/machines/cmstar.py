@@ -30,7 +30,7 @@ LOCAL_BLOCK = 1024
 
 def _build_cmstar(n_clusters=4, cluster_size=4, kmap_time=3.0,
                   intercluster_time=9.0, local_time=1.0, memory_time=2.0,
-                  faults=None, shards=None):
+                  faults=None, shards=None, exec_mode=None):
     """A Cm*-shaped machine: one memory module co-located with each
     processor, clusters joined by Kmaps and an intercluster bus."""
     n = n_clusters * cluster_size
@@ -49,6 +49,7 @@ def _build_cmstar(n_clusters=4, cluster_size=4, kmap_time=3.0,
         n, memory="dancehall", n_modules=n, memory_time=memory_time,
         network_factory=network_factory, placement="blocked",
         block_size=LOCAL_BLOCK, faults=faults, sim_shards=shards,
+        exec_mode=exec_mode,
     )
 
 
@@ -94,7 +95,8 @@ class CmstarModel:
 
     def __init__(self, n_clusters=4, cluster_size=4, kmap_time=3.0,
                  intercluster_time=9.0, local_time=1.0, memory_time=2.0,
-                 faults=None, shards=None):
+                 faults=None, shards=None, exec_mode=None):
+        from ..common.batch import resolve_exec_mode
         from ..faults import coerce_plan
 
         plan = coerce_plan(faults)
@@ -112,6 +114,9 @@ class CmstarModel:
             self.config["faults"] = plan.as_dict()
         if shards is not None:
             self.config["shards"] = shards
+        resolve_exec_mode(exec_mode)
+        if exec_mode is not None:
+            self.config["exec_mode"] = exec_mode
 
     def topology(self):
         """Cm*'s partition graph — and the paper's point made concrete.
@@ -191,6 +196,7 @@ class CmstarModel:
         return SimResult(
             machine=self.name,
             config=dict(self.config),
+            kernel_stats=machine.sim.kernel_stats(),
             workload={
                 "remote_fraction": remote_fraction,
                 "n_refs": n_refs,

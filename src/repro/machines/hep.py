@@ -25,7 +25,7 @@ __all__ = ["HepModel"]
 
 
 def _build_hep(contexts=8, latency=8.0, memory_time=1.0, retry_backoff=4.0,
-               source=None, regs_of=None, faults=None):
+               source=None, regs_of=None, faults=None, exec_mode=None):
     """One barrel processor with ``contexts`` register sets.
 
     ``source`` (default: a load/compute kernel) is loaded into every
@@ -33,7 +33,8 @@ def _build_hep(contexts=8, latency=8.0, memory_time=1.0, retry_backoff=4.0,
     """
     machine = VNMachine(1, memory="dancehall", latency=latency,
                         memory_time=memory_time,
-                        retry_backoff=retry_backoff, faults=faults)
+                        retry_backoff=retry_backoff, faults=faults,
+                        exec_mode=exec_mode)
     if source is None:
         source = programs.compute_loop(16, loads_per_iter=1,
                                        alu_ops_per_iter=2)
@@ -46,7 +47,8 @@ def _build_hep(contexts=8, latency=8.0, memory_time=1.0, retry_backoff=4.0,
     return machine
 
 
-def _producer_consumer(n, producer_work, retry_backoff, faults=None):
+def _producer_consumer(n, producer_work, retry_backoff, faults=None,
+                       exec_mode=None):
     """Busy-wait traffic of HEP-style full/empty synchronization.
 
     Two contexts on one barrel processor share an array: the producer
@@ -55,7 +57,8 @@ def _producer_consumer(n, producer_work, retry_backoff, faults=None):
     Returns (result, retries, memory_requests_per_element).
     """
     machine = VNMachine(1, memory="dancehall", latency=2, memory_time=1,
-                        retry_backoff=retry_backoff, faults=faults)
+                        retry_backoff=retry_backoff, faults=faults,
+                        exec_mode=exec_mode)
     machine.add_multithreaded_processor(
         [
             (programs.producer_per_element(100, n,
@@ -77,7 +80,8 @@ class HepModel:
     """Registry model: one HEP barrel processor over full/empty memory."""
 
     def __init__(self, contexts=8, latency=8.0, memory_time=1.0,
-                 retry_backoff=4.0, faults=None):
+                 retry_backoff=4.0, faults=None, exec_mode=None):
+        from ..common.batch import resolve_exec_mode
         from ..faults import coerce_plan
 
         plan = coerce_plan(faults)
@@ -91,6 +95,9 @@ class HepModel:
         # and every existing baseline row stay byte-identical.
         if plan is not None:
             self.config["faults"] = plan.as_dict()
+        resolve_exec_mode(exec_mode)
+        if exec_mode is not None:
+            self.config["exec_mode"] = exec_mode
 
     def build(self, source=None, regs_of=None):
         """The underlying :class:`VNMachine`, contexts loaded."""
@@ -122,7 +129,8 @@ class HepModel:
         elif workload == "producer_consumer":
             result, retries, per_element, machine = _producer_consumer(
                 n, producer_work, config["retry_backoff"],
-                faults=config.get("faults"))
+                faults=config.get("faults"),
+                exec_mode=config.get("exec_mode"))
             metrics = {
                 "time": result.time,
                 "instructions": result.instructions,
@@ -137,5 +145,6 @@ class HepModel:
         accounting = vn_accounting(machine, result, name=self.name)
         return SimResult(machine=self.name, config=dict(config),
                          workload=spec, metrics=metrics,
-                         accounting=accounting.as_dict())
+                         accounting=accounting.as_dict(),
+                         kernel_stats=machine.sim.kernel_stats())
 
