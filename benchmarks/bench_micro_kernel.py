@@ -462,6 +462,47 @@ def run_batch_bench(repeat):
     return section
 
 
+#: The analytic-surrogate answer-latency gate (seconds per query): the
+#: whole point of ``repro predict`` is answering in microseconds what a
+#: simulation answers in seconds, so a warm query must stay under 1 ms.
+PREDICT_GATE_SECONDS = 1e-3
+
+
+def run_predict_bench(repeat, queries=2000):
+    """Warm-query latency of the analytic surrogate (repro.predict).
+
+    Loads the committed ttda fit once, then times ``queries`` repeated
+    in-region queries; reports best-of-``repeat`` mean seconds/query and
+    the <1ms gate.  The simulated time of the same config (from the e10
+    grid: seconds of wall clock per run) is what the surrogate avoids.
+    """
+    from repro.predict import PredictPlane
+
+    plane = PredictPlane()
+    config = {"workload": "matmul", "n_pes": 8, "network_latency": 20}
+    predictor = plane.predictor("ttda")
+    predictor.query(config)  # warm: artifact load + first import
+    best = None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        for _ in range(queries):
+            predictor.query(config)
+        per_query = (time.perf_counter() - t0) / queries
+        best = per_query if best is None else min(best, per_query)
+    return {
+        "machine": "ttda",
+        "config": config,
+        "queries": queries,
+        "seconds_per_query": round(best, 9),
+        "queries_per_sec": round(1.0 / best) if best else 0,
+        "gate": {
+            "target_seconds": PREDICT_GATE_SECONDS,
+            "achieved_seconds": round(best, 9),
+            "met": best < PREDICT_GATE_SECONDS,
+        },
+    }
+
+
 def _time_scenario(fn, sim_class, n_events, repeat):
     """Best-of-``repeat`` events/sec (best-of defeats scheduler noise)."""
     best = 0.0
@@ -523,6 +564,8 @@ def main(argv=None):
                         help="skip the parallel-kernel (psim) section")
     parser.add_argument("--skip-batch", action="store_true",
                         help="skip the batch execution mode section")
+    parser.add_argument("--skip-predict", action="store_true",
+                        help="skip the analytic-surrogate latency section")
     parser.add_argument("--out", default=DEFAULT_OUT,
                         help="output JSON path (default: repo BENCH_perf.json)")
     parser.add_argument("--no-write", action="store_true",
@@ -605,6 +648,16 @@ def main(argv=None):
         verdict = "met" if gate["met"] else "NOT met"
         print(f"  gate: {gate['achieved']:.2f}x achieved vs "
               f"{gate['target']:.1f}x target ({verdict})")
+
+    if not args.skip_predict:
+        print("\nbenchmarking the analytic surrogate (repro predict)...")
+        predict = run_predict_bench(args.repeat)
+        payload["predict"] = predict
+        gate = predict["gate"]
+        verdict = "met" if gate["met"] else "NOT met"
+        print(f"  warm query: {predict['seconds_per_query'] * 1e6:.1f} us "
+              f"({predict['queries_per_sec']} queries/s); gate "
+              f"<{gate['target_seconds'] * 1e3:.0f}ms {verdict}")
 
     if args.experiments:
         print("\ntiming gated experiments (subprocess, cache off)...")

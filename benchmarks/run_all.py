@@ -63,6 +63,7 @@ EXPERIMENTS = [
     ("bench_e19_crossover", [("run_experiment", "e19_crossover")]),
     ("bench_e20_fault_tolerance",
      [("run_experiment", "e20_fault_tolerance")]),
+    ("bench_e21_predict", [("run_experiment", "e21_predict")]),
 ]
 
 

@@ -261,6 +261,11 @@ def build_parser():
                         help="retry budget per cell")
     submit.add_argument("--label", default=None,
                         help="free-form label echoed in sweep listings")
+    submit.add_argument("--predict", action="store_true",
+                        help="answer in-region cells from the analytic "
+                             "surrogate (repro.predict) instead of the "
+                             "worker pool; out-of-region cells fall "
+                             "back to workers")
     submit.add_argument("--detach", action="store_true",
                         help="print the sweep id and exit without "
                              "waiting")
@@ -361,6 +366,34 @@ def build_parser():
                               "(registry.describe) instead of running it")
     machine.add_argument("--json", action="store_true",
                          help="emit the SimResult as JSON")
+
+    predict = sub.add_parser(
+        "predict",
+        help="answer a machine-config query in microseconds from the "
+             "fitted Amdahl/queueing surrogate (no simulation)",
+    )
+    predict.add_argument("machine_name", nargs="?", default=None,
+                         metavar="MACHINE",
+                         help="fitted machine (omit to list fits)")
+    predict.add_argument("query", nargs="*", default=[],
+                         metavar="KEY=VALUE",
+                         help="workload=NAME plus knob overrides, e.g. "
+                              "workload=matmul n_pes=8 network_latency=20")
+    predict.add_argument("--fit", action="store_true",
+                         help="(re)fit the surrogates from simulation and "
+                              "write the artifacts, then exit")
+    predict.add_argument("--validate", action="store_true",
+                         help="sweep fit-vs-simulation error over the "
+                              "fitted grids; nonzero exit when the "
+                              "documented bounds are exceeded")
+    predict.add_argument("--extrapolate", action="store_true",
+                         help="answer out-of-region queries anyway "
+                              "(default: refuse with exit code 2)")
+    predict.add_argument("--fits-dir", default=None, metavar="DIR",
+                         help="fit-artifact directory (default: "
+                              "<benchmarks>/fits)")
+    predict.add_argument("--json", action="store_true",
+                         help="machine-readable output")
     return parser
 
 
@@ -819,6 +852,8 @@ def _submit_request(options):
         request["retries"] = options.retries
     if options.label:
         request["label"] = options.label
+    if options.predict:
+        request["predict"] = True
     return request
 
 
@@ -1017,6 +1052,13 @@ def _cmd_top(options, out):
                       f"{_metric(parsed, 'backup_tasks_total'):g} issued, "
                       f"{_metric(parsed, 'backup_wins_total'):g} won",
                       file=out)
+                print(f"  predict: "
+                      f"{_metric(parsed, 'predict_cells_total'):g} "
+                      "cell(s) from surrogate, "
+                      f"{_metric(parsed, 'predict_requests_total'):g} "
+                      "queries "
+                      f"({_metric(parsed, 'predict_out_of_region_total'):g} "
+                      "out of region)", file=out)
                 print(f"  sweeps:  "
                       f"{_metric(parsed, 'sweeps_submitted_total'):g} "
                       "submitted, "
@@ -1059,7 +1101,10 @@ def _cmd_cache(options, out):
                       f"{entry['bytes']:>10} bytes", file=out)
             return 0
         if options.cache_command == "prune":
-            dropped = store.prune(_parse_duration(options.older_than))
+            try:
+                dropped = store.prune(_parse_duration(options.older_than))
+            except ValueError as exc:
+                raise SystemExit(f"repro cache prune: {exc}")
             print(f"pruned {dropped} entr"
                   f"{'y' if dropped == 1 else 'ies'} older than "
                   f"{options.older_than}", file=out)
@@ -1144,6 +1189,106 @@ def _cmd_machine(options, out):
     return 0
 
 
+def _cmd_predict(options, out):
+    """Query / fit / validate the analytic surrogate (repro.predict)."""
+    from .predict import (CELL_EXPERIMENTS, OutOfRegionError, PredictError,
+                          PredictPlane, default_fits_dir, fit_cells,
+                          fit_machine, fitted_machines, resolve_benchmark,
+                          validate_all, write_cells, write_fit)
+
+    fits_dir = options.fits_dir or default_fits_dir()
+
+    if options.fit:
+        machines = ([options.machine_name] if options.machine_name
+                    else list(fitted_machines()))
+        paths = []
+        for machine in machines:
+            paths.append(write_fit(fit_machine(machine), fits_dir))
+            print(f"  fit: {machine} -> {paths[-1]}", file=sys.stderr)
+        for name in CELL_EXPERIMENTS:
+            paths.append(write_cells(fit_cells(resolve_benchmark(name)),
+                                     fits_dir))
+            print(f"  fit: {name} (cells) -> {paths[-1]}", file=sys.stderr)
+        if options.json:
+            print(json.dumps({"written": paths}, indent=2, sort_keys=True),
+                  file=out)
+        return 0
+
+    if options.validate:
+        machines = ([options.machine_name] if options.machine_name
+                    else list(fitted_machines()))
+        try:
+            report = validate_all(machines, fits_dir)
+        except ValueError as exc:
+            raise SystemExit(f"repro predict --validate: {exc}")
+        if options.json:
+            print(json.dumps(report, indent=2, sort_keys=True), file=out)
+        else:
+            for entry in report["machines"]:
+                overall = entry["overall"]
+                flag = "ok" if entry["ok"] else "EXCEEDS BOUNDS"
+                print(f"  {entry['machine']:<8} median "
+                      f"{100 * overall['median_rel']:.2f}%  p95 "
+                      f"{100 * overall['p95_rel']:.2f}%  max "
+                      f"{100 * overall['max_rel']:.2f}%  "
+                      f"({overall['points']} points)  [{flag}]", file=out)
+                for name, stats in sorted(entry["workloads"].items()):
+                    print(f"    {name:<14} median "
+                          f"{100 * stats['median_rel']:.2f}%  p95 "
+                          f"{100 * stats['p95_rel']:.2f}%", file=out)
+            bounds = report["machines"][0]["bounds"] if report["machines"] \
+                else {}
+            print(f"  bounds: median <= "
+                  f"{100 * bounds.get('median_rel', 0):.0f}%, p95 <= "
+                  f"{100 * bounds.get('p95_rel', 0):.0f}%", file=out)
+        return 0 if report["ok"] else 1
+
+    plane = PredictPlane(fits_dir=fits_dir)
+    if options.machine_name is None:
+        described = plane.describe()
+        if options.json:
+            print(json.dumps(described, indent=2, sort_keys=True), file=out)
+            return 0
+        if not described["machines"]:
+            print(f"no fit artifacts in {fits_dir} "
+                  "(run `repro predict --fit`)", file=out)
+            return 1
+        for machine, workloads in sorted(described["machines"].items()):
+            print(f"  {machine}:", file=out)
+            for workload, region in sorted(workloads.items()):
+                box = ", ".join(f"{knob}∈[{low:g}, {high:g}]"
+                                for knob, (low, high)
+                                in sorted(region.items()))
+                print(f"    {workload:<14} {box}", file=out)
+        return 0
+
+    query = _parse_kv(options.query, "predict")
+    try:
+        answer = plane.query(options.machine_name, query,
+                             extrapolate=options.extrapolate)
+    except OutOfRegionError as exc:
+        print(f"predict refused: {exc}", file=sys.stderr)
+        return 2
+    except PredictError as exc:
+        print(f"predict failed: {exc}", file=sys.stderr)
+        return 1
+    if options.json:
+        print(json.dumps(answer, indent=2, sort_keys=True), file=out)
+        return 0
+    print(f"machine: {answer['machine']}  workload: {answer['workload']}"
+          + ("" if answer["in_region"] else "  [EXTRAPOLATED]"), file=out)
+    for knob, value in sorted(answer["config"].items()):
+        print(f"  {knob}: {value}", file=out)
+    print(f"  predicted time: {answer['time']:.6g} cycles", file=out)
+    for bucket, mean in answer["buckets"].items():
+        print(f"    {bucket}: {mean:.6g}", file=out)
+    err = answer["train_error"]
+    print(f"  fit error over its grid: median "
+          f"{100 * err['median_rel']:.2f}%, p95 "
+          f"{100 * err['p95_rel']:.2f}%", file=out)
+    return 0
+
+
 def main(argv=None, out=None):
     out = out if out is not None else sys.stdout
     options = build_parser().parse_args(argv)
@@ -1160,6 +1305,7 @@ def main(argv=None, out=None):
         "sweeps": _cmd_sweeps,
         "top": _cmd_top,
         "cache": _cmd_cache,
+        "predict": _cmd_predict,
     }[options.command]
     try:
         return handler(options, out)

@@ -185,14 +185,28 @@ class ResultCache:
             "entries": count,
             "bytes": total_bytes,
             "experiments": per_experiment,
+            # Clamped at zero: a backwards clock step between write and
+            # stat must not report a negative age.
             "oldest_age_seconds": (None if oldest is None
-                                   else round(time.time() - oldest, 1)),
+                                   else round(max(0.0, time.time() - oldest),
+                                              1)),
             "session": {"hits": self.hits, "misses": self.misses},
         }
 
     def prune(self, older_than_seconds):
-        """Delete entries older than the cutoff; returns entries removed."""
-        cutoff = time.time() - older_than_seconds
+        """Delete entries older than the cutoff; returns entries removed.
+
+        ``older_than_seconds`` must be non-negative — a negative window
+        would place the cutoff in the future and delete entries written
+        this instant.  The cutoff is additionally clamped to *now* so an
+        entry stamped in the future (clock stepped backwards since the
+        write) is treated as age zero, never as prunable.
+        """
+        if not older_than_seconds >= 0:
+            raise ValueError(
+                f"older_than_seconds must be >= 0, got {older_than_seconds!r}")
+        now = time.time()
+        cutoff = min(now - older_than_seconds, now)
         removed = 0
         for _experiment, _key, path, mtime, _size in list(self.entries()):
             if mtime < cutoff:
@@ -205,4 +219,11 @@ class ResultCache:
 
     def clear(self):
         """Delete every entry; returns entries removed."""
-        return self.prune(-1.0)
+        removed = 0
+        for _experiment, _key, path, _mtime, _size in list(self.entries()):
+            try:
+                os.remove(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed

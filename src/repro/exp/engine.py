@@ -44,7 +44,13 @@ __all__ = ["RunRecord", "TaskQueue", "experiment_code_version",
            "records_payload", "run_experiment"]
 
 #: Statuses a run can end in.  ``ok`` is the only cached one.
-STATUSES = ("ok", "error", "timeout")
+#: ``fatal`` marks operator interrupts / resource exhaustion inside a
+#: worker (KeyboardInterrupt, SystemExit, MemoryError): the traceback is
+#: preserved in the failure row but the attempt is never retried.
+STATUSES = ("ok", "error", "timeout", "fatal")
+
+#: Exceptions that must not be swallowed into a retried ``error`` row.
+FATAL_EXCEPTIONS = (KeyboardInterrupt, SystemExit, MemoryError)
 
 #: Extra attempts a failed run gets before a failure row is recorded
 #: (shared default between the batch engine and the sweep service).
@@ -77,6 +83,10 @@ class RunRecord:
     #: post-mortems need no re-run.  Omitted from :meth:`payload` when
     #: absent, keeping successful rows byte-identical to older runs.
     flight: Optional[list] = None
+    #: The cell was answered by the analytic surrogate
+    #: (:mod:`repro.predict`) instead of a simulation run.  Only present
+    #: in :meth:`payload` when True — simulated rows stay byte-identical.
+    predicted: bool = False
 
     @property
     def ok(self):
@@ -98,6 +108,8 @@ class RunRecord:
             out["timeout_phase"] = self.timeout_phase
         if self.flight is not None:
             out["flight"] = self.flight
+        if self.predicted:
+            out["predicted"] = True
         if include_timing:
             out["wall_seconds"] = round(self.wall_seconds, 3)
         return out
@@ -193,13 +205,21 @@ def _worker_main(conn, run, config):
     import sys
 
     try:
-        conn.send(("begin", None, None))
-        value = run(config)
-        conn.send(("ok", value, None))
-    except BaseException:  # noqa: BLE001 — the parent turns this into a row
-        failure = traceback.format_exc()
         try:
-            conn.send(("error", None, failure))
+            conn.send(("begin", None, None))
+            value = run(config)
+            conn.send(("ok", value, None))
+            return
+        except FATAL_EXCEPTIONS:
+            # Operator interrupts and resource exhaustion are not
+            # ordinary run failures: ship them as ``fatal`` so the
+            # parent records the traceback without burning retries
+            # re-raising the same condition.
+            status, failure = "fatal", traceback.format_exc()
+        except BaseException:  # noqa: BLE001 — parent turns this into a row
+            status, failure = "error", traceback.format_exc()
+        try:
+            conn.send((status, None, failure))
         except (OSError, ValueError):
             # The pipe is gone (parent died / timed us out) or closed —
             # nothing structured can be shipped, but don't silently eat
@@ -334,7 +354,7 @@ def run_experiment(experiment, jobs=None, cache=None, timeout=None,
                              value=value, attempts=attempt + 1,
                              wall_seconds=wall, cache_key=key))
             return None
-        if attempt < retries:
+        if status != "fatal" and attempt < retries:
             return (index, attempt + 1, key)  # reschedule
         finish(RunRecord(index=index, config=config, status=status,
                          error=error, attempts=attempt + 1,
@@ -350,7 +370,7 @@ def run_experiment(experiment, jobs=None, cache=None, timeout=None,
             started = time.monotonic()
             try:
                 message = ("ok", experiment.run(experiment.grid[index]), None)
-            except (KeyboardInterrupt, SystemExit, MemoryError):
+            except FATAL_EXCEPTIONS:
                 # Operator interrupts and resource exhaustion must stop
                 # the whole sweep, not become a retried failure row.
                 raise

@@ -98,6 +98,23 @@ class SimResult:
 
         return CycleAccounting.from_dict(self.accounting)
 
+    def bucket_means(self):
+        """Mean cycles per unit for each accounting bucket.
+
+        The exact-sum invariant (every unit's buckets sum to the
+        accounting window) means the five per-unit means sum to the
+        window, i.e. to the run's time — which is what makes these the
+        natural regression targets for the analytic surrogate in
+        :mod:`repro.predict`: fit each bucket mean, sum the fits, and
+        the prediction decomposes the predicted run time the same way
+        the profiler decomposes the measured one.  Raises ``ValueError``
+        when the model attached no accounting.
+        """
+        profile = self.profile()
+        n_units = len(profile.units) or 1
+        return {bucket: total / n_units
+                for bucket, total in profile.totals().items()}
+
     def as_dict(self):
         """A plain-dict form, safe to JSON-serialize and cache."""
         payload = {

@@ -87,8 +87,16 @@ def write_baselines(aggregate, baseline_dir, rel_tol=DEFAULT_REL_TOL,
 def _values_match(fresh, base, rel_tol, abs_tol):
     if isinstance(fresh, (int, float)) and not isinstance(fresh, bool) \
             and isinstance(base, (int, float)) and not isinstance(base, bool):
+        # Non-finite cells get exact semantics, never tolerance
+        # arithmetic: a table "-" parses to NaN (tables.parse_cell), so
+        # NaN vs NaN compares clean and NaN vs a number is a drift; inf
+        # vs inf of the same sign is equal (the naive |a-b| <= tol path
+        # computes inf-inf = NaN and would flag two identical "infx"
+        # cells as drift), inf vs anything else is a drift.
         if math.isnan(fresh) or math.isnan(base):
             return math.isnan(fresh) and math.isnan(base)
+        if math.isinf(fresh) or math.isinf(base):
+            return fresh == base
         return abs(fresh - base) <= abs_tol + rel_tol * max(abs(fresh),
                                                             abs(base))
     return fresh == base

@@ -64,6 +64,8 @@ KINDS = (
                           # experiment, cells)
     "serve_store_hit",    # a cell was answered from the durable store
                           # (fields: sweep, index)
+    "serve_predict_hit",  # a cell was answered by the analytic surrogate
+                          # (repro.predict; fields: sweep, index)
     "serve_assign",       # a cell was handed to a worker (fields: sweep,
                           # index, worker, attempt, backup)
     "serve_backup",       # a straggler cell was re-issued to an idle
@@ -84,6 +86,8 @@ KINDS = (
     "flight_run",      # the run function was entered
     "flight_done",     # the run returned a value
     "flight_error",    # the run raised (detail = last traceback line)
+    "flight_fatal",    # the run hit an operator interrupt / resource
+                       # exhaustion (never retried; the worker exits)
 )
 
 

@@ -110,6 +110,20 @@ class ServeClient:
         """The Chrome-trace payload (a dict) of a sweep."""
         return self._request("GET", f"/sweeps/{sweep_id}/trace")
 
+    def predict_describe(self):
+        """Fitted machines + per-workload regions (``GET /predict``)."""
+        return self._request("GET", "/predict")
+
+    def predict(self, machine, config=None, extrapolate=False):
+        """Answer a machine query from the server's analytic surrogate.
+
+        Raises :class:`ServeError` with status 409 when the query lies
+        outside the fitted region and ``extrapolate`` is not set."""
+        body = {"machine": machine, "config": config or {}}
+        if extrapolate:
+            body["extrapolate"] = True
+        return self._request("POST", "/predict", body=body)
+
     def shutdown(self):
         return self._request("POST", "/shutdown")
 
@@ -146,8 +160,8 @@ class ServeClient:
 def _progress_printer(name, err):
     def on_event(event):
         kind = event.get("kind", "")
-        if kind in ("serve_store_hit", "sweep_task", "serve_backup",
-                    "serve_requeue", "sweep_end"):
+        if kind in ("serve_store_hit", "serve_predict_hit", "sweep_task",
+                    "serve_backup", "serve_requeue", "sweep_end"):
             print(f"  [{name}] {kind}: {event.get('detail', '')}",
                   file=err)
     return on_event

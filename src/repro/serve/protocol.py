@@ -37,6 +37,7 @@ from typing import Any, Dict, List, Optional
 
 from ..common.rng import substream
 from ..exp.bench import build_experiment, find_bench_dir
+from ..exp.engine import FATAL_EXCEPTIONS
 from ..exp.experiment import Experiment
 from ..faults import SCHEDULING_FIELDS, FaultPlan
 
@@ -83,9 +84,15 @@ class SweepRequest:
     label: Optional[str] = None
     #: Benchmarks directory override (tests; defaults to auto-detect).
     bench_dir: Optional[str] = None
+    #: Answer in-region cells from the fitted surrogate
+    #: (:mod:`repro.predict`) instead of scheduling workers; cells the
+    #: surrogate cannot cover fall back to the worker pool.  Opt-in:
+    #: predicted values are approximations and never enter the store.
+    predict: bool = False
 
     _FIELDS = ("experiment", "callable", "grid", "faults", "no_store",
-               "retries", "timeout", "backup", "label", "bench_dir")
+               "retries", "timeout", "backup", "label", "bench_dir",
+               "predict")
 
     @classmethod
     def from_dict(cls, payload):
@@ -112,6 +119,8 @@ class SweepRequest:
                 FaultPlan.from_dict(request.faults)
             except (TypeError, ValueError) as exc:
                 raise ProtocolError(f"invalid fault plan: {exc}") from exc
+        if not isinstance(request.predict, bool):
+            raise ProtocolError("'predict' must be a boolean")
         if request.retries is not None and request.retries < 0:
             raise ProtocolError("'retries' must be >= 0")
         if request.timeout is not None and request.timeout <= 0:
@@ -397,6 +406,21 @@ def pool_worker_main(conn, worker_id, flight_path=None):
             value = run(task["config"])
             recorder.note("flight_done")
             conn.send(("done", task_id, "ok", value, None))
+        except FATAL_EXCEPTIONS:
+            # Operator interrupts / resource exhaustion: ship the
+            # traceback as a never-retried ``fatal`` row, then leave the
+            # loop — a worker that just blew its memory budget (or was
+            # interrupted) must not quietly pick up the next task.
+            failure = traceback.format_exc()
+            recorder.note("flight_fatal",
+                          failure.strip().splitlines()[-1][:200])
+            try:
+                conn.send(("done", task_id, "fatal", None, failure,
+                           recorder.tail()))
+            except (OSError, ValueError):
+                print(failure, file=sys.stderr)
+            conn.close()
+            return
         except BaseException:  # noqa: BLE001 — parent turns this into a row
             failure = traceback.format_exc()
             recorder.note("flight_error",

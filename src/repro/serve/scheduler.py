@@ -50,6 +50,7 @@ from ..exp.cache import config_key
 from ..exp.engine import (DEFAULT_RETRIES, RunRecord, TaskQueue,
                           experiment_code_version, records_payload)
 from ..obs.live import LiveMetrics
+from ..predict import OutOfRegionError, PredictPlane
 from .protocol import (SweepRequest, key_config, machine_plan,
                        resolve_experiment, scheduling_plan)
 
@@ -120,9 +121,9 @@ class SweepState:
         self.events = []          # [{seq, t, kind, detail, ...}]
         self.done = threading.Event()
         self.stats = {
-            "store_hits": 0, "executed": 0, "requeued": 0,
-            "timeouts": 0, "worker_deaths": 0, "backups": 0,
-            "backup_wins": 0, "duplicates_ignored": 0,
+            "store_hits": 0, "predict_hits": 0, "executed": 0,
+            "requeued": 0, "timeouts": 0, "worker_deaths": 0,
+            "backups": 0, "backup_wins": 0, "duplicates_ignored": 0,
         }
 
     @property
@@ -165,8 +166,12 @@ class SweepScheduler:
     def __init__(self, store=None, workers=None, timeout=None,
                  retries=DEFAULT_RETRIES, backup_fraction=0.2,
                  backup_threshold=None, bus=None, bench_dir=None,
-                 metrics=None):
+                 metrics=None, predict=None):
         self.store = store
+        #: The analytic-surrogate query surface (fit artifacts are loaded
+        #: lazily on first use, so an unfitted checkout costs nothing).
+        self.predict = (predict if predict is not None
+                        else PredictPlane(bench_dir=bench_dir))
         self.size = max(1, workers if workers is not None
                         else (os.cpu_count() or 2))
         self.timeout = timeout
@@ -227,6 +232,12 @@ class SweepScheduler:
         m.counter("backup_tasks_total",
                   "Backup (straggler) copies issued")
         m.counter("backup_wins_total", "Cells won by a backup copy")
+        m.counter("predict_requests_total",
+                  "Analytic surrogate queries (POST /predict)")
+        m.counter("predict_cells_total",
+                  "Sweep cells answered by the analytic surrogate")
+        m.counter("predict_out_of_region_total",
+                  "Surrogate answers refused: outside the fitted region")
         m.gauge_fn("sweeps_active",
                    "Sweeps currently queued or running",
                    lambda: self.pool_stats()["active"])
@@ -360,6 +371,20 @@ class SweepScheduler:
             values = [r.value for r in ordered]
         return str(sweep.experiment.table(values))
 
+    def predict_query(self, machine, config, extrapolate=False):
+        """Answer a ``POST /predict`` machine query from the surrogate.
+
+        Raises :class:`~repro.predict.PredictError` (no fit / bad knob)
+        or :class:`~repro.predict.OutOfRegionError` (refused, HTTP 409);
+        the refusal is counted so the fallback rate is observable."""
+        self.metrics.inc("predict_requests_total")
+        try:
+            return self.predict.query(machine, config,
+                                      extrapolate=extrapolate)
+        except OutOfRegionError:
+            self.metrics.inc("predict_out_of_region_total")
+            raise
+
     def pool_stats(self):
         with self._lock:
             return {
@@ -426,8 +451,44 @@ class SweepScheduler:
                             index=index, config=config, status="ok",
                             value=value, cached=True, cache_key=key))
                         continue
+                # Opt-in predict mode: an in-region cell of a fitted
+                # experiment is answered by the analytic surrogate
+                # instead of a worker.  Predicted values are
+                # approximations, so they never enter the durable store
+                # (no ``put``, no ``cache_key``), and a machine-level
+                # fault plan disables the path entirely — the surrogate
+                # was fitted on a fault-free machine.
+                if sweep.request.predict and sweep.plan is None:
+                    value = self._predict_cell(sweep, config)
+                    if value is not None:
+                        sweep.stats["predict_hits"] += 1
+                        self.metrics.inc("predict_cells_total")
+                        self._event(sweep, "serve_predict_hit",
+                                    f"{sweep.experiment.name}[{index}]",
+                                    index=index)
+                        self._finish_cell(sweep, RunRecord(
+                            index=index, config=config, status="ok",
+                            value=value, predicted=True))
+                        continue
                 sweep.queue.push((index, 0, key))
             self._check_done(sweep)
+
+    def _predict_cell(self, sweep, config):
+        """The surrogate's answer for one grid cell, or ``None`` when
+        the experiment has no cell surrogate, the config is outside the
+        fitted region, or the artifact is unreadable — every miss falls
+        back to the worker pool (predict mode may degrade to a normal
+        sweep, never fail one)."""
+        try:
+            surrogate = self.predict.cell_surrogate(sweep.experiment.name)
+            if surrogate is None:
+                return None
+            value = surrogate.value(config)
+        except (OSError, ValueError):
+            return None
+        if value is None:
+            self.metrics.inc("predict_out_of_region_total")
+        return value
 
     def _flight_root(self):
         if self._flight_dir is None:
@@ -566,6 +627,8 @@ class SweepScheduler:
         fields = dict(index=record.index, status=record.status,
                       attempts=record.attempts, cached=record.cached,
                       wall=round(record.wall_seconds, 4))
+        if record.predicted:
+            fields["predicted"] = True
         if worker is not None:
             fields["worker"] = worker
         if record.error:
@@ -622,9 +685,10 @@ class SweepScheduler:
                 wall_seconds=now - assignment.started,
                 cache_key=assignment.key), worker=worker)
             return
-        # Failure path.  If a sibling copy is still running, let it race
-        # on — it may well succeed; this copy's failure costs nothing.
-        if sweep.live.get(index, 0) > 0:
+        # Failure path.  ``fatal`` (operator interrupt / resource
+        # exhaustion in the worker) is never retried: the row lands
+        # immediately with its traceback instead of burning attempts.
+        if status != "fatal" and sweep.live.get(index, 0) > 0:
             self._event(sweep, "serve_requeue",
                         f"{sweep.experiment.name}[{index}] copy failed; "
                         "sibling still running",
@@ -633,7 +697,7 @@ class SweepScheduler:
                             {"worker": worker} if worker is not None
                             else {}))
             return
-        if assignment.attempt < sweep.retries:
+        if status != "fatal" and assignment.attempt < sweep.retries:
             delay = min(RETRY_BACKOFF_CAP,
                         RETRY_BACKOFF * (2 ** assignment.attempt))
             sweep.queue.push((index, assignment.attempt + 1,

@@ -14,6 +14,10 @@ API (see docs/SERVICE.md for curl examples)::
     GET  /healthz             liveness + pool/queue stats
     GET  /metrics             Prometheus text exposition (live telemetry)
     GET  /store/stats         durable store statistics
+    GET  /predict             fitted machines + regions (surrogate)
+    POST /predict             answer a machine query from the analytic
+                              surrogate (409 when outside the fitted
+                              region, unless "extrapolate": true)
     POST /sweeps              submit a sweep request -> {"id": ...}
     GET  /sweeps              all sweeps (summaries)
     GET  /sweeps/<id>         one sweep: status + completed records
@@ -31,6 +35,7 @@ import threading
 import time
 import urllib.parse
 
+from ..predict import OutOfRegionError, PredictError
 from .protocol import DEFAULT_PORT, ProtocolError
 from .scheduler import SweepScheduler
 from .store import open_store
@@ -162,6 +167,11 @@ class ServeApp:
                 await self._send(writer, 404, {"error": "no store attached"})
             else:
                 await self._send(writer, 200, self.store.stats())
+        elif path == "/predict" and method == "GET":
+            await self._send(writer, 200,
+                             self.scheduler.predict.describe())
+        elif path == "/predict" and method == "POST":
+            await self._predict(writer, body)
         elif path == "/shutdown" and method == "POST":
             await self._send(writer, 200, {"ok": True,
                                            "stopping": True})
@@ -215,6 +225,34 @@ class ServeApp:
             "table_url": f"/sweeps/{sweep_id}/table",
             "trace_url": f"/sweeps/{sweep_id}/trace",
         })
+
+    async def _predict(self, writer, body):
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except ValueError as exc:
+            raise ProtocolError(f"request body is not JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ProtocolError("predict request body must be a JSON "
+                                "object")
+        machine = payload.get("machine")
+        if not isinstance(machine, str) or not machine:
+            raise ProtocolError("predict request needs 'machine'")
+        config = payload.get("config", {})
+        if not isinstance(config, dict):
+            raise ProtocolError("'config' must be a JSON object")
+        extrapolate = payload.get("extrapolate", False)
+        if not isinstance(extrapolate, bool):
+            raise ProtocolError("'extrapolate' must be a boolean")
+        try:
+            answer = self.scheduler.predict_query(machine, config,
+                                                  extrapolate=extrapolate)
+        except OutOfRegionError as exc:
+            await self._send(writer, 409,
+                             {"error": str(exc), "region": exc.region})
+            return
+        except PredictError as exc:
+            raise ProtocolError(str(exc)) from exc
+        await self._send(writer, 200, answer)
 
     async def _events(self, writer, sweep_id, query):
         try:

@@ -160,14 +160,29 @@ class SqliteStore:
             "bytes": total_bytes,
             "hits": total_hits,
             "experiments": per_experiment,
+            # Clamped at zero: a backwards clock step between write and
+            # stat must not report a negative age.
             "oldest_age_seconds": (None if oldest is None
-                                   else round(time.time() - oldest, 1)),
+                                   else round(max(0.0, time.time() - oldest),
+                                              1)),
             "session": {"hits": self.hits, "misses": self.misses},
         }
 
     def prune(self, older_than_seconds):
-        """Delete entries created before the cutoff; returns rows removed."""
-        cutoff = time.time() - older_than_seconds
+        """Delete entries created before the cutoff; returns rows removed.
+
+        ``older_than_seconds`` must be non-negative — a negative window
+        (e.g. a mis-parsed ``--older-than``) would place the cutoff in
+        the future and delete entries written this instant.  The cutoff
+        is additionally clamped to *now*, so a row whose ``created``
+        stamp lies in the future (the wall clock stepped backwards since
+        the write) has its age treated as zero, never as prunable.
+        """
+        if not older_than_seconds >= 0:
+            raise ValueError(
+                f"older_than_seconds must be >= 0, got {older_than_seconds!r}")
+        now = time.time()
+        cutoff = min(now - older_than_seconds, now)
         with self._lock:
             cursor = self._db.execute(
                 "DELETE FROM results WHERE created < ?", (cutoff,))

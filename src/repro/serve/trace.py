@@ -14,7 +14,7 @@ a scheduler track:
   ``sweep_task`` completion or ``serve_requeue`` (failure/timeout/crash
   recovery) — backup copies and crash retries appear as distinct slices
   racing on different worker tracks;
-* an **instant** (``ph: i``) per store hit, worker spawn/exit, sweep
+* an **instant** (``ph: i``) per store/predict hit, worker spawn/exit, sweep
   begin/end, and flight-recorder breadcrumb attached to a failure row;
 * **metadata** (``ph: M``) naming the process after the sweep and each
   thread after its worker.
@@ -120,8 +120,8 @@ def sweep_trace(scheduler, sweep_id):
         if kind in ("serve_assign", "serve_backup"):
             open_slices.setdefault(index, {})[event["worker"]] = event
         elif kind == "sweep_task":
-            if event.get("cached"):
-                continue  # the store hit instant already covers it
+            if event.get("cached") or event.get("predicted"):
+                continue  # the store/predict hit instant covers it
             args = {"status": event.get("status")}
             suffix = ("" if event.get("status") == "ok"
                       else f" {event.get('status')}")
@@ -138,6 +138,8 @@ def sweep_trace(scheduler, sweep_id):
                         {"reason": event.get("reason")})
         elif kind == "serve_store_hit":
             instant(f"{experiment}[{index}] store_hit", t, 0)
+        elif kind == "serve_predict_hit":
+            instant(f"{experiment}[{index}] predict_hit", t, 0)
         elif kind in ("serve_request", "sweep_begin", "sweep_end",
                       "serve_sweep_done"):
             instant(kind, t, 0,

@@ -20,6 +20,10 @@ def fail_on_three(config):
     return {"x": config["x"]}
 
 
+def raise_memory_error(config):
+    raise MemoryError("pool allocation failure")
+
+
 def sleep_forever(config):
     time.sleep(config.get("sleep", 60.0))
     return "done"

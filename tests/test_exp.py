@@ -45,6 +45,14 @@ def run_model_spec(config):
     return model.run(**config.get("workload", {})).as_dict()
 
 
+def raise_interrupt(config):
+    raise KeyboardInterrupt
+
+
+def raise_memory_error(config):
+    raise MemoryError("simulated allocation failure")
+
+
 class TestGrid:
     def test_cartesian_product_in_declaration_order(self):
         configs = grid(a=[1, 2], b=["x", "y"])
@@ -100,6 +108,34 @@ class TestEngineWorkers:
         assert record.attempts == 2
         assert not record.ok
         assert elapsed < 10  # terminated, not waited out
+
+    def test_keyboard_interrupt_is_fatal_not_swallowed(self):
+        """An operator interrupt inside a worker must surface as a
+        never-retried ``fatal`` row with its traceback — not vanish
+        into the generic retried ``error`` path."""
+        experiment = Experiment(name="intr", run=raise_interrupt,
+                                grid=grid(x=[1]))
+        (record,) = run_experiment(experiment, jobs=1, retries=3)
+        assert record.status == "fatal"
+        assert not record.ok
+        assert record.attempts == 1  # fatal is never retried
+        assert "KeyboardInterrupt" in record.error
+
+    def test_memory_error_is_fatal_not_swallowed(self):
+        experiment = Experiment(name="oom", run=raise_memory_error,
+                                grid=grid(x=[1]))
+        (record,) = run_experiment(experiment, jobs=1, retries=3)
+        assert record.status == "fatal"
+        assert record.attempts == 1
+        assert "simulated allocation failure" in record.error
+
+    def test_fatal_row_payload_is_structured(self):
+        experiment = Experiment(name="oom", run=raise_memory_error,
+                                grid=grid(x=[1]))
+        records = run_experiment(experiment, jobs=1)
+        (payload,) = records_payload(records)
+        assert payload["status"] == "fatal"
+        assert "MemoryError" in payload["error"]
 
     def test_jobs_1_and_jobs_4_byte_identical(self):
         experiment = Experiment(name="sq", run=square,

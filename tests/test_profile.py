@@ -317,6 +317,30 @@ def test_compare_entry_nan_and_strings():
     assert compare_entry(changed, make_baseline(strings))
 
 
+def test_compare_entry_nan_vs_number_is_drift():
+    baseline = make_baseline(_entry([(1, 100.0, 0.5)]))
+    nan_now = _entry([(1, float("nan"), 0.5)])
+    diffs = compare_entry(nan_now, baseline)
+    assert len(diffs) == 1 and diffs[0]["kind"] == "cell"
+    # ...and the mirror image: a number where the baseline recorded NaN.
+    nan_base = make_baseline(_entry([(1, float("nan"), 0.5)]))
+    diffs = compare_entry(_entry([(1, 100.0, 0.5)]), nan_base)
+    assert len(diffs) == 1 and diffs[0]["kind"] == "cell"
+
+
+def test_compare_entry_infinities():
+    # Same-sign infinities agree (inf - inf is NaN; the tolerance
+    # arithmetic must never see it)...
+    inf = _entry([(1, float("inf"), 0.5)])
+    assert compare_entry(inf, make_baseline(inf)) == []
+    neg = _entry([(1, float("-inf"), 0.5)])
+    assert compare_entry(neg, make_baseline(neg)) == []
+    # ...opposite signs and inf-vs-finite are drift.
+    assert compare_entry(neg, make_baseline(inf))
+    assert compare_entry(_entry([(1, 100.0, 0.5)]), make_baseline(inf))
+    assert compare_entry(inf, make_baseline(_entry([(1, 100.0, 0.5)])))
+
+
 def test_check_suite_roundtrip(tmp_path):
     entry = _entry([(1, 100.0, 0.5)])
     write_baselines([entry], str(tmp_path))

@@ -52,10 +52,40 @@ class TestStore:
         for i in range(4):
             store.put("e1", f"k{i}", {}, "v0", i)
         assert store.prune(older_than_seconds=3600.0) == 0
-        assert store.prune(older_than_seconds=-1.0) == 4
+        assert store.prune(older_than_seconds=0.0) == 4
         store.put("e1", "k9", {}, "v0", 9)
         assert store.clear() == 1
         assert store.stats()["entries"] == 0
+        store.close()
+
+    def test_prune_rejects_negative_and_nan_windows(self, tmp_path):
+        """A negative (or NaN) window would place the cutoff in the
+        future and delete entries written this instant — refused."""
+        store = SqliteStore(str(tmp_path / "s.sqlite"))
+        store.put("e1", "k1", {}, "v0", 1)
+        with pytest.raises(ValueError, match=">= 0"):
+            store.prune(older_than_seconds=-1.0)
+        with pytest.raises(ValueError, match=">= 0"):
+            store.prune(older_than_seconds=float("nan"))
+        assert store.stats()["entries"] == 1
+        store.close()
+
+    def test_prune_is_clock_skew_safe(self, tmp_path):
+        """An entry whose ``created`` stamp lies in the future (the wall
+        clock stepped backwards since the write) must never be pruned,
+        and its reported age clamps at zero instead of going negative."""
+        import time as _time
+
+        store = SqliteStore(str(tmp_path / "s.sqlite"))
+        store.put("e1", "k1", {}, "v0", 1)
+        with store._lock:
+            store._db.execute("UPDATE results SET created = ?",
+                              (_time.time() + 3600.0,))
+            store._db.commit()
+        assert store.prune(older_than_seconds=0.0) == 0
+        assert store.prune(older_than_seconds=86400.0) == 0
+        assert store.stats()["oldest_age_seconds"] == 0.0
+        assert store.get("e1", "k1") == (True, 1)
         store.close()
 
     def test_open_store_dispatch(self, tmp_path):
@@ -116,6 +146,16 @@ class TestProtocol:
         with pytest.raises(ProtocolError, match="fault plan"):
             SweepRequest.from_dict({"experiment": "e07",
                                     "faults": {"no_such_knob": 1.0}})
+
+    def test_predict_flag_parses_and_rejects_non_bool(self):
+        request = SweepRequest.from_dict(
+            {"experiment": "e07_trapezoid", "predict": True})
+        assert request.predict is True
+        assert SweepRequest.from_dict(
+            {"experiment": "e07_trapezoid"}).predict is False
+        with pytest.raises(ProtocolError, match="predict"):
+            SweepRequest.from_dict(
+                {"experiment": "e07_trapezoid", "predict": 1})
 
     def test_worker_crash_rate_is_scheduling_only(self):
         faults = {"worker_crash_rate": 0.5, "seed": 3,
@@ -260,6 +300,59 @@ class TestScheduler:
             with pytest.raises(ProtocolError, match="unknown experiment"):
                 sched.submit({"experiment": "no_such_table"})
 
+    def test_fatal_cell_is_not_retried(self, tmp_path):
+        # MemoryError in a pool worker must surface as a structured
+        # ``fatal`` row with its traceback, and must never burn retries.
+        with SweepScheduler(store=open_store(str(tmp_path)),
+                            workers=1) as sched:
+            sid = sched.submit(
+                {"callable": "serve_jobs:raise_memory_error",
+                 "grid": [{"x": 1}], "retries": 3})
+            assert sched.wait(sid, timeout=WAIT)
+            status = sched.status(sid)
+        (record,) = status["records"]
+        assert record["status"] == "fatal"
+        assert record["attempts"] == 1
+        assert "MemoryError" in record["error"]
+        assert "pool allocation failure" in record["error"]
+        assert "Traceback" in record["error"]
+        assert status["stats"]["requeued"] == 0
+
+    def test_predict_mode_answers_sweep_without_workers(self, tmp_path):
+        # Opt-in predict mode: every in-region e07 cell is answered by
+        # the committed cell surrogate — zero worker executions — and
+        # the predicted values never enter the store.
+        store = open_store(str(tmp_path))
+        with SweepScheduler(store=store, workers=2) as sched:
+            sid = sched.submit({"experiment": "e07_trapezoid",
+                                "predict": True})
+            assert sched.wait(sid, timeout=WAIT)
+            status = sched.status(sid)
+            stats = store.stats()
+        assert status["state"] == "done"
+        assert status["stats"]["executed"] == 0
+        assert status["stats"]["store_hits"] == 0
+        assert status["stats"]["predict_hits"] == len(status["records"])
+        assert status["stats"]["predict_hits"] == 6
+        assert all(record["status"] == "ok"
+                   and record.get("predicted") is True
+                   for record in status["records"])
+        assert stats["entries"] == 0
+
+    def test_predict_mode_matches_simulation_at_table_precision(
+            self, tmp_path):
+        # The surrogate-answered sweep must assemble the same table a
+        # real simulated sweep does (the artifacts are fitted to round
+        # trip the committed grid exactly).
+        with SweepScheduler(store=None, workers=2) as sched:
+            predicted = sched.submit({"experiment": "e07_trapezoid",
+                                      "predict": True})
+            simulated = sched.submit({"experiment": "e07_trapezoid"})
+            assert sched.wait(predicted, timeout=WAIT)
+            assert sched.wait(simulated, timeout=WAIT)
+            assert (sched.table_text(predicted)
+                    == sched.table_text(simulated))
+
 
 # ---------------------------------------------------------------------------
 # the HTTP server + client (one server for the whole class)
@@ -331,6 +424,24 @@ class TestHttp:
         assert again["stats"]["store_hits"] == 3
         assert ([r["value"] for r in first["records"]]
                 == [r["value"] for r in again["records"]])
+
+    def test_predict_route_answers_and_refuses(self, server):
+        client = ServeClient(server.url)
+        described = client.predict_describe()
+        assert "ttda" in described["machines"]
+        answer = client.predict("ttda", {"workload": "matmul",
+                                         "n_pes": 8,
+                                         "network_latency": 20})
+        assert answer["in_region"] is True
+        assert answer["time"] > 0.0
+        assert sum(answer["buckets"].values()) == pytest.approx(
+            answer["time"])
+        with pytest.raises(ServeError) as err:
+            client.predict("ttda", {"workload": "matmul", "n_pes": 256})
+        assert err.value.status == 409
+        out = client.predict("ttda", {"workload": "matmul", "n_pes": 256},
+                             extrapolate=True)
+        assert out["in_region"] is False
 
     def test_store_stats_route(self, server):
         stats = ServeClient(server.url).store_stats()
